@@ -1,0 +1,46 @@
+"""Section 4's DVFS coda: faster-than-real-time -> voltage scaling savings.
+
+"Even larger energy savings are possible by using processor frequency
+and voltage scaling, because our most optimized MP3 code runs almost
+four times faster than real time."  The bench decodes with the best
+mapped configuration, sweeps the SA-1110 operating-point ladder, and
+asserts the slowest feasible point saves energy over racing at 206.4
+MHz.
+"""
+
+import pytest
+
+from repro.mp3 import IH_IPP_FULL, Mp3Decoder
+
+
+@pytest.fixture(scope="module")
+def workload(stream, platform):
+    decoder = Mp3Decoder(IH_IPP_FULL, platform.profiler())
+    decoder.decode(stream)
+    return decoder.profiler.combined_tally()
+
+
+def test_dvfs_sweep(benchmark, stream, platform, workload, report):
+    deadline = stream.duration_seconds
+    decisions = benchmark(platform.governor.sweep, workload, deadline)
+
+    lines = ["", "DVFS sweep — best mapped decoder vs real-time deadline",
+             f"  {'point':<22} {'decode s':>10} {'energy J':>10} {'meets RT':>9}"]
+    for d in decisions:
+        lines.append(f"  {str(d.point):<22} {d.seconds:>10.4f} "
+                     f"{d.energy_j:>10.4f} {str(d.meets_deadline):>9}")
+    best = platform.governor.slowest_feasible(workload, deadline)
+    saving = platform.governor.energy_saving_factor(workload, deadline)
+    lines.append(f"  chosen: {best.point}; saving vs flat-out: {saving:.2f}x")
+    report("\n".join(lines))
+
+    # The headline margin makes scaling possible at all.
+    fastest = decisions[-1]
+    assert deadline / fastest.seconds > 2.0
+    # Some lower point is feasible and cheaper.
+    assert best.point.clock_hz < fastest.point.clock_hz
+    assert saving > 1.0
+    # Energy decreases monotonically as we slow down among feasible points.
+    feasible = [d for d in decisions if d.meets_deadline]
+    energies = [d.energy_j for d in feasible]
+    assert energies == sorted(energies)

@@ -1,0 +1,30 @@
+"""Figure 1: the Badge4 platform inventory.
+
+Figure 1 of the paper is the SmartBadge/Badge4 block diagram.  This
+bench prints the executable inventory and benchmarks platform-model
+construction plus a representative costing pass.
+"""
+
+from repro.platform import BADGE4_COMPONENTS, Badge4, OperationTally
+
+
+def test_fig1_inventory(benchmark, report):
+    platform = benchmark(Badge4)
+    text = platform.describe()
+    report("\n" + text)
+
+    kinds = {c.kind for c in BADGE4_COMPONENTS}
+    assert {"processor", "companion", "memory", "radio",
+            "audio", "power"} <= kinds
+    memories = {c.name for c in BADGE4_COMPONENTS if c.kind == "memory"}
+    assert memories == {"SRAM", "SDRAM", "FLASH"}
+    assert platform.processor.clock_hz == 206.4e6
+    assert not platform.processor.has_fpu
+
+
+def test_fig1_costing_throughput(benchmark, platform):
+    """Price a meaty tally repeatedly: the model must be cheap to query."""
+    tally = OperationTally(int_alu=10 ** 6, fp_mul=10 ** 5, load=10 ** 5)
+    tally.libm("pow", 1000)
+    seconds = benchmark(platform.cost_model.seconds, tally)
+    assert seconds > 0

@@ -1,0 +1,66 @@
+"""Table 1: sample complex library elements.
+
+Regenerates the float/fixed/IPP execution times and ratios for
+SubBandSynthesis and IMDCT on the platform model, printed next to the
+paper's row values.  Shape assertions: the ladders are ordered, and
+the ratios land in the paper's bands (fixed SubBand gains much more
+than fixed IMDCT; IPP gains are an order beyond fixed).
+"""
+
+import pytest
+
+from paper_data import TABLE1
+from repro.library import characterize_library, full_library
+
+_ROWS = [
+    ("float SubBandSyn", "float_SubBandSyn"),
+    ("fixed SubBandSyn", "fixed_SubBandSyn"),
+    ("IPP SubBandSyn", "ippsSynthPQMF_MP3_32s16s"),
+    ("float IMDCT", "float_IMDCT"),
+    ("fixed IMDCT", "fixed_IMDCT"),
+    ("IPP IMDCT", "IppsMDCTInv_MP3_32s"),
+]
+
+
+@pytest.fixture(scope="module")
+def characterized(platform):
+    return characterize_library(full_library(), platform)
+
+
+def _measured_table(characterized):
+    out = {}
+    base = {"SubBandSyn": characterized["float_SubBandSyn"].seconds_per_call,
+            "IMDCT": characterized["float_IMDCT"].seconds_per_call}
+    for label, name in _ROWS:
+        seconds = characterized[name].seconds_per_call
+        family = "SubBandSyn" if "SubBand" in label else "IMDCT"
+        out[label] = (seconds, base[family] / seconds)
+    return out
+
+
+def test_table1_reproduction(benchmark, platform, report):
+    characterized = benchmark(characterize_library, full_library(), platform)
+    measured = _measured_table(characterized)
+
+    lines = ["", "Table 1 — Sample Complex Library Elements",
+             f"  {'element':<20} {'paper s':>10} {'ours s':>10} "
+             f"{'paper x':>8} {'ours x':>8}"]
+    for label, _name in _ROWS:
+        ps, pr = TABLE1[label]
+        ms, mr = measured[label]
+        lines.append(f"  {label:<20} {ps:>10.4f} {ms:>10.4f} "
+                     f"{pr:>8.0f} {mr:>8.0f}")
+    report("\n".join(lines))
+
+    # Ladders ordered as in the paper.
+    assert measured["float SubBandSyn"][0] > measured["fixed SubBandSyn"][0] \
+        > measured["IPP SubBandSyn"][0]
+    assert measured["float IMDCT"][0] > measured["fixed IMDCT"][0] \
+        > measured["IPP IMDCT"][0]
+    # Ratio bands around the paper's 92 / 479 / 27 / 1898.
+    assert 40 < measured["fixed SubBandSyn"][1] < 250
+    assert 250 < measured["IPP SubBandSyn"][1] < 1500
+    assert 10 < measured["fixed IMDCT"][1] < 80
+    assert 500 < measured["IPP IMDCT"][1] < 4000
+    # The asymmetry: fixed SubBand gains more than fixed IMDCT.
+    assert measured["fixed SubBandSyn"][1] > 2 * measured["fixed IMDCT"][1]

@@ -1,0 +1,51 @@
+"""Table 3: the original MP3 decoder profile.
+
+Decodes the shared stream with the all-float reference configuration
+and prints the per-frame, per-function profile next to the paper's
+Table 3.  Shape assertions: the same three functions dominate in the
+same order with comparable shares, and the per-frame total is within a
+factor of two of the paper's 2.5931 s.
+"""
+
+import pytest
+
+from paper_data import TABLE3, TABLE3_TOTAL
+from repro.mp3 import ORIGINAL, Mp3Decoder
+
+
+def _profile(stream, platform):
+    decoder = Mp3Decoder(ORIGINAL, platform.profiler())
+    decoder.decode(stream)
+    return decoder.profiler.report()
+
+
+def test_table3_reproduction(benchmark, stream, platform, report):
+    profile = benchmark.pedantic(
+        _profile, args=(stream, platform), rounds=2, iterations=1)
+
+    frames = stream.n_frames
+    lines = ["", "Table 3 — Original MP3 Profile (per frame)",
+             f"  {'function':<24} {'paper s':>9} {'ours s':>9} "
+             f"{'paper %':>8} {'ours %':>7}"]
+    for name, (p_sec, p_pct) in TABLE3.items():
+        try:
+            row = profile.row(name)
+            ours_sec = row.seconds / frames
+            ours_pct = row.percent
+        except KeyError:
+            ours_sec, ours_pct = float("nan"), float("nan")
+        lines.append(f"  {name:<24} {p_sec:>9.4f} {ours_sec:>9.4f} "
+                     f"{p_pct:>8.2f} {ours_pct:>7.2f}")
+    ours_total = profile.total_seconds / frames
+    lines.append(f"  {'Total':<24} {TABLE3_TOTAL:>9.4f} {ours_total:>9.4f}")
+    report("\n".join(lines))
+
+    # Ordering of the top three matches the paper.
+    assert profile.names()[:3] == ["III_dequantize_sample",
+                                   "SubBandSynthesis", "inv_mdctL"]
+    # Shares near the paper's 45/37/15.
+    assert profile.row("III_dequantize_sample").percent == pytest.approx(45.3, abs=10)
+    assert profile.row("SubBandSynthesis").percent == pytest.approx(36.6, abs=10)
+    assert profile.row("inv_mdctL").percent == pytest.approx(14.9, abs=8)
+    # Per-frame total within 2x of the paper's measurement.
+    assert TABLE3_TOTAL / 2 < ours_total < TABLE3_TOTAL * 2

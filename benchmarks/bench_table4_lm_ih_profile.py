@@ -1,0 +1,55 @@
+"""Table 4: the profile after LM & IH mapping.
+
+Decodes with the configuration the mapping flow derives from the
+LM+IH library pass (all fixed point, fast-DCT in-house synthesis) and
+compares against the paper's Table 4.  Shape assertions: two orders of
+magnitude faster than Table 3, IMDCT and subband synthesis together
+dominate, and IMDCT now leads (the fixed subband synthesis gained more
+than the fixed IMDCT).
+"""
+
+import pytest
+
+from paper_data import TABLE3_TOTAL, TABLE4, TABLE4_TOTAL
+from repro.mp3 import IH_LIBRARY, ORIGINAL, Mp3Decoder
+
+
+def _profile(stream, platform, config):
+    decoder = Mp3Decoder(config, platform.profiler())
+    decoder.decode(stream)
+    return decoder.profiler.report()
+
+
+def test_table4_reproduction(benchmark, stream, platform, report):
+    profile = benchmark.pedantic(
+        _profile, args=(stream, platform, IH_LIBRARY), rounds=2, iterations=1)
+    original = _profile(stream, platform, ORIGINAL)
+
+    frames = stream.n_frames
+    lines = ["", "Table 4 — MP3 Profile after LM & IH mapping (per frame)",
+             f"  {'function':<24} {'paper s':>9} {'ours s':>9} "
+             f"{'paper %':>8} {'ours %':>7}"]
+    for name, (p_sec, p_pct) in TABLE4.items():
+        try:
+            row = profile.row(name)
+            ours_sec, ours_pct = row.seconds / frames, row.percent
+        except KeyError:
+            ours_sec, ours_pct = float("nan"), float("nan")
+        lines.append(f"  {name:<24} {p_sec:>9.5f} {ours_sec:>9.5f} "
+                     f"{p_pct:>8.2f} {ours_pct:>7.2f}")
+    ours_total = profile.total_seconds / frames
+    lines.append(f"  {'Total':<24} {TABLE4_TOTAL:>9.5f} {ours_total:>9.5f}")
+    report("\n".join(lines))
+
+    # Two orders of magnitude better than the original (paper: 89x).
+    improvement = original.total_seconds / profile.total_seconds
+    assert improvement > 50
+
+    # IMDCT leads, synthesis second, together dominating (paper: ~85%).
+    assert profile.names()[0] == "inv_mdctL"
+    assert profile.names()[1] == "SubBandSynthesis"
+    top_two = profile.rows[0].percent + profile.rows[1].percent
+    assert top_two > 70
+
+    # Per-frame total in the paper's ballpark (29.1 ms).
+    assert TABLE4_TOTAL / 3 < ours_total < TABLE4_TOTAL * 3

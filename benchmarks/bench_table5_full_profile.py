@@ -1,0 +1,51 @@
+"""Table 5: the profile after LM & IH & IPP mapping.
+
+The best automatically mapped decoder: in-house fixed front end plus
+both IPP complex elements.  Shape assertions: ippsSynthPQMF is the
+largest row (paper: 35.2%), requantization second, the IPP IMDCT is no
+longer critical (paper: 9.4%), and the frame total is near the paper's
+4.99 ms.
+"""
+
+import pytest
+
+from paper_data import TABLE5, TABLE5_TOTAL
+from repro.mp3 import IH_IPP_FULL, Mp3Decoder
+
+
+def _profile(stream, platform):
+    decoder = Mp3Decoder(IH_IPP_FULL, platform.profiler())
+    decoder.decode(stream)
+    return decoder.profiler.report()
+
+
+def test_table5_reproduction(benchmark, stream, platform, report):
+    profile = benchmark.pedantic(
+        _profile, args=(stream, platform), rounds=2, iterations=1)
+
+    frames = stream.n_frames
+    lines = ["", "Table 5 — MP3 Profile after LM & IH & IPP mapping (per frame)",
+             f"  {'function':<26} {'paper s':>10} {'ours s':>10} "
+             f"{'paper %':>8} {'ours %':>7}"]
+    for name, (p_sec, p_pct) in TABLE5.items():
+        try:
+            row = profile.row(name)
+            ours_sec, ours_pct = row.seconds / frames, row.percent
+        except KeyError:
+            ours_sec, ours_pct = float("nan"), float("nan")
+        lines.append(f"  {name:<26} {p_sec:>10.5f} {ours_sec:>10.5f} "
+                     f"{p_pct:>8.2f} {ours_pct:>7.2f}")
+    ours_total = profile.total_seconds / frames
+    lines.append(f"  {'Total':<26} {TABLE5_TOTAL:>10.5f} {ours_total:>10.5f}")
+    report("\n".join(lines))
+
+    # The synthesis primitive is the top row, as in the paper.
+    assert profile.names()[0] == "ippsSynthPQMF_MP3_32s16s"
+    assert profile.row("ippsSynthPQMF_MP3_32s16s").percent > 20
+    # MDCT is no longer a critical portion of the code.
+    assert profile.row("IppsMDCTInv_MP3_32s").percent < 15
+    # Requantization is among the top non-synthesis rows.
+    deq = profile.row("III_dequantize_sample").percent
+    assert deq > 10
+    # Frame total within 2x of the paper's 4.99 ms.
+    assert TABLE5_TOTAL / 2 < ours_total < TABLE5_TOTAL * 2

@@ -1,0 +1,102 @@
+"""Table 6: performance and energy across the whole mapping ladder.
+
+Decodes the shared stream with all seven configurations of the paper's
+Table 6 and prints performance/energy factors versus the original.
+Shape assertions: the ladder improves monotonically; the factor bands
+bracket the paper's 1.7x / 2.4x / 92x / 151x / 352x / 1241x; energy
+factors track (and slightly exceed) performance factors; the best
+automatic mapping stays within ~10x of the fully hand-optimized IPP
+decoder (paper: 5x... 3.5x).
+"""
+
+import pytest
+
+from paper_data import TABLE6
+from repro.mp3 import CONFIGURATIONS, Mp3Decoder
+
+#: paper row name -> our configuration name
+_NAMES = {
+    "Original": "Original",
+    "IPP SubBand": "IPP SubBand",
+    "IPP SubBand & IMDCT": "IPP SubBand & IMDCT",
+    "IH Library": "IH Library",
+    "IH + IPP SubBand": "IH + IPP SubBand",
+    "IH + IPP SubBand & IMDCT": "IH + IPP SubBand & IMDCT",
+    "IPP MP3": "IPP MP3",
+}
+
+#: acceptance bands for the measured performance factors
+_BANDS = {
+    "IPP SubBand": (1.2, 2.5),
+    "IPP SubBand & IMDCT": (1.5, 3.5),
+    "IH Library": (50, 250),
+    "IH + IPP SubBand": (80, 350),
+    "IH + IPP SubBand & IMDCT": (200, 1000),
+    "IPP MP3": (500, 2500),
+}
+
+
+@pytest.fixture(scope="module")
+def ladder(stream, platform):
+    out = {}
+    for config in CONFIGURATIONS:
+        decoder = Mp3Decoder(config, platform.profiler())
+        decoder.decode(stream)
+        profile = decoder.profiler.report()
+        out[config.name] = (profile.total_seconds, profile.total_energy_j)
+    return out
+
+
+def test_table6_reproduction(benchmark, stream, platform, ladder, report):
+    # Benchmark the headline configuration (the paper's best mapping).
+    best = [c for c in CONFIGURATIONS
+            if c.name == "IH + IPP SubBand & IMDCT"][0]
+
+    def decode_best():
+        decoder = Mp3Decoder(best, platform.profiler())
+        decoder.decode(stream)
+        return decoder.profiler.report().total_seconds
+
+    benchmark.pedantic(decode_best, rounds=2, iterations=1)
+
+    base_s, base_j = ladder["Original"]
+    lines = ["", "Table 6 — Performance and Energy for MP3 library mapping",
+             f"  {'version':<26} {'paper perf x':>13} {'ours perf x':>12} "
+             f"{'paper energy x':>15} {'ours energy x':>14}"]
+    measured = {}
+    for paper_name, ours_name in _NAMES.items():
+        _ps, p_factor, _pj, p_efactor = TABLE6[paper_name]
+        s, j = ladder[ours_name]
+        factor, efactor = base_s / s, base_j / j
+        measured[paper_name] = (factor, efactor)
+        lines.append(f"  {paper_name:<26} {p_factor:>13.1f} {factor:>12.1f} "
+                     f"{p_efactor:>15.1f} {efactor:>14.1f}")
+    report("\n".join(lines))
+
+    # Monotonic improvement down the ladder.
+    seconds = [ladder[name][0] for name in _NAMES.values()]
+    assert seconds == sorted(seconds, reverse=True)
+
+    # Factor bands around the paper's values.
+    for name, (low, high) in _BANDS.items():
+        factor, _ = measured[name]
+        assert low < factor < high, f"{name}: {factor:.1f} outside ({low}, {high})"
+
+    # Energy factors exceed performance factors slightly (paper: 435 vs 352).
+    best_perf, best_energy = measured["IH + IPP SubBand & IMDCT"]
+    assert best_energy == pytest.approx(best_perf, rel=0.5)
+
+    # Hand-optimized IPP MP3 still wins, within an order of magnitude.
+    auto, _ = measured["IH + IPP SubBand & IMDCT"]
+    hand, _ = measured["IPP MP3"]
+    assert hand > auto
+    assert hand / auto < 10
+
+
+def test_table6_realtime_margin(benchmark, stream, platform, ladder, report):
+    """Section 4: the best mapped decoder beats real time by ~3.5-4x."""
+    seconds, _ = ladder["IH + IPP SubBand & IMDCT"]
+    margin = benchmark(lambda: stream.duration_seconds / seconds)
+    report(f"\nreal-time margin of the best mapped decoder: {margin:.1f}x "
+           f"(paper: ~3.5-4x)")
+    assert margin > 2.0

@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.mp3 import make_stream
+from repro.platform import Badge4
+
+
+@pytest.fixture(scope="session")
+def platform():
+    return Badge4()
+
+
+@pytest.fixture(scope="session")
+def stream():
+    """The shared workload: a deterministic 3-frame stereo stream."""
+    return make_stream(n_frames=3, seed=2002)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a block of text to the real terminal (not captured)."""
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+    return _print

@@ -1,0 +1,67 @@
+"""The paper's published numbers, transcribed for side-by-side reports.
+
+Source: Peymandoust, Simunic, De Micheli, DAC 2002 — Tables 1, 3, 4, 5,
+6 and the Section 4 prose.
+"""
+
+# Table 1: sample complex library elements (execution time s, ratio).
+TABLE1 = {
+    "float SubBandSyn": (0.95, 1),
+    "fixed SubBandSyn": (0.01, 92),
+    "IPP SubBandSyn": (0.002, 479),
+    "float IMDCT": (0.39, 1),
+    "fixed IMDCT": (0.014, 27),
+    "IPP IMDCT": (0.0002, 1898),
+}
+
+# Table 3: original MP3 profile, per frame (seconds, percent).
+TABLE3 = {
+    "III_dequantize_sample": (1.1754, 45.33),
+    "SubBandSynthesis": (0.9481, 36.56),
+    "inv_mdctL": (0.3872, 14.93),
+    "III_hybrid": (0.0670, 2.58),
+    "III_antialias": (0.0131, 0.51),
+    "III_stereo": (0.0010, 0.04),
+    "III_hufman_decode": (0.0007, 0.03),
+    "III_reorder": (0.0005, 0.02),
+}
+TABLE3_TOTAL = 2.5931
+
+# Table 4: after LM & IH mapping (seconds, percent).
+TABLE4 = {
+    "inv_mdctL": (0.0144, 49.54),
+    "SubBandSynthesis": (0.0103, 35.30),
+    "III_dequantize_sample": (0.0013, 4.33),
+    "III_stereo": (0.0008, 2.83),
+    "III_reorder": (0.0007, 2.28),
+    "III_antialias": (0.0006, 2.15),
+    "III_hufman_decode": (0.0007, 2.48),
+    "III_hybrid": (0.0003, 1.10),
+}
+TABLE4_TOTAL = 0.0291
+
+# Table 5: after LM & IH & IPP mapping (seconds, percent).
+TABLE5 = {
+    "ippsSynthPQMF_MP3_32s16s": (0.00176, 35.242),
+    "III_dequantize_sample": (0.00124, 24.79),
+    "III_stereo": (0.00082, 16.46),
+    "III_hufman_decode": (0.00067, 13.416),
+    "IppsMDCTInv_MP3_32s": (0.00047, 9.4113),
+    "III_get_scale_factors": (3.4e-05, 0.6808),
+}
+TABLE5_TOTAL = 0.00499
+
+# Table 6: performance and energy for MP3 library mapping.
+#   name: (perf seconds, perf factor, energy J, energy factor)
+TABLE6 = {
+    "Original": (503.92, 1.0, 509.6, 1.0),
+    "IPP SubBand": (301.43, 1.7, 292.5, 1.7),
+    "IPP SubBand & IMDCT": (211.27, 2.4, 199.1, 2.6),
+    "IH Library": (5.47, 92.1, 4.47, 114.2),
+    "IH + IPP SubBand": (3.33, 151.4, 2.78, 182.3),
+    "IH + IPP SubBand & IMDCT": (1.43, 352.4, 1.17, 435.2),
+    "IPP MP3": (0.41, 1240.8, 0.31, 1626.0),
+}
+
+# Section 4 prose: the final decoder runs ~3.5-4x faster than real time.
+FASTER_THAN_REALTIME_MIN = 3.5

@@ -1,0 +1,55 @@
+"""Mapping Equation 1 to a complex library element.
+
+This is the paper's flagship hard case: a designer staring at the ISO
+decoder's IMDCT loop nest wondering which of the many IMDCT library
+implementations to use.  The pipeline here:
+
+1. the frontend symbolically executes the reference loop nest (loop
+   unrolling + constant propagation folds the cosine table into 648
+   exact coefficients);
+2. the block matcher checks every library element's polynomial rows
+   against the extracted block;
+3. the cheapest sufficiently-accurate element wins — with the full
+   library that is ``IppsMDCTInv_MP3_32s``; with IPP excluded it is the
+   in-house ``fixed_IMDCT`` (the Table 4 -> Table 5 transition).
+
+Run:  python examples/imdct_mapping.py
+"""
+
+from repro.library import (Library, characterize, full_library,
+                           inhouse_library, linux_math_library,
+                           reference_library)
+from repro.mapping import map_block
+from repro.mapping.flow import _imdct_block
+from repro.platform import Badge4
+
+
+def main() -> None:
+    platform = Badge4()
+    block = _imdct_block()
+    n_coeffs = sum(len(p) for p in block.outputs.values())
+    print(f"extracted block '{block.name}': {len(block.outputs)} outputs, "
+          f"{len(block.input_variables)} inputs, {n_coeffs} coefficients")
+
+    print("\n--- pass with LM + IH only (the Table 4 world) ---")
+    lm_ih = Library.union(reference_library(), linux_math_library(),
+                          inhouse_library())
+    winner, matches = map_block(block, lm_ih, platform)
+    _show(matches, winner, platform)
+
+    print("\n--- pass with LM + IH + IPP (the Table 5 world) ---")
+    winner, matches = map_block(block, full_library(), platform)
+    _show(matches, winner, platform)
+
+
+def _show(matches, winner, platform) -> None:
+    for match in matches:
+        entry = characterize(match.element, platform)
+        marker = "  <== selected" if match is winner or \
+            match.element.name == winner.element.name else ""
+        print(f"  {match.element.name:<22} {entry.seconds_per_call:>10.6f} s"
+              f"  err<{match.max_coefficient_error:.1e}{marker}")
+
+
+if __name__ == "__main__":
+    main()

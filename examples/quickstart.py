@@ -1,0 +1,53 @@
+"""Quickstart: the paper's introductory ``log`` example.
+
+Section 1 of the paper: a section of code calls ``log``; the library
+holds four implementations (double, float, fixed-point via bit
+manipulation, fixed-point via polynomial expansion), each with its own
+accuracy/performance/energy trade-off.  Instead of a designer testing
+each by hand, the methodology characterizes all four and picks the
+best one that satisfies the accuracy requirement.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.library import characterize_library, full_library
+from repro.platform import Badge4
+
+
+def choose_log(max_error: float):
+    """The automated version of the designer's iterate-and-measure loop."""
+    platform = Badge4()
+    library = full_library()
+    characterized = characterize_library(library, platform)
+
+    candidates = []
+    for element in library.implementations_of("log"):
+        entry = characterized[element.name]
+        candidates.append((entry.seconds_per_call, element))
+    candidates.sort(key=lambda pair: pair[0])
+
+    for seconds, element in candidates:
+        if element.accuracy <= max_error:
+            return element, seconds, candidates
+    raise SystemExit("no log implementation meets the accuracy requirement")
+
+
+def main() -> None:
+    print(Badge4().describe())
+    print()
+    print("The four log implementations, characterized on Badge4:")
+    print(f"  {'element':<16} {'library':>7} {'accuracy':>10} {'time/call':>12}")
+    _, _, candidates = choose_log(max_error=1.0)
+    for seconds, element in sorted(candidates, key=lambda p: -p[0]):
+        print(f"  {element.name:<16} {element.library:>7} "
+              f"{element.accuracy:>10.1e} {seconds * 1e6:>10.2f}us")
+
+    print()
+    for requirement in (1e-12, 1e-6, 1e-2):
+        element, seconds, _ = choose_log(requirement)
+        print(f"accuracy <= {requirement:.0e}  ->  {element.name:<16} "
+              f"({seconds * 1e6:.2f} us/call)")
+
+
+if __name__ == "__main__":
+    main()

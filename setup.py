@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This environment has no ``wheel`` package and no network, so PEP 517
+editable installs (which require building a wheel) fail.  Keeping the
+packaging metadata in ``setup.cfg``/``setup.py`` lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` and plain
+``pip install -e .`` (with older pip) work fully offline.
+"""
+
+from setuptools import setup
+
+setup()

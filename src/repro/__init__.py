@@ -1,0 +1,31 @@
+"""repro — reproduction of Peymandoust, Simunic & De Micheli (DAC 2002),
+"Complex Library Mapping for Embedded Software Using Symbolic Algebra".
+
+Subpackages
+-----------
+``repro.symalg``
+    From-scratch symbolic algebra engine (the paper's Maple V role):
+    exact multivariate polynomials, Groebner bases, simplification
+    modulo side relations, Horner forms, factorization, series.
+``repro.frontend``
+    Target-code identification: restricted-Python AST -> expression
+    trees -> polynomials, with the paper's code transformations.
+``repro.library``
+    Library characterization: elements annotated with I/O format,
+    accuracy, performance, energy, and polynomial representation.
+``repro.mapping``
+    The paper's contribution: branch-and-bound library mapping via
+    symbolic simplification, plus the full 3-step methodology driver.
+``repro.platform``
+    Badge4 substitute: SA-1110-style cycle/energy cost model, DVFS,
+    profiler.
+``repro.fixedpoint``
+    In-house style Q-format fixed-point arithmetic and math kernels.
+``repro.mp3``
+    MP3-Layer-III-style decoder substrate with float/fixed/IPP-style
+    stage variants, synthetic workload generator, compliance test.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

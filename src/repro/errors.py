@@ -1,0 +1,61 @@
+"""Exception hierarchy shared across the ``repro`` package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so
+callers can distinguish library failures from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SymbolicError(ReproError):
+    """Error inside the symbolic algebra engine (``repro.symalg``)."""
+
+
+class ParseError(SymbolicError):
+    """Malformed expression text handed to the expression parser."""
+
+
+class DivisionError(SymbolicError):
+    """Invalid polynomial division request (e.g. division by zero)."""
+
+
+class GroebnerExplosion(SymbolicError):
+    """Buchberger's algorithm exceeded its configured work limits.
+
+    Groebner basis computation is worst-case doubly exponential; the
+    engine bounds basis size and pair count and raises this instead of
+    running away.  Callers (the mapping search) treat it as "this side
+    relation set is too hard" and prune the branch.
+    """
+
+
+class FrontendError(ReproError):
+    """Target-code identification failed (unsupported construct, etc.)."""
+
+
+class LibraryError(ReproError):
+    """Library characterization / catalog errors."""
+
+
+class MappingError(ReproError):
+    """Library-mapping search errors."""
+
+
+class PlatformError(ReproError):
+    """Platform (cost/energy model) configuration errors."""
+
+
+class FixedPointError(ReproError):
+    """Fixed-point format violations (overflow in saturating mode, etc.)."""
+
+
+class Mp3Error(ReproError):
+    """MP3 decoder substrate errors (bad bitstream, bad frame, ...)."""
+
+
+class ComplianceError(Mp3Error):
+    """Raised when a decoder variant fails the conformance check."""

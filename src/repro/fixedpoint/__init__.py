@@ -1,0 +1,26 @@
+"""``repro.fixedpoint`` — Q-format arithmetic and fixed-point math kernels.
+
+The "in-house pre-optimized library" of the paper: a fixed-point number
+type plus the transcendental kernels (bit-manipulation log2, polynomial
+log/exp/sin/cos, Newton sqrt, tabulated x^(4/3)) with per-call cost
+tallies for library characterization.
+"""
+
+from repro.fixedpoint.fixed import Fixed, Q15, Q16_15, Q31, Q5_26, QFormat
+from repro.fixedpoint.fxmath import (LN2, build_pow43_table, cost_fx_cos,
+                                     cost_fx_exp, cost_fx_log2_bitwise,
+                                     cost_fx_log_poly, cost_fx_pow43,
+                                     cost_fx_sin, cost_fx_sqrt, fx_cos,
+                                     fx_exp, fx_log2_bitwise, fx_log_poly,
+                                     fx_pow43, fx_sin, fx_sqrt)
+
+__all__ = [
+    "QFormat", "Fixed", "Q15", "Q31", "Q5_26", "Q16_15",
+    "fx_log2_bitwise", "cost_fx_log2_bitwise",
+    "fx_log_poly", "cost_fx_log_poly",
+    "fx_exp", "cost_fx_exp",
+    "fx_sin", "fx_cos", "cost_fx_sin", "cost_fx_cos",
+    "fx_sqrt", "cost_fx_sqrt",
+    "fx_pow43", "cost_fx_pow43", "build_pow43_table",
+    "LN2",
+]

@@ -1,0 +1,263 @@
+"""Q-format fixed-point arithmetic.
+
+The paper's manual-optimization war story (Section 2): "the designer
+first [had] to implement a fixed-point library and replace all
+floating-point operations with fixed point".  This module is that
+library.  A :class:`QFormat` fixes the word layout (sign + integer bits
++ fractional bits); a :class:`Fixed` is an immutable value in one
+format.
+
+Semantics follow what shipping ARM fixed-point kernels do:
+
+* multiplication keeps the full double-width product, then shifts back
+  with round-half-up;
+* overflow behaviour is selectable per format: ``saturate`` (DSP
+  default), ``wrap`` (C integer semantics), or ``raise`` for debugging;
+* division pre-shifts the dividend to preserve fractional precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+from repro.errors import FixedPointError
+
+__all__ = ["QFormat", "Fixed", "Q15", "Q31", "Q5_26", "Q16_15"]
+
+_MODES = ("saturate", "wrap", "raise")
+
+Number = Union[int, float, Fraction]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed fixed-point layout: 1 sign bit + ``int_bits`` + ``frac_bits``.
+
+    ``Q15`` is ``QFormat(0, 15)`` (16-bit), the classic audio sample
+    format; ``QFormat(5, 26)`` is the 32-bit layout MP3 fixed-point
+    decoders use for subband samples.
+    """
+
+    int_bits: int
+    frac_bits: int
+    overflow: str = "saturate"
+
+    def __post_init__(self) -> None:
+        if self.int_bits < 0 or self.frac_bits < 0:
+            raise FixedPointError("bit counts must be nonnegative")
+        if self.int_bits + self.frac_bits == 0:
+            raise FixedPointError("format needs at least one magnitude bit")
+        if self.overflow not in _MODES:
+            raise FixedPointError(
+                f"overflow mode {self.overflow!r} not in {_MODES}")
+
+    @property
+    def total_bits(self) -> int:
+        """Word width including the sign bit."""
+        return 1 + self.int_bits + self.frac_bits
+
+    @property
+    def scale(self) -> int:
+        """The implicit denominator 2**frac_bits."""
+        return 1 << self.frac_bits
+
+    @property
+    def raw_max(self) -> int:
+        """Largest representable raw integer."""
+        return (1 << (self.int_bits + self.frac_bits)) - 1
+
+    @property
+    def raw_min(self) -> int:
+        """Smallest (most negative) representable raw integer."""
+        return -(1 << (self.int_bits + self.frac_bits))
+
+    @property
+    def max_value(self) -> Fraction:
+        """Largest representable value."""
+        return Fraction(self.raw_max, self.scale)
+
+    @property
+    def min_value(self) -> Fraction:
+        """Smallest representable value."""
+        return Fraction(self.raw_min, self.scale)
+
+    @property
+    def epsilon(self) -> Fraction:
+        """The quantum: 2**-frac_bits."""
+        return Fraction(1, self.scale)
+
+    def clamp_raw(self, raw: int) -> int:
+        """Apply this format's overflow policy to a raw integer."""
+        if self.raw_min <= raw <= self.raw_max:
+            return raw
+        if self.overflow == "saturate":
+            return self.raw_max if raw > self.raw_max else self.raw_min
+        if self.overflow == "raise":
+            raise FixedPointError(
+                f"overflow: raw {raw} outside [{self.raw_min}, {self.raw_max}]")
+        # wrap: two's-complement truncation to total_bits.
+        mask = (1 << self.total_bits) - 1
+        wrapped = raw & mask
+        if wrapped > self.raw_max:
+            wrapped -= 1 << self.total_bits
+        return wrapped
+
+    def with_overflow(self, mode: str) -> "QFormat":
+        """Same layout, different overflow policy."""
+        return QFormat(self.int_bits, self.frac_bits, mode)
+
+    def __str__(self) -> str:
+        return f"Q{self.int_bits}.{self.frac_bits}"
+
+
+#: 16-bit audio-sample format.
+Q15 = QFormat(0, 15)
+#: 32-bit full-scale fractional format.
+Q31 = QFormat(0, 31)
+#: 32-bit MP3 subband-sample format (5 integer bits of headroom).
+Q5_26 = QFormat(5, 26)
+#: 32-bit general-purpose format for math kernels.
+Q16_15 = QFormat(16, 15)
+
+
+def _round_shift(value: int, shift: int) -> int:
+    """Arithmetic right shift with round-half-up (toward +inf)."""
+    if shift <= 0:
+        return value << (-shift)
+    add = 1 << (shift - 1)
+    return (value + add) >> shift
+
+
+class Fixed:
+    """An immutable fixed-point number in a given :class:`QFormat`."""
+
+    __slots__ = ("raw", "fmt")
+
+    def __init__(self, raw: int, fmt: QFormat):
+        object.__setattr__(self, "raw", fmt.clamp_raw(int(raw)))
+        object.__setattr__(self, "fmt", fmt)
+
+    def __setattr__(self, *args) -> None:
+        raise AttributeError("Fixed is immutable")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_float(cls, value: float, fmt: QFormat) -> "Fixed":
+        """Quantize a float (round to nearest quantum)."""
+        import math
+        raw = math.floor(value * fmt.scale + 0.5)
+        return cls(raw, fmt)
+
+    @classmethod
+    def from_fraction(cls, value: Fraction, fmt: QFormat) -> "Fixed":
+        """Quantize an exact rational."""
+        scaled = value * fmt.scale
+        raw = (scaled.numerator * 2 + scaled.denominator) // (2 * scaled.denominator)
+        return cls(raw, fmt)
+
+    @classmethod
+    def from_int(cls, value: int, fmt: QFormat) -> "Fixed":
+        """The integer ``value`` in format ``fmt``."""
+        return cls(value << fmt.frac_bits if value >= 0
+                   else -((-value) << fmt.frac_bits), fmt)
+
+    @classmethod
+    def zero(cls, fmt: QFormat) -> "Fixed":
+        return cls(0, fmt)
+
+    @classmethod
+    def one(cls, fmt: QFormat) -> "Fixed":
+        return cls.from_int(1, fmt)
+
+    # ------------------------------------------------------------------
+    def to_float(self) -> float:
+        """Back to a float."""
+        return self.raw / self.fmt.scale
+
+    def to_fraction(self) -> Fraction:
+        """Back to an exact rational."""
+        return Fraction(self.raw, self.fmt.scale)
+
+    def convert(self, fmt: QFormat) -> "Fixed":
+        """Re-quantize into another format (rounding)."""
+        diff = self.fmt.frac_bits - fmt.frac_bits
+        return Fixed(_round_shift(self.raw, diff), fmt)
+
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Union["Fixed", Number]) -> "Fixed":
+        if isinstance(other, Fixed):
+            if other.fmt.frac_bits != self.fmt.frac_bits:
+                raise FixedPointError(
+                    f"mixed formats {self.fmt} and {other.fmt}; convert() first")
+            return other
+        if isinstance(other, int):
+            return Fixed.from_int(other, self.fmt)
+        if isinstance(other, float):
+            return Fixed.from_float(other, self.fmt)
+        if isinstance(other, Fraction):
+            return Fixed.from_fraction(other, self.fmt)
+        raise FixedPointError(f"cannot mix Fixed with {type(other).__name__}")
+
+    def __add__(self, other: Union["Fixed", Number]) -> "Fixed":
+        other = self._coerce(other)
+        return Fixed(self.raw + other.raw, self.fmt)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["Fixed", Number]) -> "Fixed":
+        other = self._coerce(other)
+        return Fixed(self.raw - other.raw, self.fmt)
+
+    def __rsub__(self, other: Number) -> "Fixed":
+        return self._coerce(other) - self
+
+    def __neg__(self) -> "Fixed":
+        return Fixed(-self.raw, self.fmt)
+
+    def __mul__(self, other: Union["Fixed", Number]) -> "Fixed":
+        other = self._coerce(other)
+        product = self.raw * other.raw
+        return Fixed(_round_shift(product, self.fmt.frac_bits), self.fmt)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Fixed", Number]) -> "Fixed":
+        other = self._coerce(other)
+        if other.raw == 0:
+            raise FixedPointError("fixed-point division by zero")
+        num = self.raw << (self.fmt.frac_bits + 1)
+        quotient = num // other.raw
+        return Fixed(_round_shift(quotient, 1), self.fmt)
+
+    def __lshift__(self, bits: int) -> "Fixed":
+        return Fixed(self.raw << bits, self.fmt)
+
+    def __rshift__(self, bits: int) -> "Fixed":
+        return Fixed(self.raw >> bits, self.fmt)
+
+    def __abs__(self) -> "Fixed":
+        return Fixed(abs(self.raw), self.fmt)
+
+    # ------------------------------------------------------------------
+    def _cmp_raw(self, other: Union["Fixed", Number]) -> tuple[int, int]:
+        other = self._coerce(other)
+        return self.raw, other.raw
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (Fixed, int, float, Fraction)):
+            return NotImplemented
+        a, b = self._cmp_raw(other)  # type: ignore[arg-type]
+        return a == b
+
+    def __lt__(self, other):  a, b = self._cmp_raw(other); return a < b
+    def __le__(self, other):  a, b = self._cmp_raw(other); return a <= b
+    def __gt__(self, other):  a, b = self._cmp_raw(other); return a > b
+    def __ge__(self, other):  a, b = self._cmp_raw(other); return a >= b
+
+    def __hash__(self) -> int:
+        return hash((self.raw, self.fmt))
+
+    def __repr__(self) -> str:
+        return f"Fixed({self.to_float():.9g}, {self.fmt})"

@@ -1,0 +1,282 @@
+"""Fixed-point math kernels (the "in-house pre-optimized routines").
+
+The paper's intro example characterizes four ``log`` implementations:
+double, float, *fixed point using a simple bit manipulation algorithm*
+(Crenshaw's toolkit, ref. [14]) and *fixed point using polynomial
+expansion*.  This module implements the fixed-point side of that
+library, plus the kernels the fixed-point MP3 stages need
+(``exp``/``sin``/``cos``/``sqrt``/``x^(4/3)``).
+
+Every kernel ``fx_foo`` has a companion ``cost_fx_foo`` returning the
+:class:`~repro.platform.tally.OperationTally` one call executes on the
+target — that is the "performance" column of library characterization,
+priced by the processor model.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.errors import FixedPointError
+from repro.fixedpoint.fixed import Fixed, QFormat, Q16_15
+from repro.platform.tally import OperationTally
+
+__all__ = [
+    "fx_log2_bitwise", "cost_fx_log2_bitwise",
+    "fx_log_poly", "cost_fx_log_poly",
+    "fx_exp", "cost_fx_exp",
+    "fx_sin", "fx_cos", "cost_fx_sin", "cost_fx_cos",
+    "fx_sqrt", "cost_fx_sqrt",
+    "fx_pow43", "cost_fx_pow43", "build_pow43_table",
+    "LN2", "LOG_POLY_COEFFS", "EXP_POLY_COEFFS", "SIN_POLY_COEFFS",
+]
+
+#: ln(2) to ample precision for fixed conversion.
+LN2 = Fraction(693147180559945309, 10 ** 18)
+
+#: Minimax-ish coefficients for log(1+t) on [0, 1] (degree 6 Chebyshev-derived).
+LOG_POLY_COEFFS = (
+    Fraction(0),
+    Fraction(999849, 10 ** 6),
+    Fraction(-494592, 10 ** 6),
+    Fraction(318212, 10 ** 6),
+    Fraction(-193376, 10 ** 6),
+    Fraction(84183, 10 ** 6),
+    Fraction(-17492, 10 ** 6),
+)
+
+#: exp(r) on [-ln2/2, ln2/2]: plain Taylor degree 5 is ample at Q15.
+EXP_POLY_COEFFS = tuple(Fraction(1, math.factorial(n)) for n in range(6))
+
+#: sin(r)/r expressed in r^2 on [-pi/2, pi/2] (degree 3 in r^2).
+SIN_POLY_COEFFS = (
+    Fraction(1),
+    Fraction(-1, 6),
+    Fraction(1, 120),
+    Fraction(-1, 5040),
+)
+
+
+def _poly_eval_fixed(coeffs, t: Fixed) -> Fixed:
+    """Horner-evaluate rational coefficients at a fixed-point argument."""
+    acc = Fixed.from_fraction(coeffs[-1], t.fmt)
+    for c in reversed(coeffs[:-1]):
+        acc = acc * t + Fixed.from_fraction(c, t.fmt)
+    return acc
+
+
+# ----------------------------------------------------------------------
+# log2 via bit manipulation (Crenshaw-style)
+# ----------------------------------------------------------------------
+def fx_log2_bitwise(x: Fixed, frac_iterations: int | None = None) -> Fixed:
+    """Base-2 logarithm by shift-and-square bit extraction.
+
+    The "simple bit manipulation algorithm" of the paper's library:
+    normalize ``x`` to ``m in [1, 2)`` counting the exponent, then
+    extract fractional bits one at a time by squaring the mantissa —
+    no multiply-free tricks spared, no polynomial involved.
+    """
+    if x.raw <= 0:
+        raise FixedPointError("log2 of non-positive fixed-point value")
+    fmt = x.fmt
+    iterations = frac_iterations if frac_iterations is not None else fmt.frac_bits
+
+    # Normalize: find e with  x = m * 2^e,  m in [1, 2).
+    exponent = 0
+    raw = x.raw
+    one = fmt.scale
+    while raw >= 2 * one:
+        raw >>= 1
+        exponent += 1
+    while raw < one:
+        raw <<= 1
+        exponent -= 1
+
+    # Extract fractional bits: repeatedly square the mantissa.
+    frac_raw = 0
+    work = raw
+    for _ in range(iterations):
+        frac_raw <<= 1
+        work = (work * work) >> fmt.frac_bits
+        if work >= 2 * one:
+            work >>= 1
+            frac_raw |= 1
+    result = (exponent << fmt.frac_bits) + (
+        (frac_raw << fmt.frac_bits) >> iterations)
+    return Fixed(result, fmt)
+
+
+def cost_fx_log2_bitwise(fmt: QFormat = Q16_15,
+                         frac_iterations: int | None = None) -> OperationTally:
+    """Per-call operation tally of :func:`fx_log2_bitwise`."""
+    iters = frac_iterations if frac_iterations is not None else fmt.frac_bits
+    norm = fmt.int_bits + 2  # expected normalize shifts
+    return OperationTally(
+        int_alu=2 * iters + norm + 4,
+        int_mul=iters,          # one square per fractional bit
+        shift=3 * iters + norm + 2,
+        branch=2 * iters + norm + 2,
+        call=1,
+    )
+
+
+# ----------------------------------------------------------------------
+# log via polynomial expansion
+# ----------------------------------------------------------------------
+def fx_log_poly(x: Fixed) -> Fixed:
+    """Natural log: normalize to [1, 2), degree-6 polynomial, scale by ln 2."""
+    if x.raw <= 0:
+        raise FixedPointError("log of non-positive fixed-point value")
+    fmt = x.fmt
+    exponent = 0
+    raw = x.raw
+    one = fmt.scale
+    while raw >= 2 * one:
+        raw >>= 1
+        exponent += 1
+    while raw < one:
+        raw <<= 1
+        exponent -= 1
+    t = Fixed(raw - one, fmt)                       # t = m - 1 in [0, 1)
+    log_m = _poly_eval_fixed(LOG_POLY_COEFFS, t)     # log(1 + t)
+    ln2 = Fixed.from_fraction(LN2, fmt)
+    return log_m + ln2 * Fixed.from_int(exponent, fmt)
+
+
+def cost_fx_log_poly(fmt: QFormat = Q16_15) -> OperationTally:
+    """Per-call tally of :func:`fx_log_poly` (degree-6 Horner + normalize)."""
+    degree = len(LOG_POLY_COEFFS) - 1
+    norm = fmt.int_bits + 2
+    return OperationTally(
+        int_alu=degree + norm + 4,
+        int_mul=degree + 1,     # Horner muls + exponent*ln2
+        shift=degree + norm + 2,  # product renormalization shifts
+        branch=norm + 1,
+        load=degree + 1,        # coefficient fetches
+        call=1,
+    )
+
+
+# ----------------------------------------------------------------------
+# exp via range reduction + polynomial
+# ----------------------------------------------------------------------
+def fx_exp(x: Fixed) -> Fixed:
+    """exp(x):  x = k ln2 + r,  e^x = 2^k * poly(r)."""
+    fmt = x.fmt
+    ln2 = Fixed.from_fraction(LN2, fmt)
+    k = int(round(x.to_float() / float(LN2)))
+    r = x - ln2 * Fixed.from_int(k, fmt)
+    poly = _poly_eval_fixed(EXP_POLY_COEFFS, r)
+    if k >= 0:
+        return poly << k
+    return poly >> (-k)
+
+
+def cost_fx_exp(fmt: QFormat = Q16_15) -> OperationTally:
+    degree = len(EXP_POLY_COEFFS) - 1
+    return OperationTally(
+        int_alu=degree + 5,
+        int_mul=degree + 2,
+        int_div=1,              # k = x / ln2
+        shift=degree + 2,
+        branch=2,
+        load=degree + 1,
+        call=1,
+    )
+
+
+# ----------------------------------------------------------------------
+# sin / cos via range reduction + odd polynomial
+# ----------------------------------------------------------------------
+def fx_sin(x: Fixed) -> Fixed:
+    """sin(x) with range reduction to [-pi, pi] and an odd polynomial."""
+    fmt = x.fmt
+    two_pi = 2 * math.pi
+    value = x.to_float()
+    reduced = math.remainder(value, two_pi)
+    # Fold into [-pi/2, pi/2] where the polynomial is accurate; the
+    # identities sin(pi - r) = sin(r) keep the sign intact.
+    if reduced > math.pi / 2:
+        reduced = math.pi - reduced
+    elif reduced < -math.pi / 2:
+        reduced = -math.pi - reduced
+    r = Fixed.from_float(reduced, fmt)
+    r2 = r * r
+    poly = _poly_eval_fixed(SIN_POLY_COEFFS, r2)
+    return r * poly
+
+
+def fx_cos(x: Fixed) -> Fixed:
+    """cos(x) = sin(x + pi/2)."""
+    half_pi = Fixed.from_float(math.pi / 2, x.fmt)
+    return fx_sin(x + half_pi)
+
+
+def cost_fx_sin(fmt: QFormat = Q16_15) -> OperationTally:
+    degree = len(SIN_POLY_COEFFS) - 1
+    return OperationTally(
+        int_alu=degree + 6,
+        int_mul=degree + 2,     # r2, Horner, final r*poly
+        int_div=1,              # range reduction
+        shift=degree + 2,
+        branch=3,
+        load=degree + 1,
+        call=1,
+    )
+
+
+def cost_fx_cos(fmt: QFormat = Q16_15) -> OperationTally:
+    tally = cost_fx_sin(fmt)
+    tally.int_alu += 1
+    return tally
+
+
+# ----------------------------------------------------------------------
+# sqrt via integer Newton iteration
+# ----------------------------------------------------------------------
+def fx_sqrt(x: Fixed, iterations: int = 12) -> Fixed:
+    """sqrt(x) by Newton's method on the raw integer."""
+    if x.raw < 0:
+        raise FixedPointError("sqrt of negative fixed-point value")
+    if x.raw == 0:
+        return Fixed(0, x.fmt)
+    target = x.raw << x.fmt.frac_bits      # sqrt(raw * scale) = result raw
+    guess = 1 << ((target.bit_length() + 1) // 2)
+    for _ in range(iterations):
+        guess = (guess + target // guess) >> 1
+    return Fixed(guess, x.fmt)
+
+
+def cost_fx_sqrt(fmt: QFormat = Q16_15, iterations: int = 12) -> OperationTally:
+    return OperationTally(
+        int_alu=2 * iterations + 3,
+        int_div=iterations,
+        shift=iterations + 2,
+        branch=iterations + 1,
+        call=1,
+    )
+
+
+# ----------------------------------------------------------------------
+# x^(4/3) for MP3 requantization
+# ----------------------------------------------------------------------
+def build_pow43_table(size: int, fmt: QFormat) -> list[Fixed]:
+    """Precompute ``n^(4/3)`` for ``n in [0, size)`` (decoder init step)."""
+    return [Fixed.from_float(float(n) ** (4.0 / 3.0), fmt) for n in range(size)]
+
+
+def fx_pow43(n: int, table: list[Fixed]) -> Fixed:
+    """Requantization kernel: table lookup for ``n^(4/3)``, |n| < len(table)."""
+    if n >= 0:
+        if n >= len(table):
+            raise FixedPointError(f"pow43 table too small for {n}")
+        return table[n]
+    if -n >= len(table):
+        raise FixedPointError(f"pow43 table too small for {n}")
+    return -table[-n]
+
+
+def cost_fx_pow43() -> OperationTally:
+    """Per-sample tally: one guarded table lookup."""
+    return OperationTally(int_alu=1, load=1, branch=1)

@@ -1,0 +1,13 @@
+"""``repro.frontend`` — target code identification (Section 3.2).
+
+Symbolic execution of a restricted imperative subset turns critical
+kernels into polynomials, performing the paper's loop unrolling,
+constant/variable propagation, conditional expansion and model
+expansion along the way.
+"""
+
+from repro.frontend.extract import (MATH_FUNCTIONS, ArrayInput,
+                                    SymbolicInput, TargetBlock, extract_block)
+
+__all__ = ["SymbolicInput", "ArrayInput", "TargetBlock", "extract_block",
+           "MATH_FUNCTIONS"]

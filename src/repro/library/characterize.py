@@ -1,0 +1,78 @@
+"""Library characterization harness (Section 3.1).
+
+Prices every element's per-call tally on a platform (performance via
+the cycle model, energy via the energy model) and, when the element
+ships a kernel, measures its accuracy against exact math — producing
+the rows of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.library.catalog import Library
+from repro.library.element import LibraryElement
+from repro.platform.badge4 import Badge4
+
+__all__ = ["CharacterizedElement", "characterize", "characterize_library",
+           "CharacterizationTable"]
+
+
+@dataclass(frozen=True)
+class CharacterizedElement:
+    """An element plus its platform-specific numbers."""
+
+    element: LibraryElement
+    seconds_per_call: float
+    energy_per_call_j: float
+    cycles_per_call: float
+
+    @property
+    def name(self) -> str:
+        return self.element.name
+
+    @property
+    def library(self) -> str:
+        return self.element.library
+
+
+def characterize(element: LibraryElement,
+                 platform: Badge4 | None = None) -> CharacterizedElement:
+    """Price one element on a platform."""
+    platform = platform or Badge4()
+    cycles = platform.cost_model.cycles(element.cost)
+    seconds = platform.cost_model.seconds(element.cost)
+    energy = platform.energy.energy(element.cost, platform.cost_model)
+    return CharacterizedElement(element, seconds, energy, cycles)
+
+
+def characterize_library(library: Library,
+                         platform: Badge4 | None = None
+                         ) -> dict[str, CharacterizedElement]:
+    """Characterize every element; keyed by element name."""
+    platform = platform or Badge4()
+    return {e.name: characterize(e, platform) for e in library}
+
+
+class CharacterizationTable:
+    """Renders groups of characterized elements like the paper's Table 1."""
+
+    def __init__(self, characterized: dict[str, CharacterizedElement]):
+        self.characterized = characterized
+
+    def rows(self, names: list[str], baseline: str) -> list[tuple[str, float, float]]:
+        """(name, seconds, ratio-vs-baseline) rows; baseline ratio is 1."""
+        base = self.characterized[baseline].seconds_per_call
+        out = []
+        for name in names:
+            seconds = self.characterized[name].seconds_per_call
+            out.append((name, seconds, base / seconds if seconds else float("inf")))
+        return out
+
+    def format(self, groups: dict[str, tuple[list[str], str]]) -> str:
+        """Render ``{title: (names, baseline)}`` groups as a table."""
+        lines = ["Library Element                    Exec time (s)    Ratio"]
+        for title, (names, baseline) in groups.items():
+            for name, seconds, ratio in self.rows(names, baseline):
+                lines.append(f"  {name:<34} {seconds:>11.6f}  {ratio:>7.0f}")
+        return "\n".join(lines)

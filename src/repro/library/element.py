@@ -1,0 +1,107 @@
+"""Library elements: the unit of characterization (Section 3.1).
+
+Each element is labeled with exactly what the paper lists: "the type of
+inputs and outputs, performance, accuracy, energy consumption, and
+finally the polynomial representation".
+
+The polynomial representation lives over *formal* input names
+(``in0``, ``in1``, ...); multi-output elements (IMDCT, subband
+synthesis matrixing) carry one polynomial per output.  The mapping
+layer instantiates formals against the target's variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import LibraryError
+from repro.platform.tally import OperationTally
+from repro.symalg.polynomial import Polynomial
+
+__all__ = ["LibraryElement", "formal_inputs"]
+
+
+def formal_inputs(count: int) -> tuple[str, ...]:
+    """The canonical formal input names ``in0..in{count-1}``."""
+    return tuple(f"in{i}" for i in range(count))
+
+
+@dataclass(frozen=True)
+class LibraryElement:
+    """One characterized library element.
+
+    Attributes
+    ----------
+    name:
+        The callable's name (e.g. ``ippsSynthPQMF_MP3_32s16s``).
+    library:
+        Which library it belongs to: ``LM`` (Linux math), ``IH``
+        (in-house), ``IPP`` (Intel primitives) or ``REF`` (the
+        open-source reference implementation).
+    polynomials:
+        Polynomial representation, one per output, over formal inputs
+        ``in0..`` (coefficients may be exact rationals of the element's
+        numeric constants, e.g. cosine-table entries).
+    input_format / output_format:
+        Data formats, from the include files ("double", "q5.26", ...).
+    accuracy:
+        Max absolute error versus exact math on the element's domain.
+    cost:
+        Per-call operation tally (prices to seconds/Joules on a
+        platform via characterization).
+    kernel:
+        Optional executable implementation used by the
+        characterization harness and the rewriter.
+    """
+
+    name: str
+    library: str
+    polynomials: tuple[Polynomial, ...]
+    input_format: str
+    output_format: str
+    accuracy: float
+    cost: OperationTally
+    kernel: Callable | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.polynomials:
+            raise LibraryError(f"element {self.name} has no polynomial representation")
+        if self.library not in ("LM", "IH", "IPP", "REF"):
+            raise LibraryError(f"unknown library tag {self.library!r}")
+        if self.accuracy < 0:
+            raise LibraryError("accuracy must be nonnegative")
+
+    @property
+    def polynomial(self) -> Polynomial:
+        """The single polynomial of a scalar element."""
+        if len(self.polynomials) != 1:
+            raise LibraryError(
+                f"{self.name} has {len(self.polynomials)} outputs; use .polynomials")
+        return self.polynomials[0]
+
+    @property
+    def n_outputs(self) -> int:
+        return len(self.polynomials)
+
+    @property
+    def formals(self) -> tuple[str, ...]:
+        """Formal input names used across the polynomials, sorted by index."""
+        names: set[str] = set()
+        for poly in self.polynomials:
+            names.update(poly.variables)
+        return tuple(sorted(names, key=lambda n: (len(n), n)))
+
+    @property
+    def arity(self) -> int:
+        return len(self.formals)
+
+    def output_symbol(self, index: int = 0) -> str:
+        """The fresh symbol the mapper introduces for output ``index``."""
+        if self.n_outputs == 1:
+            return f"{self.name}_out"
+        return f"{self.name}_out{index}"
+
+    def __str__(self) -> str:
+        return f"{self.library}:{self.name}"

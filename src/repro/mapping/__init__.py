@@ -1,0 +1,25 @@
+"""``repro.mapping`` — the paper's contribution (Section 3.3).
+
+Branch-and-bound decomposition of target polynomials into complex
+library elements via simplification modulo side relations, candidate
+generation by symbolic manipulation, block matching for multi-output
+elements, code rewriting, and the full three-step methodology driver.
+"""
+
+from repro.mapping.candidates import (CandidateForm, all_manipulations,
+                                      structural_hints)
+from repro.mapping.decompose import (DecomposeResult, MappingSolution,
+                                     decompose, map_block, residual_cost)
+from repro.mapping.flow import FlowReport, MappingPass, MethodologyFlow
+from repro.mapping.match import (BlockMatch, Instantiation,
+                                 enumerate_instantiations, match_block)
+from repro.mapping.rewriter import MappedProgram, rewrite
+
+__all__ = [
+    "Instantiation", "BlockMatch", "enumerate_instantiations", "match_block",
+    "CandidateForm", "all_manipulations", "structural_hints",
+    "decompose", "map_block", "MappingSolution", "DecomposeResult",
+    "residual_cost",
+    "rewrite", "MappedProgram",
+    "MethodologyFlow", "MappingPass", "FlowReport",
+]

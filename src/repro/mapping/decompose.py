@@ -1,0 +1,292 @@
+"""The library-mapping algorithm (Table 2 of the paper).
+
+``decompose`` searches for a cover of the target polynomial by library
+elements:
+
+* the *solution tree* holds partially simplified forms; the root is the
+  target (after ``AllManipulations`` seeding);
+* each edge applies one side relation — an instantiated library element
+  — via ``simplify`` modulo the side-relation ideal (Groebner normal
+  form with the program variables outranking the element-output
+  symbols);
+* a node whose polynomial contains no program variables is a solution:
+  the target is expressed entirely over element outputs (plus a cheap
+  residual combination);
+* the bound is the best cost seen so far, initialized with the cost of
+  *not* mapping (evaluating the target itself, Horner-form, at
+  reference prices) — ``boundVal[i] = Performance(exp_tree[i])`` in the
+  paper's pseudo-code; branches whose element cost alone exceeds it are
+  pruned.
+
+Worst case remains exponential (the paper says so too); node and depth
+limits keep practice polite.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import GroebnerExplosion
+from repro.frontend.extract import TargetBlock
+from repro.library.catalog import Library
+from repro.library.element import LibraryElement
+from repro.mapping.candidates import structural_hints
+from repro.mapping.match import (BlockMatch, Instantiation,
+                                 enumerate_instantiations, match_block)
+from repro.platform.badge4 import Badge4
+from repro.platform.tally import OperationTally
+from repro.symalg.horner import horner
+from repro.symalg.ideal import simplify_modulo
+from repro.symalg.polynomial import Polynomial
+
+__all__ = ["MappingSolution", "DecomposeResult", "decompose", "map_block",
+           "residual_cost"]
+
+
+def residual_cost(poly: Polynomial, platform: Badge4) -> float:
+    """Cycles to evaluate ``poly`` as generic (reference-grade) code.
+
+    Horner-form operation counts priced as soft-float ops: the cost of
+    leaving this piece of the target unmapped.
+    """
+    if poly.is_zero() or poly.is_constant():
+        return 0.0
+    count = horner(poly).op_count()
+    tally = OperationTally(fp_add=count.adds, fp_mul=count.muls,
+                           fp_div=count.divs)
+    tally.call += count.calls
+    return platform.cost_model.cycles(tally)
+
+
+@dataclass(frozen=True)
+class MappingSolution:
+    """A cover: the elements applied and the residual glue polynomial."""
+
+    steps: tuple[Instantiation, ...]
+    residual: Polynomial
+    element_cycles: float
+    residual_cycles: float
+    accuracy_loss: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.element_cycles + self.residual_cycles
+
+    def element_names(self) -> list[str]:
+        return [step.element.name for step in self.steps]
+
+    def describe(self) -> str:
+        if not self.steps:
+            return f"unmapped (residual {self.residual})"
+        used = " + ".join(str(s) for s in self.steps)
+        return f"{used}; residual = {self.residual}"
+
+
+@dataclass
+class DecomposeResult:
+    """Search outcome plus statistics (for the Table 2 runtime bench)."""
+
+    best: MappingSolution
+    nodes_explored: int
+    solutions_found: int
+    pruned: int
+
+    @property
+    def mapped(self) -> bool:
+        return bool(self.best.steps)
+
+
+@dataclass(order=True)
+class _Node:
+    priority: float
+    counter: int
+    polynomial: Polynomial = field(compare=False)
+    steps: tuple[Instantiation, ...] = field(compare=False)
+    cost: float = field(compare=False)
+    accuracy: float = field(compare=False)
+
+
+def decompose(target: Polynomial, library: Library,
+              platform: Badge4 | None = None,
+              *,
+              tolerance: float = 1e-9,
+              accuracy_budget: float = float("inf"),
+              max_depth: int = 3,
+              max_nodes: int = 500,
+              use_hints: bool = True,
+              use_bounding: bool = True) -> DecomposeResult:
+    """Map ``target`` into ``library`` elements (Table 2's ``Decompose``).
+
+    Returns the best-cost solution with sufficient accuracy; if no
+    element helps, the result is the unmapped solution (residual ==
+    target).
+
+    ``use_hints`` / ``use_bounding`` exist for ablation: they disable
+    the manipulation-guided candidate ordering and the branch-and-bound
+    cost pruning respectively (both on in the paper's algorithm).
+    """
+    platform = platform or Badge4()
+    program_vars = frozenset(target.variables)
+    hints = structural_hints(target) if use_hints else []
+
+    unmapped = MappingSolution(
+        steps=(), residual=target, element_cycles=0.0,
+        residual_cycles=residual_cost(target, platform), accuracy_loss=0.0)
+    best = unmapped
+    bound = unmapped.total_cycles
+
+    counter = itertools.count()
+    root = _Node(0.0, next(counter), target, (), 0.0, 0.0)
+    frontier: list[_Node] = [root]
+    explored = 0
+    solutions = 1     # the unmapped fallback counts as found
+    pruned = 0
+
+    while frontier and explored < max_nodes:
+        node = heapq.heappop(frontier)
+        explored += 1
+
+        if node.steps:
+            # Every simplified form is a candidate solution: the residual
+            # (which may still involve program variables, as in the
+            # paper's  x + y^2*x*p  example) is priced as generic code.
+            res_cycles = residual_cost(node.polynomial, platform)
+            total = node.cost + res_cycles
+            solutions += 1
+            if total < bound and node.accuracy <= accuracy_budget:
+                bound = total
+                best = MappingSolution(node.steps, node.polynomial,
+                                       node.cost, res_cycles, node.accuracy)
+
+        residual_vars = program_vars & set(node.polynomial.variables)
+        if not residual_vars:
+            continue  # fully covered: no further side relation can help
+        if len(node.steps) >= max_depth:
+            continue
+
+        for inst in _candidate_instantiations(node.polynomial, library,
+                                              program_vars, hints,
+                                              tolerance):
+            if len(node.steps):
+                # Fresh output symbol per application along this path.
+                from dataclasses import replace
+                inst = replace(inst, tag=str(len(node.steps)))
+            element_cycles = platform.cost_model.cycles(inst.element.cost)
+            cost = node.cost + element_cycles
+            if use_bounding and cost >= bound:
+                pruned += 1
+                continue
+            accuracy = node.accuracy + inst.element.accuracy
+            if accuracy > accuracy_budget:
+                pruned += 1
+                continue
+
+            # The paper's "within an acceptable tolerance" test: if the
+            # bound element polynomial approximates the node wholesale
+            # (e.g. the node is a truncation of the element's series),
+            # accept an approximate full cover, charging the distance
+            # to the accuracy budget.
+            bound_poly = inst.bound_polynomial()
+            distance = bound_poly.max_coefficient_distance(node.polynomial)
+            allowed = max(inst.element.accuracy, tolerance)
+            if 0 < distance <= allowed:
+                approx_accuracy = accuracy + distance
+                if approx_accuracy <= accuracy_budget:
+                    heapq.heappush(frontier, _Node(
+                        cost, next(counter),
+                        Polynomial.variable(inst.output_symbol),
+                        node.steps + (inst,), cost, approx_accuracy))
+                    continue
+
+            order = _elimination_order(node.polynomial, program_vars, inst)
+            try:
+                result = simplify_modulo(node.polynomial,
+                                         [inst.side_relation()],
+                                         order)
+            except GroebnerExplosion:
+                pruned += 1
+                continue
+            if result == node.polynomial:
+                continue  # the element did not participate
+            heapq.heappush(frontier, _Node(
+                cost, next(counter), result,
+                node.steps + (inst,), cost, accuracy))
+
+    return DecomposeResult(best, explored, solutions, pruned)
+
+
+def _elimination_order(poly: Polynomial, program_vars: frozenset[str],
+                       inst: Instantiation) -> list[str]:
+    """Program variables outrank every element-output symbol."""
+    true_vars = sorted(set(poly.variables) & program_vars)
+    rel_vars = sorted((set(inst.side_relation().polynomial.variables)
+                       & program_vars) - set(true_vars))
+    symbols = sorted(set(poly.variables) - program_vars)
+    return true_vars + rel_vars + symbols + [inst.output_symbol]
+
+
+def _candidate_instantiations(poly: Polynomial, library: Library,
+                              program_vars: frozenset[str],
+                              hints: list[Polynomial],
+                              tolerance: float) -> list[Instantiation]:
+    """Side-relation candidates for one node, best-first.
+
+    Ranking implements the paper's guidance: relations whose bound
+    polynomial *is* the node (exact cover) come first, then relations
+    matching a structural hint from ``AllManipulations``, then the rest
+    by ascending element cost.
+    """
+    remaining = set(poly.variables) & program_vars
+    if not remaining:
+        return []
+    scored: list[tuple[int, float, Instantiation]] = []
+    for element in library:
+        if element.n_outputs > 1:
+            continue  # block elements are handled by map_block
+        for inst in enumerate_instantiations(element, poly, tolerance):
+            # Bindings may reference earlier element outputs (MAC-style
+            # chaining); application tagging keeps symbols fresh, so
+            # self-referential relations cannot arise.
+            bound_poly = inst.bound_polynomial()
+            if not set(bound_poly.variables) & remaining:
+                continue
+            if bound_poly.almost_equal(poly, tolerance):
+                rank = 0
+            elif any(bound_poly.almost_equal(h, tolerance) for h in hints):
+                rank = 1
+            else:
+                rank = 2
+            scored.append((rank, float(element.cost.total_ops()), inst))
+    scored.sort(key=lambda t: (t[0], t[1]))
+    return [inst for _, _, inst in scored[:24]]
+
+
+def map_block(block: TargetBlock, library: Library,
+              platform: Badge4 | None = None,
+              *,
+              tolerance: float = 1e-6,
+              accuracy_budget: float = float("inf")
+              ) -> tuple[BlockMatch | None, list[BlockMatch]]:
+    """Map a multi-output block to the cheapest adequate complex element.
+
+    This is the one-step matching that sends the IMDCT loop nest to
+    ``IppsMDCTInv_MP3_32s``: every candidate element whose rows match
+    the block's polynomials within tolerance is characterized, and the
+    cheapest with sufficient accuracy wins.
+
+    Returns ``(winner_or_None, all_matches)``.
+    """
+    platform = platform or Badge4()
+    matches: list[BlockMatch] = []
+    for element in library:
+        if element.n_outputs != len(block.outputs):
+            continue
+        found = match_block(element, block, tolerance)
+        if found is not None and element.accuracy <= accuracy_budget:
+            matches.append(found)
+    if not matches:
+        return None, []
+    matches.sort(key=lambda m: platform.cost_model.cycles(m.element.cost))
+    return matches[0], matches

@@ -1,0 +1,247 @@
+"""The full three-step methodology applied to the MP3 decoder (Section 4).
+
+``MethodologyFlow`` runs exactly the paper's loop:
+
+1. **Library characterization** — price every element of the active
+   libraries on the Badge4 model.
+2. **Target code identification** — decode a stream with the current
+   decoder, profile it, pick the critical functions, and formulate
+   their polynomials (the complex stages via the frontend on
+   reference-style kernel sources).
+3. **Library mapping** — match each critical block against the active
+   libraries (``map_block`` for the complex elements); rebuild the
+   decoder with the chosen elements; verify compliance; re-profile.
+
+Calling :meth:`run_passes` with the paper's library ladder (LM+IH, then
+LM+IH+IPP) regenerates Tables 4, 5 and 6 mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.frontend.extract import ArrayInput, TargetBlock, extract_block
+from repro.library.builtin import (inhouse_library, ipp_library,
+                                   linux_math_library, reference_library)
+from repro.library.catalog import Library
+from repro.mapping.decompose import map_block
+from repro.mp3.compliance import ComplianceReport, check_compliance
+from repro.mp3.decoder import DecoderConfig, Mp3Decoder
+from repro.mp3.synth_stream import EncodedStream
+from repro.mp3.tables import IMDCT_COS_36, POLYPHASE_N
+from repro.platform.badge4 import Badge4
+from repro.platform.profiler import ProfileReport
+
+__all__ = ["MethodologyFlow", "MappingPass", "FlowReport"]
+
+#: Reference kernel for the IMDCT loop nest (Equation 1), in the
+#: frontend's restricted subset.  The cosine table arrives as constants.
+_IMDCT_KERNEL = """
+def inv_mdct_long(y, c):
+    out = [0] * 36
+    for i in range(36):
+        s = 0
+        for k in range(18):
+            s = s + c[i][k] * y[k]
+        out[i] = s
+    return out
+"""
+
+#: Reference kernel for the polyphase matrixing core.
+_MATRIXING_KERNEL = """
+def subband_matrixing(s, n):
+    v = [0] * 64
+    for i in range(64):
+        acc = 0
+        for k in range(32):
+            acc = acc + n[i][k] * s[k]
+        v[i] = acc
+    return v
+"""
+
+
+def _imdct_block() -> TargetBlock:
+    return extract_block(
+        _IMDCT_KERNEL,
+        [ArrayInput("y", (18,)),
+         ArrayInput("c", (36, 18), values=IMDCT_COS_36.tolist())],
+        name="inv_mdctL")
+
+
+def _matrixing_block() -> TargetBlock:
+    return extract_block(
+        _MATRIXING_KERNEL,
+        [ArrayInput("s", (32,)),
+         ArrayInput("n", (64, 32), values=POLYPHASE_N.tolist())],
+        name="SubBandSynthesis")
+
+
+#: element name -> (DecoderConfig field, variant value)
+_ELEMENT_TO_STAGE = {
+    "float_IMDCT": ("imdct", "float"),
+    "fixed_IMDCT": ("imdct", "fixed"),
+    "IppsMDCTInv_MP3_32s": ("imdct", "ipp"),
+    "float_SubBandSyn": ("synthesis", "float"),
+    "fixed_SubBandSyn": ("synthesis", "fixed_fast"),
+    "ippsSynthPQMF_MP3_32s16s": ("synthesis", "ipp"),
+}
+
+
+@dataclass
+class MappingPass:
+    """One mapping pass: libraries used, choices made, results."""
+
+    name: str
+    libraries: tuple[str, ...]
+    config: DecoderConfig
+    chosen_elements: dict[str, str]
+    profile: ProfileReport
+    compliance: ComplianceReport
+    seconds: float
+    energy_j: float
+
+
+@dataclass
+class FlowReport:
+    """Everything the flow produced, in pass order."""
+
+    passes: list[MappingPass] = field(default_factory=list)
+
+    def pass_named(self, name: str) -> MappingPass:
+        for p in self.passes:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def speedup_ladder(self) -> list[tuple[str, float, float]]:
+        """(name, perf factor, energy factor) versus the first pass."""
+        base = self.passes[0]
+        return [(p.name, base.seconds / p.seconds,
+                 base.energy_j / p.energy_j) for p in self.passes]
+
+
+class MethodologyFlow:
+    """Drives characterize -> identify -> map on the MP3 decoder."""
+
+    def __init__(self, platform: Badge4 | None = None,
+                 critical_threshold_percent: float = 5.0):
+        self.platform = platform or Badge4()
+        self.threshold = critical_threshold_percent
+        self._blocks = {
+            "inv_mdctL": _imdct_block(),
+            "SubBandSynthesis": _matrixing_block(),
+        }
+
+    # -- step 2: profiling ------------------------------------------------
+    def profile(self, config: DecoderConfig,
+                stream: EncodedStream) -> tuple[ProfileReport, np.ndarray]:
+        decoder = Mp3Decoder(config, self.platform.profiler())
+        pcm = decoder.decode(stream)
+        return decoder.profiler.report(), pcm
+
+    def critical_functions(self, report: ProfileReport) -> list[str]:
+        """Functions above the criticality threshold, hottest first."""
+        return [row.name for row in report.rows
+                if row.percent >= self.threshold]
+
+    # -- step 3: mapping ---------------------------------------------------
+    def map_decoder(self, library: Library, base: DecoderConfig,
+                    critical: list[str], pass_name: str
+                    ) -> tuple[DecoderConfig, dict[str, str]]:
+        """Choose elements for the critical complex stages.
+
+        Scalar stages (requantization, stereo) follow the best grade the
+        active libraries provide: IH libraries carry the fixed-point
+        table/kernel replacements for the libm calls.
+        """
+        chosen: dict[str, str] = {}
+        fields = {"dequantize": base.dequantize, "stereo": base.stereo,
+                  "antialias": base.antialias, "imdct": base.imdct,
+                  "synthesis": base.synthesis}
+
+        has_ih = any(e.library == "IH" for e in library)
+        if has_ih:
+            # pow/exp/log family mapped onto fixed kernels: the front-end
+            # stages leave double-precision libm behind.
+            for stage in ("dequantize", "stereo", "antialias"):
+                fields[stage] = "fixed"
+            chosen["III_dequantize_sample"] = "fx_pow43_table(IH)"
+            chosen["III_stereo"] = "fx_mac(IH)"
+            chosen["III_antialias"] = "fx_mac(IH)"
+
+        for name, block in self._blocks.items():
+            if name not in critical and f"{name} " not in critical:
+                continue
+            winner, _all = map_block(block, library, self.platform,
+                                     tolerance=1e-6)
+            if winner is None:
+                continue
+            element_name = winner.element.name
+            if element_name not in _ELEMENT_TO_STAGE:
+                raise MappingError(
+                    f"matched element {element_name} has no stage mapping")
+            stage_field, variant = _ELEMENT_TO_STAGE[element_name]
+            # Never regress: only adopt a cheaper element than current.
+            current_variant = fields[stage_field]
+            if self._variant_cycles(stage_field, variant) < \
+               self._variant_cycles(stage_field, current_variant):
+                fields[stage_field] = variant
+                chosen[name] = element_name
+        config = DecoderConfig(pass_name, huffman_grade=base.huffman_grade,
+                               **fields)
+        return config, chosen
+
+    def _variant_cycles(self, stage_field: str, variant: str) -> float:
+        from repro.library.builtin import _imdct_cost, _synthesis_cost
+        if stage_field == "imdct":
+            return self.platform.cost_model.cycles(_imdct_cost(variant))
+        if stage_field == "synthesis":
+            return self.platform.cost_model.cycles(_synthesis_cost(variant))
+        return float("inf")
+
+    # -- the whole loop ----------------------------------------------------
+    def run_passes(self, stream: EncodedStream,
+                   required_compliance: str = "limited") -> FlowReport:
+        """The paper's evaluation: Original -> LM+IH -> LM+IH+IPP."""
+        report = FlowReport()
+        reference_pcm: np.ndarray | None = None
+
+        ladder = [
+            ("Original", Library.union(reference_library())),
+            ("LM + IH mapping", Library.union(reference_library(),
+                                              linux_math_library(),
+                                              inhouse_library())),
+            ("LM + IH + IPP mapping", Library.union(reference_library(),
+                                                    linux_math_library(),
+                                                    inhouse_library(),
+                                                    ipp_library())),
+        ]
+
+        config = DecoderConfig("Original")
+        for pass_name, library in ladder:
+            if pass_name != "Original":
+                base_profile, _ = self.profile(config, stream)
+                critical = self.critical_functions(base_profile)
+                config, chosen = self.map_decoder(
+                    library, DecoderConfig("Original"), critical, pass_name)
+            else:
+                chosen = {}
+            profile, pcm = self.profile(config, stream)
+            if reference_pcm is None:
+                reference_pcm = pcm
+            compliance = check_compliance(reference_pcm, pcm)
+            compliance.require(required_compliance)
+            report.passes.append(MappingPass(
+                name=pass_name,
+                libraries=tuple(sorted({e.library for e in library})),
+                config=config,
+                chosen_elements=chosen,
+                profile=profile,
+                compliance=compliance,
+                seconds=profile.total_seconds,
+                energy_j=profile.total_energy_j,
+            ))
+        return report

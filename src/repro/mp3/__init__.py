@@ -1,0 +1,33 @@
+"""``repro.mp3`` — the MP3-Layer-III-style decoder substrate.
+
+The paper's evaluation vehicle: a structurally faithful decoder
+pipeline (sync, Huffman, requantize, stereo, reorder, antialias, IMDCT,
+hybrid overlap, polyphase synthesis) with reference-float, in-house
+fixed-point, and IPP-style implementations of every computational
+stage, a synthetic workload generator, and the MPEG-style compliance
+check.
+"""
+
+from repro.mp3.bitstream import BitReader, BitWriter
+from repro.mp3.compliance import (ComplianceLevel, ComplianceReport,
+                                  check_compliance)
+from repro.mp3.decoder import (CONFIGURATIONS, IH_IPP_FULL, IH_IPP_SUBBAND,
+                               IH_LIBRARY, IPP_MP3, IPP_SUBBAND,
+                               IPP_SUBBAND_IMDCT, ORIGINAL, DecoderConfig,
+                               Mp3Decoder)
+from repro.mp3.frame import Frame, FrameHeader, GranuleChannel
+from repro.mp3.huffman import PAIR_TABLE, HuffmanTable
+from repro.mp3.synth_stream import EncodedStream, SyntheticEncoder, make_stream
+from repro.mp3.tables import FRAME_SAMPLES, GRANULE_SAMPLES, SUBBANDS
+
+__all__ = [
+    "BitReader", "BitWriter",
+    "HuffmanTable", "PAIR_TABLE",
+    "Frame", "FrameHeader", "GranuleChannel",
+    "EncodedStream", "SyntheticEncoder", "make_stream",
+    "DecoderConfig", "Mp3Decoder", "CONFIGURATIONS",
+    "ORIGINAL", "IPP_SUBBAND", "IPP_SUBBAND_IMDCT", "IH_LIBRARY",
+    "IH_IPP_SUBBAND", "IH_IPP_FULL", "IPP_MP3",
+    "ComplianceLevel", "ComplianceReport", "check_compliance",
+    "FRAME_SAMPLES", "GRANULE_SAMPLES", "SUBBANDS",
+]

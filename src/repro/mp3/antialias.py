@@ -1,0 +1,88 @@
+"""Alias-reduction butterflies (III_antialias).
+
+Eight butterflies across each of the 31 subband boundaries:
+
+    xr'[below] = xr[below]*cs - xr[above]*ca
+    xr'[above] = xr[above]*cs + xr[below]*ca
+
+with the standard's cs/ca constants.  4 multiplies + 2 adds per
+butterfly; 248 butterflies per granule-channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mp3.costs import asm_mac_taps, float_macs, ih_adds, ih_mul_taps
+from repro.mp3.fxutil import COEF_FRAC, qround_shift, to_q
+from repro.mp3.tables import ANTIALIAS_CA, ANTIALIAS_CS, SUBBANDS
+from repro.platform.tally import OperationTally
+
+__all__ = ["antialias_float", "antialias_fixed", "antialias_asm", "VARIANTS",
+           "BUTTERFLIES_PER_GRANULE"]
+
+_SB_SIZE = 18
+#: 31 boundaries x 8 butterflies.
+BUTTERFLIES_PER_GRANULE = (SUBBANDS - 1) * 8
+
+_CS_Q = to_q(ANTIALIAS_CS, COEF_FRAC)
+_CA_Q = to_q(ANTIALIAS_CA, COEF_FRAC)
+
+
+def _butterfly_float(xr: np.ndarray) -> np.ndarray:
+    out = xr.copy()
+    for boundary in range(1, SUBBANDS):
+        base = boundary * _SB_SIZE
+        below = out[base - 8: base][::-1].copy()   # 8 lines below the boundary
+        above = out[base: base + 8].copy()
+        out[base - 8: base] = (below * ANTIALIAS_CS - above * ANTIALIAS_CA)[::-1]
+        out[base: base + 8] = above * ANTIALIAS_CS + below * ANTIALIAS_CA
+    return out
+
+
+def antialias_float(xr: np.ndarray, tally: OperationTally) -> np.ndarray:
+    """Reference double-precision butterflies."""
+    out = _butterfly_float(xr)
+    b = BUTTERFLIES_PER_GRANULE
+    float_macs(tally, muls=4 * b, adds=2 * b, loads=2 * b, stores=2 * b)
+    tally.branch += SUBBANDS
+    tally.call += 1
+    return out
+
+
+def antialias_fixed(raws: np.ndarray, tally: OperationTally) -> np.ndarray:
+    """Fixed-point butterflies on Q5.26 raws with Q1.14 constants."""
+    out = raws.copy()
+    for boundary in range(1, SUBBANDS):
+        base = boundary * _SB_SIZE
+        below = out[base - 8: base][::-1].copy()
+        above = out[base: base + 8].copy()
+        new_below = qround_shift(below * _CS_Q - above * _CA_Q, COEF_FRAC)
+        new_above = qround_shift(above * _CS_Q + below * _CA_Q, COEF_FRAC)
+        out[base - 8: base] = new_below[::-1]
+        out[base: base + 8] = new_above
+    b = BUTTERFLIES_PER_GRANULE
+    ih_mul_taps(tally, 4 * b)
+    ih_adds(tally, 2 * b)
+    tally.store += 2 * b
+    tally.branch += SUBBANDS
+    tally.call += 1
+    return out
+
+
+def antialias_asm(raws: np.ndarray, tally: OperationTally) -> np.ndarray:
+    """IPP-grade butterflies (same math, MAC pricing)."""
+    out = antialias_fixed(raws, OperationTally())
+    b = BUTTERFLIES_PER_GRANULE
+    asm_mac_taps(tally, 4 * b)
+    tally.int_alu += 2 * b
+    tally.store += 2 * b
+    tally.call += 1
+    return out
+
+
+VARIANTS = {
+    "float": (antialias_float, "float"),
+    "fixed": (antialias_fixed, "fixed"),
+    "asm": (antialias_asm, "fixed"),
+}

@@ -1,0 +1,115 @@
+"""MSB-first bitstream reader/writer with frame synchronization.
+
+"The first step in decoding MP3 stream is synchronizing the incoming
+bitstream and the decoder" (Section 2).  Frames in our synthetic
+streams are delimited by the standard-style 11-bit sync pattern
+(0x7FF) on a byte boundary, which :meth:`BitReader.seek_sync` hunts
+for exactly like a real decoder does.
+"""
+
+from __future__ import annotations
+
+from repro.errors import Mp3Error
+
+__all__ = ["BitWriter", "BitReader", "SYNC_WORD", "SYNC_BITS"]
+
+#: 11-bit frame sync pattern (all ones), as in MPEG audio.
+SYNC_WORD = 0x7FF
+SYNC_BITS = 11
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into bytes."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._bit_pos = 0  # bits used in the trailing partial byte
+
+    def write(self, value: int, bits: int) -> None:
+        """Append the low ``bits`` bits of ``value``, MSB first."""
+        if bits < 0:
+            raise Mp3Error("cannot write a negative number of bits")
+        if bits == 0:
+            return
+        if value < 0 or value >= (1 << bits):
+            raise Mp3Error(f"value {value} does not fit in {bits} bits")
+        for shift in range(bits - 1, -1, -1):
+            bit = (value >> shift) & 1
+            if self._bit_pos == 0:
+                self._bytes.append(0)
+            self._bytes[-1] |= bit << (7 - self._bit_pos)
+            self._bit_pos = (self._bit_pos + 1) % 8
+
+    def align_byte(self) -> None:
+        """Pad with zero bits to the next byte boundary."""
+        self._bit_pos = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        partial = self._bit_pos if self._bit_pos else 8
+        if not self._bytes:
+            return 0
+        return (len(self._bytes) - 1) * 8 + partial
+
+    def getvalue(self) -> bytes:
+        """The accumulated bytes (zero-padded to a byte boundary)."""
+        return bytes(self._bytes)
+
+
+class BitReader:
+    """Reads bits MSB-first; supports sync-pattern search."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0  # absolute bit position
+
+    @property
+    def bit_position(self) -> int:
+        return self._pos
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    def read(self, bits: int) -> int:
+        """Read ``bits`` bits as an unsigned integer."""
+        if bits < 0:
+            raise Mp3Error("cannot read a negative number of bits")
+        if bits > self.bits_remaining:
+            raise Mp3Error(
+                f"bitstream exhausted: wanted {bits}, have {self.bits_remaining}")
+        value = 0
+        pos = self._pos
+        for _ in range(bits):
+            byte = self._data[pos >> 3]
+            bit = (byte >> (7 - (pos & 7))) & 1
+            value = (value << 1) | bit
+            pos += 1
+        self._pos = pos
+        return value
+
+    def peek(self, bits: int) -> int:
+        """Read without consuming."""
+        saved = self._pos
+        try:
+            return self.read(bits)
+        finally:
+            self._pos = saved
+
+    def align_byte(self) -> None:
+        """Skip to the next byte boundary."""
+        self._pos = (self._pos + 7) & ~7
+
+    def seek_sync(self) -> bool:
+        """Advance to the next byte-aligned sync pattern.
+
+        Returns True when positioned *at* a sync word, False when the
+        stream is exhausted first.
+        """
+        self.align_byte()
+        while self.bits_remaining >= SYNC_BITS:
+            if self.peek(SYNC_BITS) == SYNC_WORD:
+                return True
+            self._pos += 8
+        return False

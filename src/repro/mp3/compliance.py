@@ -1,0 +1,89 @@
+"""MPEG-style conformance checking (the paper's accuracy feedback).
+
+"Compliance test provided by MPEG standard [17] is used to evaluate the
+accuracy of the optimizations.  The range of RMS error between the
+original code's output and the samples produced by the code under test
+defines the level of compliance."
+
+ISO/IEC 11172-4 defines the decoder bands in terms of RMS error against
+the reference for full-scale samples:
+
+* **full accuracy**: RMS < 2^-15 / sqrt(12), max |diff| < 2^-14;
+* **limited accuracy**: RMS < 2^-11 / sqrt(12), max |diff| < 2^-10;
+* anything worse is **non-compliant**.
+
+The mapping flow calls :func:`check_compliance` after every rewriting
+step, exactly as Section 4 describes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ComplianceError
+
+__all__ = ["ComplianceLevel", "ComplianceReport", "check_compliance",
+           "FULL_RMS_LIMIT", "LIMITED_RMS_LIMIT"]
+
+FULL_RMS_LIMIT = 2.0 ** -15 / math.sqrt(12.0)
+FULL_MAX_LIMIT = 2.0 ** -14
+LIMITED_RMS_LIMIT = 2.0 ** -11 / math.sqrt(12.0)
+LIMITED_MAX_LIMIT = 2.0 ** -10
+
+
+class ComplianceLevel:
+    """Ordered compliance levels."""
+
+    FULL = "full"
+    LIMITED = "limited"
+    NON_COMPLIANT = "non-compliant"
+
+    _ORDER = {FULL: 2, LIMITED: 1, NON_COMPLIANT: 0}
+
+    @classmethod
+    def at_least(cls, level: str, minimum: str) -> bool:
+        """True if ``level`` meets or exceeds ``minimum``."""
+        return cls._ORDER[level] >= cls._ORDER[minimum]
+
+
+@dataclass(frozen=True)
+class ComplianceReport:
+    """Outcome of comparing a decoder under test against the reference."""
+
+    rms_error: float
+    max_error: float
+    level: str
+
+    def require(self, minimum: str) -> None:
+        """Raise :class:`ComplianceError` below ``minimum``."""
+        if not ComplianceLevel.at_least(self.level, minimum):
+            raise ComplianceError(
+                f"compliance {self.level} below required {minimum} "
+                f"(rms={self.rms_error:.3g}, max={self.max_error:.3g})")
+
+
+def check_compliance(reference: np.ndarray,
+                     under_test: np.ndarray) -> ComplianceReport:
+    """Grade ``under_test`` PCM against ``reference`` PCM.
+
+    Arrays must have identical shape; samples are full-scale in
+    [-1, 1] as the decoder produces them.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    under_test = np.asarray(under_test, dtype=np.float64)
+    if reference.shape != under_test.shape:
+        raise ComplianceError(
+            f"shape mismatch: {reference.shape} vs {under_test.shape}")
+    diff = reference - under_test
+    rms = float(np.sqrt(np.mean(diff * diff)))
+    peak = float(np.max(np.abs(diff))) if diff.size else 0.0
+    if rms < FULL_RMS_LIMIT and peak < FULL_MAX_LIMIT:
+        level = ComplianceLevel.FULL
+    elif rms < LIMITED_RMS_LIMIT and peak < LIMITED_MAX_LIMIT:
+        level = ComplianceLevel.LIMITED
+    else:
+        level = ComplianceLevel.NON_COMPLIANT
+    return ComplianceReport(rms, peak, level)

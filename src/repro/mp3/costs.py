@@ -1,0 +1,89 @@
+"""Shared cost recipes for decoder-stage tallies.
+
+Three implementation "grades" recur across the decoder variants, each
+with a characteristic per-tap price on the SA-1110:
+
+* **float** (reference C, double precision): priced directly through
+  the ``fp_*`` soft-double costs — the stage tallies count fp ops.
+* **IH fixed** (in-house C fixed-point library): every multiply(-
+  accumulate) goes through a *non-inlined saturating Q-format helper*
+  (``fixed_mul(a, b)`` as a C function: SMULL, round, shift, saturate
+  checks, call/return).  ~30 cycles per tap — this single constant is
+  what pins Table 1's "fixed" rows, see EXPERIMENTS.md.
+* **IPP asm** (hand-scheduled assembly): true inlined MACs with folded
+  addressing, ~3-5 cycles per tap.
+"""
+
+from __future__ import annotations
+
+from repro.platform.tally import OperationTally
+
+__all__ = ["ih_mul_taps", "ih_adds", "asm_mac_taps", "asm_adds",
+           "float_macs", "domain_conversion"]
+
+
+def ih_mul_taps(tally: OperationTally, taps: int) -> None:
+    """``taps`` saturating fixed-point multiply(-accumulate) helper calls.
+
+    Per tap: SMULL (int_mul) + 6 ALU ops (round, 64-bit add-with-carry,
+    saturation compares) + 4 shifts + 2 branches + 3 loads + call
+    overhead — about 30 cycles on the SA-1110 cost table.
+    """
+    if taps <= 0:
+        return
+    tally.int_mul += taps
+    tally.int_alu += 6 * taps
+    tally.shift += 4 * taps
+    tally.branch += 2 * taps
+    tally.load += 3 * taps
+    tally.call += taps
+
+
+def ih_adds(tally: OperationTally, count: int) -> None:
+    """Saturating fixed adds (inline, but guarded): ~6 cycles each."""
+    if count <= 0:
+        return
+    tally.int_alu += 2 * count
+    tally.branch += count
+    tally.load += count
+
+
+def asm_mac_taps(tally: OperationTally, taps: int) -> None:
+    """IPP-grade MAC taps: MLA/SMLAL with folded addressing, ~5 cycles."""
+    if taps <= 0:
+        return
+    tally.int_mac += taps
+    tally.load += taps
+
+
+def asm_adds(tally: OperationTally, count: int) -> None:
+    """IPP-grade adds: single-cycle ALU ops."""
+    if count <= 0:
+        return
+    tally.int_alu += count
+
+
+def float_macs(tally: OperationTally, muls: int, adds: int,
+               loads: int = 0, stores: int = 0) -> None:
+    """Reference-grade double-precision op bundle."""
+    tally.fp_mul += muls
+    tally.fp_add += adds
+    tally.load += loads
+    tally.store += stores
+
+
+def domain_conversion(tally: OperationTally, samples: int,
+                      to_fixed: bool) -> None:
+    """float<->fixed conversion at a stage boundary.
+
+    Each direction is one soft-float convert call per sample (~a
+    soft-double add's worth) plus the move.
+    """
+    if samples <= 0:
+        return
+    tally.fp_add += samples          # __fixdfsi / __floatsidf
+    tally.shift += samples
+    tally.load += samples
+    tally.store += samples
+    tally.call += 1
+    del to_fixed  # same price both ways; parameter kept for clarity at call sites

@@ -1,0 +1,91 @@
+"""Requantization: quantized integers -> spectral values (III_dequantize_sample).
+
+The reference formula is ``xr = sign(iq) * |iq|^(4/3) * 2^(0.25 *
+(global_gain - 210))``.  The ISO C code calls double-precision ``pow``
+**twice per sample** (once for the 4/3 power, once for the gain), which
+on a soft-float StrongARM is why this one function is 45% of the
+original profile (Table 3).
+
+Variants
+--------
+``float``
+    Reference semantics and reference cost (2 pow calls/sample).
+``fixed``
+    The in-house approach: a precomputed ``n^(4/3)`` table plus a
+    shift/multiply gain application in Q5.26, through the saturating
+    fixed helper (2 helper calls/sample plus band bookkeeping).
+``asm``
+    IPP-grade table lookup with folded scaling (used by the "IPP MP3"
+    configuration only).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mp3.costs import ih_mul_taps
+from repro.mp3.frame import GranuleChannel
+from repro.mp3.fxutil import XR_FRAC, to_q
+from repro.platform.tally import OperationTally
+
+__all__ = ["dequantize_float", "dequantize_fixed", "dequantize_asm",
+           "VARIANTS"]
+
+
+def _xr_reference(gc: GranuleChannel) -> np.ndarray:
+    iq = gc.values.astype(np.float64)
+    gain = 2.0 ** (0.25 * (gc.global_gain - 210))
+    return np.sign(iq) * np.abs(iq) ** (4.0 / 3.0) * gain
+
+
+def dequantize_float(gc: GranuleChannel, tally: OperationTally) -> np.ndarray:
+    """Reference double-precision requantizer; returns float64 xr[576]."""
+    xr = _xr_reference(gc)
+    n = len(gc.values)
+    tally.libm("pow", 2 * n)      # |iq|^(4/3) and 2^(0.25(gain-210)), per sample
+    tally.fp_mul += 2 * n         # sign apply + gain apply
+    tally.load += 2 * n
+    tally.store += n
+    tally.branch += n             # sign test
+    tally.int_alu += 2 * n        # index/gain arithmetic
+    tally.call += 1
+    return xr
+
+
+def dequantize_fixed(gc: GranuleChannel, tally: OperationTally) -> np.ndarray:
+    """In-house fixed-point requantizer; returns Q5.26 int64 raws.
+
+    Numerically: the exact reference value quantized to Q5.26, which is
+    what a correctly-rounded table + shift implementation produces.
+    """
+    raws = to_q(_xr_reference(gc), XR_FRAC)
+    n = len(gc.values)
+    ih_mul_taps(tally, 2 * n)     # pow43-scale and gain-scale helper calls
+    tally.load += 3 * n           # table + value + gain-shift lookups
+    tally.branch += 3 * n         # sign, escape, saturation band tests
+    tally.int_alu += 6 * n
+    tally.shift += 2 * n
+    tally.store += n
+    tally.call += 1
+    return raws
+
+
+def dequantize_asm(gc: GranuleChannel, tally: OperationTally) -> np.ndarray:
+    """IPP-grade requantizer: same values, hand-scheduled cost."""
+    raws = to_q(_xr_reference(gc), XR_FRAC)
+    n = len(gc.values)
+    tally.int_mul += n
+    tally.shift += n
+    tally.load += 2 * n
+    tally.store += n
+    tally.int_alu += n
+    tally.call += 1
+    return raws
+
+
+#: variant name -> (callable, output domain)
+VARIANTS = {
+    "float": (dequantize_float, "float"),
+    "fixed": (dequantize_fixed, "fixed"),
+    "asm": (dequantize_asm, "fixed"),
+}

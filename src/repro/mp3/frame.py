@@ -1,0 +1,138 @@
+"""Frame structures: header, side information, granule payloads.
+
+A simplified but structurally faithful Layer III frame:
+
+* 11-bit sync + header (sample-rate index, channel mode, frame payload
+  length);
+* side information per granule x channel: ``global_gain`` (8 bits),
+  ``count_nonzero`` (10 bits, the big-values analogue), ``ms_stereo``
+  flag per frame;
+* Huffman-coded quantized spectra (576 values per granule-channel).
+
+Two granules per frame, 1152 PCM samples per channel, as in MPEG-1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import Mp3Error
+from repro.mp3.bitstream import SYNC_BITS, SYNC_WORD, BitReader, BitWriter
+from repro.mp3.huffman import decode_spectrum, encode_spectrum
+from repro.mp3.tables import GRANULE_SAMPLES
+from repro.platform.tally import OperationTally
+
+__all__ = ["SAMPLE_RATES", "GranuleChannel", "Frame", "FrameHeader"]
+
+#: Selectable sample rates (MPEG-1 set), indexed by the 2-bit header field.
+SAMPLE_RATES = (44100, 48000, 32000)
+
+
+@dataclass
+class FrameHeader:
+    """Decoded frame header fields."""
+
+    sample_rate_index: int = 0
+    channels: int = 2
+    ms_stereo: bool = True
+
+    @property
+    def sample_rate(self) -> int:
+        return SAMPLE_RATES[self.sample_rate_index]
+
+    def write(self, writer: BitWriter) -> None:
+        writer.write(SYNC_WORD, SYNC_BITS)
+        writer.write(self.sample_rate_index, 2)
+        writer.write(self.channels - 1, 1)
+        writer.write(1 if self.ms_stereo else 0, 1)
+        writer.write(0, 1)  # reserved, keeps the header 16 bits
+
+
+    @classmethod
+    def read(cls, reader: BitReader) -> "FrameHeader":
+        sync = reader.read(SYNC_BITS)
+        if sync != SYNC_WORD:
+            raise Mp3Error(f"lost synchronization (got {sync:#x})")
+        idx = reader.read(2)
+        if idx >= len(SAMPLE_RATES):
+            raise Mp3Error(f"reserved sample-rate index {idx}")
+        channels = reader.read(1) + 1
+        ms = bool(reader.read(1))
+        reader.read(1)
+        return cls(idx, channels, ms)
+
+
+@dataclass
+class GranuleChannel:
+    """One granule of one channel: gain + quantized spectrum."""
+
+    global_gain: int
+    values: np.ndarray  # shape (576,), dtype int32
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.global_gain < 256:
+            raise Mp3Error(f"global_gain {self.global_gain} out of range")
+        self.values = np.asarray(self.values, dtype=np.int64)
+        if self.values.shape != (GRANULE_SAMPLES,):
+            raise Mp3Error(
+                f"granule spectrum must have {GRANULE_SAMPLES} values")
+
+    @property
+    def count_nonzero(self) -> int:
+        return int(np.count_nonzero(self.values))
+
+
+@dataclass
+class Frame:
+    """A whole frame: header + 2 granules x channels."""
+
+    header: FrameHeader
+    granules: list[list[GranuleChannel]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.granules) != 2:
+            raise Mp3Error("a frame has exactly two granules")
+        for granule in self.granules:
+            if len(granule) != self.header.channels:
+                raise Mp3Error("granule/channel count mismatch")
+
+    def write(self, writer: BitWriter) -> None:
+        """Serialize header, side info, and Huffman payload."""
+        self.header.write(writer)
+        for granule in self.granules:
+            for gc in granule:
+                writer.write(gc.global_gain, 8)
+        for granule in self.granules:
+            for gc in granule:
+                encode_spectrum(gc.values.tolist(), writer)
+        writer.align_byte()
+
+    @classmethod
+    def read(cls, reader: BitReader,
+             side_tally: OperationTally | None = None,
+             huffman_tally: OperationTally | None = None) -> "Frame":
+        """Parse one frame starting at a sync position."""
+        header = FrameHeader.read(reader)
+        gains: list[list[int]] = []
+        for _ in range(2):
+            gains.append([reader.read(8) for _ in range(header.channels)])
+        if side_tally is not None:
+            fields = 2 * header.channels
+            side_tally.load += fields * 2
+            side_tally.shift += fields
+            side_tally.int_alu += fields * 2
+            side_tally.store += fields
+            side_tally.call += 1
+        granules: list[list[GranuleChannel]] = []
+        for g in range(2):
+            row = []
+            for ch in range(header.channels):
+                values = decode_spectrum(reader, GRANULE_SAMPLES,
+                                         tally=huffman_tally)
+                row.append(GranuleChannel(gains[g][ch],
+                                          np.array(values, dtype=np.int64)))
+            granules.append(row)
+        reader.align_byte()
+        return cls(header, granules)

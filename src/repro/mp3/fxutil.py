@@ -1,0 +1,54 @@
+"""Vectorized Q-format helpers for the fixed-point decoder stages.
+
+The scalar :mod:`repro.fixedpoint` types are the right tool for the
+math-kernel library; the decoder moves arrays of 576 samples per stage,
+so its fixed variants run the same Q-format semantics on numpy int64
+raws: multiply keeps the wide product and shifts back with rounding,
+saturation clips to the 32-bit raw range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["XR_FRAC", "COEF_FRAC", "WIN_FRAC", "to_q", "from_q", "qmul",
+           "qround_shift", "saturate32"]
+
+#: Q-format of spectral / time-domain samples (Q5.26 raws).
+XR_FRAC = 26
+#: Q-format of cosine-matrix coefficients (Q1.20 32-bit tables; full-
+#: compliance fixed decoders need more than int16 coefficient precision).
+COEF_FRAC = 20
+#: Q-format of window coefficients (Q1.20).
+WIN_FRAC = 20
+
+_INT32_MAX = np.int64(2 ** 31 - 1)
+_INT32_MIN = np.int64(-(2 ** 31))
+
+
+def to_q(values: np.ndarray, frac: int) -> np.ndarray:
+    """Quantize float64 values into int64 raws at ``frac`` fractional bits."""
+    return np.round(np.asarray(values, dtype=np.float64)
+                    * (1 << frac)).astype(np.int64)
+
+
+def from_q(raws: np.ndarray, frac: int) -> np.ndarray:
+    """Back to float64."""
+    return np.asarray(raws, dtype=np.float64) / (1 << frac)
+
+
+def qround_shift(wide: np.ndarray, shift: int) -> np.ndarray:
+    """Arithmetic right shift with round-half-up, elementwise."""
+    if shift <= 0:
+        return wide << (-shift)
+    return (wide + (1 << (shift - 1))) >> shift
+
+
+def qmul(a_raw: np.ndarray, b_raw: np.ndarray, frac: int) -> np.ndarray:
+    """Q-format multiply: wide product, rounded shift back."""
+    return qround_shift(a_raw * b_raw, frac)
+
+
+def saturate32(raws: np.ndarray) -> np.ndarray:
+    """Clip raws to the signed 32-bit range (the C library saturates)."""
+    return np.clip(raws, _INT32_MIN, _INT32_MAX)

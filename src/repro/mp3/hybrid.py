@@ -1,0 +1,76 @@
+"""Hybrid filterbank glue: overlap-add and frequency inversion (III_hybrid).
+
+Each subband's 36 windowed IMDCT outputs overlap-add with the previous
+granule's saved half; the second half is saved for the next granule.
+Odd time samples of odd subbands are negated (frequency inversion) so
+the polyphase filterbank sees the right spectral orientation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mp3.tables import SUBBANDS
+from repro.platform.tally import OperationTally
+
+__all__ = ["HybridState", "hybrid_float", "hybrid_fixed", "VARIANTS"]
+
+_SB_SIZE = 18
+
+
+class HybridState:
+    """Per-channel overlap memory: 32 subbands x 18 saved samples."""
+
+    def __init__(self, dtype=np.float64):
+        self.saved = np.zeros((SUBBANDS, _SB_SIZE), dtype=dtype)
+
+    def reset(self) -> None:
+        self.saved[:] = 0
+
+
+def _overlap(blocks: np.ndarray, state: HybridState) -> np.ndarray:
+    """Overlap-add 32 blocks of 36 -> 32 rows of 18 time samples."""
+    first = blocks[:, :_SB_SIZE] + state.saved
+    state.saved = blocks[:, _SB_SIZE:].copy()
+    return first
+
+
+def _frequency_inversion(rows: np.ndarray) -> np.ndarray:
+    out = rows.copy()
+    out[1::2, 1::2] = -out[1::2, 1::2]
+    return out
+
+
+def hybrid_float(blocks: np.ndarray, state: HybridState,
+                 tally: OperationTally) -> np.ndarray:
+    """Reference overlap-add; ``blocks`` is (32, 36) float64."""
+    rows = _frequency_inversion(_overlap(blocks, state))
+    n_add = SUBBANDS * _SB_SIZE
+    n_inv = (SUBBANDS // 2) * (_SB_SIZE // 2)
+    tally.fp_add += n_add
+    tally.load += 2 * n_add
+    tally.store += 2 * n_add          # overlap result + saved half
+    tally.int_alu += n_inv            # sign flips are integer ops on doubles' sign bit
+    tally.branch += SUBBANDS
+    tally.call += 1
+    return rows
+
+
+def hybrid_fixed(blocks: np.ndarray, state: HybridState,
+                 tally: OperationTally) -> np.ndarray:
+    """Fixed-point overlap-add; ``blocks`` is (32, 36) int64 raws."""
+    rows = _frequency_inversion(_overlap(blocks, state))
+    n_add = SUBBANDS * _SB_SIZE
+    n_inv = (SUBBANDS // 2) * (_SB_SIZE // 2)
+    tally.int_alu += 2 * n_add + n_inv
+    tally.branch += n_add + SUBBANDS
+    tally.load += 2 * n_add
+    tally.store += 2 * n_add
+    tally.call += 1
+    return rows
+
+
+VARIANTS = {
+    "float": (hybrid_float, "float"),
+    "fixed": (hybrid_fixed, "fixed"),
+}

@@ -1,0 +1,58 @@
+"""Spectrum reordering (III_reorder).
+
+For short-block granules Layer III interleaves the three short
+transforms and the decoder must de-interleave.  Our synthetic streams
+use long blocks only, so the stage is the guarded copy the reference
+decoder performs — which is also why III_reorder is one of the smallest
+rows in every profile table.  The short-block permutation is
+implemented for completeness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.platform.tally import OperationTally
+
+__all__ = ["reorder", "short_block_permutation", "VARIANTS"]
+
+
+def short_block_permutation(n: int = 576, window_size: int = 18) -> np.ndarray:
+    """The de-interleave permutation for short blocks.
+
+    Samples arrive grouped by frequency triplets (s0 s1 s2 of the three
+    short windows); the decoder regroups them window-major per band.
+    """
+    idx = np.arange(n)
+    bands = idx // window_size
+    within = idx % window_size
+    window = within % 3
+    line = within // 3
+    return bands * window_size + window * (window_size // 3) + line
+
+
+def reorder(xr: np.ndarray, short_blocks: bool,
+            tally: OperationTally) -> np.ndarray:
+    """De-interleave short blocks; guarded copy for long blocks."""
+    n = len(xr)
+    if short_blocks:
+        out = xr[short_block_permutation(n)]
+        tally.load += 2 * n           # value + permutation index
+        tally.store += n
+        tally.int_alu += 2 * n
+        tally.branch += n
+    else:
+        out = xr.copy()
+        tally.load += n
+        tally.store += n
+        tally.branch += n // 18       # per-band long/short test
+    tally.call += 1
+    return out
+
+
+#: reorder is pure integer index work: same routine at every grade.
+VARIANTS = {
+    "float": (reorder, "same"),
+    "fixed": (reorder, "same"),
+    "asm": (reorder, "same"),
+}

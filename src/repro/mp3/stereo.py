@@ -1,0 +1,87 @@
+"""Mid/side stereo reconstruction (III_stereo).
+
+MS stereo transmits M = (L+R)/sqrt(2) and S = (L-R)/sqrt(2); the
+decoder reconstructs L = (M+S)/sqrt(2), R = (M-S)/sqrt(2).  When the
+frame is plain L/R the stage is a guarded pass-through (that is the
+Table 3 case, where III_stereo is only 0.04%).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.mp3.costs import ih_adds, ih_mul_taps
+from repro.mp3.fxutil import XR_FRAC, qmul, to_q
+from repro.platform.tally import OperationTally
+
+__all__ = ["stereo_float", "stereo_fixed", "stereo_asm", "VARIANTS"]
+
+_INV_SQRT2 = 1.0 / math.sqrt(2.0)
+_INV_SQRT2_Q = to_q(np.array([_INV_SQRT2]), XR_FRAC)[0]
+
+
+def stereo_float(mid: np.ndarray, side: np.ndarray, ms: bool,
+                 tally: OperationTally) -> tuple[np.ndarray, np.ndarray]:
+    """Reference double-precision MS reconstruction."""
+    n = len(mid)
+    if not ms:
+        tally.load += 2 * n
+        tally.store += 2 * n
+        tally.branch += n
+        tally.call += 1
+        return mid, side
+    left = (mid + side) * _INV_SQRT2
+    right = (mid - side) * _INV_SQRT2
+    tally.fp_add += 2 * n
+    tally.fp_mul += 2 * n
+    tally.load += 2 * n
+    tally.store += 2 * n
+    tally.branch += n
+    tally.call += 1
+    return left, right
+
+
+def stereo_fixed(mid: np.ndarray, side: np.ndarray, ms: bool,
+                 tally: OperationTally) -> tuple[np.ndarray, np.ndarray]:
+    """Fixed-point MS reconstruction on Q5.26 raws."""
+    n = len(mid)
+    if not ms:
+        tally.load += 2 * n
+        tally.store += 2 * n
+        tally.branch += n
+        tally.call += 1
+        return mid, side
+    left = qmul(mid + side, _INV_SQRT2_Q, XR_FRAC)
+    right = qmul(mid - side, _INV_SQRT2_Q, XR_FRAC)
+    ih_mul_taps(tally, 2 * n)
+    ih_adds(tally, 2 * n)
+    tally.store += 2 * n
+    tally.call += 1
+    return left, right
+
+
+def stereo_asm(mid: np.ndarray, side: np.ndarray, ms: bool,
+               tally: OperationTally) -> tuple[np.ndarray, np.ndarray]:
+    """IPP-grade MS reconstruction."""
+    n = len(mid)
+    if ms:
+        left = qmul(mid + side, _INV_SQRT2_Q, XR_FRAC)
+        right = qmul(mid - side, _INV_SQRT2_Q, XR_FRAC)
+        tally.int_mac += 2 * n
+        tally.int_alu += 2 * n
+    else:
+        left, right = mid, side
+        tally.int_alu += n
+    tally.load += 2 * n
+    tally.store += 2 * n
+    tally.call += 1
+    return left, right
+
+
+VARIANTS = {
+    "float": (stereo_float, "float"),
+    "fixed": (stereo_fixed, "fixed"),
+    "asm": (stereo_asm, "fixed"),
+}

@@ -1,0 +1,102 @@
+"""Synthetic MP3-like bitstream generator (the reproduction workload).
+
+The paper streams real MP3 files from a server to the Badge4.  We have
+no copyrighted audio or ISO reference bitstreams, so the workload is a
+*synthetic encoder*: it draws plausible quantized Layer-III spectra
+(decaying envelope, tonal peaks, zeroed high-frequency tail — the
+statistics that drive every stage's work) and emits real sync-framed,
+Huffman-coded bitstreams that the decoder substrate parses bit by bit.
+
+Determinism: everything derives from the seed, so benchmark tables are
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import Mp3Error
+from repro.mp3.bitstream import BitWriter
+from repro.mp3.frame import Frame, FrameHeader, GranuleChannel
+from repro.mp3.tables import FRAME_SAMPLES, GRANULE_SAMPLES
+
+__all__ = ["EncodedStream", "SyntheticEncoder", "make_stream"]
+
+
+@dataclass(frozen=True)
+class EncodedStream:
+    """An encoded bitstream plus its metadata."""
+
+    data: bytes
+    n_frames: int
+    sample_rate: int
+    channels: int
+
+    @property
+    def duration_seconds(self) -> float:
+        """Audio duration represented by the stream."""
+        return self.n_frames * FRAME_SAMPLES / self.sample_rate
+
+    @property
+    def frame_duration_seconds(self) -> float:
+        """Real-time budget per frame."""
+        return FRAME_SAMPLES / self.sample_rate
+
+
+class SyntheticEncoder:
+    """Draws random-but-plausible frames and serializes them."""
+
+    def __init__(self, seed: int = 2002, sample_rate_index: int = 0,
+                 channels: int = 2, ms_stereo: bool = True):
+        if channels not in (1, 2):
+            raise Mp3Error("channels must be 1 or 2")
+        self.rng = np.random.default_rng(seed)
+        self.header = FrameHeader(sample_rate_index, channels, ms_stereo)
+
+    def _spectrum(self) -> np.ndarray:
+        """One granule-channel of quantized spectral values."""
+        rng = self.rng
+        k = np.arange(GRANULE_SAMPLES, dtype=np.float64)
+        envelope = 90.0 / (1.0 + (k / 24.0) ** 1.6)
+        # Tonal peaks: a few bins get boosted like musical partials.
+        n_peaks = int(rng.integers(2, 6))
+        peaks = rng.integers(0, 200, size=n_peaks)
+        boost = np.ones(GRANULE_SAMPLES)
+        boost[peaks] = rng.uniform(3.0, 8.0, size=n_peaks)
+        noise = rng.rayleigh(scale=0.45, size=GRANULE_SAMPLES)
+        magnitudes = envelope * boost * noise
+        signs = rng.choice((-1, 1), size=GRANULE_SAMPLES)
+        values = np.round(signs * magnitudes).astype(np.int64)
+        # Zero tail: real spectra die out; cutoff varies per granule.
+        cutoff = int(rng.integers(220, 480))
+        values[cutoff:] = 0
+        return values
+
+    def make_frame(self) -> Frame:
+        """One frame of 2 granules x channels."""
+        granules = []
+        for _ in range(2):
+            row = []
+            for _ in range(self.header.channels):
+                gain = int(self.rng.integers(140, 175))
+                row.append(GranuleChannel(gain, self._spectrum()))
+            granules.append(row)
+        return Frame(self.header, granules)
+
+    def encode(self, n_frames: int) -> EncodedStream:
+        """Serialize ``n_frames`` frames into a sync-framed bitstream."""
+        if n_frames <= 0:
+            raise Mp3Error("need at least one frame")
+        writer = BitWriter()
+        for _ in range(n_frames):
+            self.make_frame().write(writer)
+        return EncodedStream(writer.getvalue(), n_frames,
+                             self.header.sample_rate, self.header.channels)
+
+
+def make_stream(n_frames: int = 8, seed: int = 2002,
+                channels: int = 2) -> EncodedStream:
+    """Convenience: a deterministic stereo test stream."""
+    return SyntheticEncoder(seed=seed, channels=channels).encode(n_frames)

@@ -1,0 +1,86 @@
+"""Numeric tables shared by the decoder stages.
+
+* the Equation-1 IMDCT cosine matrix ``cos(pi/(2n) (2i+1+n/2)(2k+1))``
+  for the long (n=36) and short (n=12) block sizes, plus the sine
+  windows Layer III applies to IMDCT outputs;
+* the polyphase matrixing cosines ``N[i][k] = cos((16+i)(2k+1) pi/64)``;
+* a 512-tap synthesis prototype window ``D`` (windowed-sinc lowpass at
+  pi/64 — the ISO table is data shipped with the standard; this
+  prototype has the same length, shape and role, which is what the
+  op-count reproduction needs);
+* antialias butterfly coefficients ``cs``/``ca`` from the standard's
+  eight ``ci`` constants.
+
+Everything is precomputed once at import with numpy float64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["imdct_cos_matrix", "imdct_window", "IMDCT_COS_36", "IMDCT_COS_12",
+           "IMDCT_WIN_36", "POLYPHASE_N", "SYNTH_WINDOW_D", "ANTIALIAS_CS",
+           "ANTIALIAS_CA", "SUBBANDS", "GRANULE_SAMPLES", "FRAME_SAMPLES"]
+
+#: Layer III geometry.
+SUBBANDS = 32
+GRANULE_SAMPLES = 576          # 32 subbands x 18 samples
+FRAME_SAMPLES = 2 * GRANULE_SAMPLES  # two granules
+
+
+def imdct_cos_matrix(n: int) -> np.ndarray:
+    """Equation 1's cosine matrix: shape ``(n, n // 2)``.
+
+    ``x_i = sum_k cos(pi/(2n) (2i + 1 + n/2)(2k + 1)) y_k``.
+    """
+    i = np.arange(n)[:, None]
+    k = np.arange(n // 2)[None, :]
+    return np.cos(np.pi / (2 * n) * (2 * i + 1 + n // 2) * (2 * k + 1))
+
+
+def imdct_window(n: int) -> np.ndarray:
+    """Layer III long-block sine window: ``sin(pi/n (i + 1/2))``."""
+    i = np.arange(n)
+    return np.sin(np.pi / n * (i + 0.5))
+
+
+IMDCT_COS_36 = imdct_cos_matrix(36)
+IMDCT_COS_12 = imdct_cos_matrix(12)
+IMDCT_WIN_36 = imdct_window(36)
+
+
+def _polyphase_matrix() -> np.ndarray:
+    """Synthesis matrixing: ``N[i][k] = cos((16 + i)(2k + 1) pi / 64)``."""
+    i = np.arange(64)[:, None]
+    k = np.arange(32)[None, :]
+    return np.cos((16 + i) * (2 * k + 1) * np.pi / 64)
+
+
+POLYPHASE_N = _polyphase_matrix()
+
+
+def _synthesis_window() -> np.ndarray:
+    """512-tap lowpass prototype (Hann-windowed sinc at cutoff pi/64).
+
+    The ISO D[] coefficients are tabulated data; this prototype matches
+    their length, symmetry and lowpass role so the filterbank is a real
+    near-perfect-reconstruction PQMF.  Scaled so a DC subband input
+    reconstructs at unit gain.
+    """
+    taps = 512
+    n = np.arange(taps)
+    center = (taps - 1) / 2.0
+    x = (n - center) / 64.0
+    sinc = np.sinc(x)
+    hann = 0.5 - 0.5 * np.cos(2 * np.pi * (n + 0.5) / taps)
+    window = sinc * hann
+    window /= window.sum() / 32.0
+    return window
+
+
+SYNTH_WINDOW_D = _synthesis_window()
+
+#: The standard's antialias constants.
+_CI = np.array([-0.6, -0.535, -0.33, -0.185, -0.095, -0.041, -0.0142, -0.0037])
+ANTIALIAS_CS = 1.0 / np.sqrt(1.0 + _CI ** 2)
+ANTIALIAS_CA = _CI / np.sqrt(1.0 + _CI ** 2)

@@ -1,0 +1,24 @@
+"""``repro.platform`` — the Badge4 hardware substitute.
+
+Deterministic cycle/energy cost models of the StrongARM SA-1110 (no
+FPU), the Badge4 energy chain (core + memory + DC-DC), DVFS operating
+points, and a function-level profiler that renders the paper's profile
+tables.
+"""
+
+from repro.platform.badge4 import BADGE4_COMPONENTS, Badge4, Component
+from repro.platform.dvfs import (SA1110_OPERATING_POINTS, DvfsDecision,
+                                 DvfsGovernor, OperatingPoint)
+from repro.platform.energy import BADGE4_ENERGY, EnergyModel
+from repro.platform.processor import SA1110, SA1110_COSTS, CostModel, ProcessorSpec
+from repro.platform.profiler import ProfileReport, ProfileRow, Profiler
+from repro.platform.tally import OperationTally
+
+__all__ = [
+    "OperationTally",
+    "ProcessorSpec", "CostModel", "SA1110", "SA1110_COSTS",
+    "EnergyModel", "BADGE4_ENERGY",
+    "OperatingPoint", "SA1110_OPERATING_POINTS", "DvfsGovernor", "DvfsDecision",
+    "Profiler", "ProfileRow", "ProfileReport",
+    "Badge4", "Component", "BADGE4_COMPONENTS",
+]

@@ -1,0 +1,79 @@
+"""The Badge4 platform inventory (Figure 1 of the paper).
+
+Figure 1 is a block diagram: StrongARM SA-1110 with SA-1111 companion
+chip, audio codec with microphone/speakers, Lucent WLAN card, sensors,
+three memories (SRAM, SDRAM, FLASH), all fed from batteries through a
+DC-DC converter.  This module is the executable version: a
+:class:`Badge4` bundles the processor cost model, energy model, DVFS
+governor and the component inventory, and can render the block list the
+Figure-1 benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.platform.dvfs import SA1110_OPERATING_POINTS, DvfsGovernor
+from repro.platform.energy import BADGE4_ENERGY, EnergyModel
+from repro.platform.processor import SA1110, CostModel, ProcessorSpec
+from repro.platform.profiler import Profiler
+
+__all__ = ["Component", "Badge4", "BADGE4_COMPONENTS"]
+
+
+@dataclass(frozen=True)
+class Component:
+    """One block of the Figure-1 diagram."""
+
+    name: str
+    kind: str            # processor | companion | memory | radio | audio | power | sensor
+    detail: str
+
+
+#: The Figure-1 inventory.
+BADGE4_COMPONENTS: tuple[Component, ...] = (
+    Component("StrongARM SA-1110", "processor",
+              "206.4 MHz core, no FPU; runs embedded Linux"),
+    Component("SA-1111 companion chip", "companion",
+              "peripheral controller (USB, PS/2, SSP, PCMCIA)"),
+    Component("SRAM", "memory", "fast static RAM; holds the core OS and file system"),
+    Component("SDRAM", "memory", "bulk working memory (new in Badge4 vs SmartBadge)"),
+    Component("FLASH", "memory", "non-volatile boot and image storage"),
+    Component("WLAN card (Lucent)", "radio",
+              "streams MP3 bitstreams from the server-mounted file system"),
+    Component("Audio codec", "audio", "microphone input and speaker output"),
+    Component("Sensors", "sensor", "badge sensing suite"),
+    Component("DC-DC converter", "power",
+              "battery supply regulation (~85% efficient)"),
+    Component("Batteries", "power", "primary energy source"),
+)
+
+
+@dataclass
+class Badge4:
+    """The whole platform: models + inventory, ready for experiments."""
+
+    processor: ProcessorSpec = SA1110
+    energy: EnergyModel = BADGE4_ENERGY
+    components: tuple[Component, ...] = BADGE4_COMPONENTS
+
+    def __post_init__(self) -> None:
+        self.cost_model = CostModel(self.processor)
+        self.governor = DvfsGovernor(self.cost_model, self.energy)
+
+    def profiler(self) -> Profiler:
+        """A fresh profiler wired to this platform's models."""
+        return Profiler(self.cost_model, self.energy)
+
+    def operating_points(self):
+        """The DVFS ladder (slowest first)."""
+        return SA1110_OPERATING_POINTS
+
+    def describe(self) -> str:
+        """Render the Figure-1 block inventory as text."""
+        lines = ["Badge4 (SmartBadge IV) architecture — Figure 1",
+                 f"  CPU: {self.processor.name} @ {self.processor.clock_hz / 1e6:.1f} MHz"
+                 f" (FPU: {'yes' if self.processor.has_fpu else 'no — soft float'})"]
+        for comp in self.components:
+            lines.append(f"  [{comp.kind:>9}] {comp.name}: {comp.detail}")
+        return "\n".join(lines)

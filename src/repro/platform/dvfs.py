@@ -1,0 +1,121 @@
+"""Dynamic voltage and frequency scaling for the SA-1110.
+
+Section 4 of the paper: "our most optimized MP3 code runs almost four
+times faster than real time", so "additional energy savings are possible
+by using processor frequency and voltage scaling".  This module makes
+that argument executable: given a workload that takes ``t`` seconds of
+compute per second of audio at the maximum operating point, find the
+slowest operating point that still meets real time and report the
+energy ratio.
+
+Operating points follow the SA-1110's CCF-programmable core clock
+ladder (59.0 to 206.4 MHz) with a linear voltage reduction toward the
+minimum-frequency point, the standard first-order DVFS model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+from repro.platform.energy import EnergyModel
+from repro.platform.processor import CostModel
+from repro.platform.tally import OperationTally
+
+__all__ = ["OperatingPoint", "SA1110_OPERATING_POINTS", "DvfsGovernor",
+           "DvfsDecision"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A (frequency, voltage) pair the core can run at."""
+
+    clock_hz: float
+    voltage: float
+
+    def __str__(self) -> str:
+        return f"{self.clock_hz / 1e6:.1f} MHz @ {self.voltage:.2f} V"
+
+
+def _sa1110_ladder() -> tuple[OperatingPoint, ...]:
+    """The SA-1110 core-clock ladder with first-order voltage scaling."""
+    freqs_mhz = (59.0, 73.7, 88.5, 103.2, 118.0, 132.7, 147.5, 162.2,
+                 176.9, 191.7, 206.4)
+    v_min, v_max = 1.00, 1.55
+    f_min, f_max = freqs_mhz[0], freqs_mhz[-1]
+    points = []
+    for f in freqs_mhz:
+        v = v_min + (v_max - v_min) * (f - f_min) / (f_max - f_min)
+        points.append(OperatingPoint(f * 1e6, round(v, 3)))
+    return tuple(points)
+
+
+#: SA-1110 operating points, slowest first.
+SA1110_OPERATING_POINTS = _sa1110_ladder()
+
+
+@dataclass(frozen=True)
+class DvfsDecision:
+    """Result of a governor query.
+
+    ``energy_j`` covers the whole deadline period: active execution at
+    the operating point plus static idle burn for any slack left before
+    the deadline — the comparison that makes race-to-idle vs DVFS fair.
+    """
+
+    point: OperatingPoint
+    seconds: float
+    energy_j: float
+    meets_deadline: bool
+
+
+class DvfsGovernor:
+    """Chooses operating points for a workload under a deadline."""
+
+    def __init__(self, cost_model: CostModel, energy_model: EnergyModel,
+                 points: tuple[OperatingPoint, ...] = SA1110_OPERATING_POINTS):
+        if not points:
+            raise PlatformError("need at least one operating point")
+        self.cost_model = cost_model
+        self.energy_model = energy_model
+        self.points = tuple(sorted(points, key=lambda p: p.clock_hz))
+
+    def evaluate(self, tally: OperationTally,
+                 point: OperatingPoint,
+                 deadline_s: float) -> DvfsDecision:
+        """Time/energy of ``tally`` at ``point`` against ``deadline_s``."""
+        seconds = self.cost_model.seconds(tally, clock_hz=point.clock_hz)
+        energy = self.energy_model.energy(
+            tally, self.cost_model, voltage=point.voltage,
+            clock_hz=point.clock_hz)
+        energy += self.energy_model.idle_energy(deadline_s - seconds)
+        return DvfsDecision(point, seconds, energy, seconds <= deadline_s)
+
+    def slowest_feasible(self, tally: OperationTally,
+                         deadline_s: float) -> DvfsDecision:
+        """The lowest-energy point that still meets the deadline.
+
+        Falls back to the fastest point when nothing meets the deadline
+        (``meets_deadline`` is then False).
+        """
+        if deadline_s <= 0:
+            raise PlatformError(f"deadline must be positive, got {deadline_s}")
+        for point in self.points:  # slowest first
+            decision = self.evaluate(tally, point, deadline_s)
+            if decision.meets_deadline:
+                return decision
+        return self.evaluate(tally, self.points[-1], deadline_s)
+
+    def sweep(self, tally: OperationTally,
+              deadline_s: float) -> list[DvfsDecision]:
+        """Evaluate every operating point (for the DVFS benchmark)."""
+        return [self.evaluate(tally, p, deadline_s) for p in self.points]
+
+    def energy_saving_factor(self, tally: OperationTally,
+                             deadline_s: float) -> float:
+        """Energy(fastest point) / Energy(slowest feasible point)."""
+        fastest = self.evaluate(tally, self.points[-1], deadline_s)
+        best = self.slowest_feasible(tally, deadline_s)
+        if best.energy_j == 0:
+            raise PlatformError("zero energy at best point; empty tally?")
+        return fastest.energy_j / best.energy_j

@@ -1,0 +1,150 @@
+"""Processor cost model: StrongARM SA-1110 and friends.
+
+Prices an :class:`~repro.platform.tally.OperationTally` in cycles.  The
+SA-1110 figures are derived from the documented microarchitecture:
+
+* single-issue 5-stage integer pipeline, most ALU ops 1 cycle;
+* 32x32 multiplier with early termination (1-3 cycles; we use 2, MAC 3);
+* **no FPU** — floating-point is emulated in software (gcc soft-float /
+  ``_fp`` kernels), costing on the order of 10^2 cycles per operation;
+* no hardware divide — integer division is a ~70-cycle library call;
+* ``libm`` double-precision transcendentals on soft-float cost
+  thousands of cycles per call (``pow`` is the famous offender that
+  makes the ISO MP3 dequantizer two orders of magnitude too slow).
+
+Absolute constants are documented estimates, not measurements of a
+physical badge; EXPERIMENTS.md discusses the calibration.  What the
+reproduction relies on is their *relative* order, which is hardware
+fact: int ops ~1 cycle << soft-fp ops ~10^2 << libm calls ~10^3-10^4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import PlatformError
+from repro.platform.tally import OperationTally
+
+__all__ = ["ProcessorSpec", "CostModel", "SA1110", "SA1110_COSTS"]
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """Static description of a processor for the cost model.
+
+    ``cycle_costs`` prices each tally field; ``libm_costs`` prices
+    math-library calls by name, with ``libm_default`` as fallback.
+    """
+
+    name: str
+    clock_hz: float
+    has_fpu: bool
+    cycle_costs: Mapping[str, float]
+    libm_costs: Mapping[str, float]
+    libm_default: float = 4000.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise PlatformError(f"clock must be positive, got {self.clock_hz}")
+        required = {"int_alu", "int_mul", "int_mac", "int_div", "shift",
+                    "fp_add", "fp_mul", "fp_div", "load", "store",
+                    "branch", "call"}
+        missing = required - set(self.cycle_costs)
+        if missing:
+            raise PlatformError(f"cycle_costs missing entries: {sorted(missing)}")
+
+
+#: SA-1110 per-operation cycle costs (no FPU: fp_* are soft-float).
+#:
+#: The fp_* figures price *double-precision* emulation the way the ISO
+#: reference build pays for it: a libgcc soft-double routine per
+#: operation, called (not inlined), with argument marshalling, unpack /
+#: align / normalize / repack and spills — several hundred cycles each.
+#: EXPERIMENTS.md "Calibration" discusses how these were pinned against
+#: the paper's Table 3.
+SA1110_COSTS: dict[str, float] = {
+    "int_alu": 1.0,
+    "int_mul": 2.0,
+    "int_mac": 3.0,
+    "int_div": 70.0,     # __divsi3 software divide
+    "shift": 1.0,        # barrel shifter folded into ALU ops
+    "fp_add": 420.0,     # soft-double add (library call incl. overhead)
+    "fp_mul": 560.0,     # soft-double multiply
+    "fp_div": 2400.0,    # soft-double divide
+    "load": 2.0,         # cached load
+    "store": 1.0,        # buffered store
+    "branch": 2.0,       # average incl. pipeline flushes
+    "call": 8.0,         # call+return+spill overhead
+}
+
+#: Double-precision libm-on-soft-float call costs (cycles per call).
+#: pow() is the famous offender: it is why the ISO dequantizer alone is
+#: ~45% of Table 3.
+_SA1110_LIBM: dict[str, float] = {
+    "pow": 52000.0,
+    "exp": 11000.0,
+    "log": 12000.0,
+    "log10": 12500.0,
+    "sin": 12000.0,
+    "cos": 12000.0,
+    "tan": 16000.0,
+    "atan": 13000.0,
+    "sqrt": 9000.0,
+    "floor": 900.0,
+    "fabs": 200.0,
+    "frexp": 700.0,
+    "ldexp": 700.0,
+}
+
+#: The Badge4 CPU: Intel StrongARM SA-1110 at 206.4 MHz.
+SA1110 = ProcessorSpec(
+    name="StrongARM SA-1110",
+    clock_hz=206.4e6,
+    has_fpu=False,
+    cycle_costs=SA1110_COSTS,
+    libm_costs=_SA1110_LIBM,
+    libm_default=8000.0,
+    description=(
+        "Intel StrongARM SA-1110 @ 206.4 MHz as used on Badge4: "
+        "single-issue integer core, early-terminating multiplier, "
+        "no FPU (soft-float), no hardware divide."
+    ),
+)
+
+
+class CostModel:
+    """Prices operation tallies in cycles and seconds for one processor."""
+
+    def __init__(self, spec: ProcessorSpec = SA1110):
+        self.spec = spec
+
+    def cycles(self, tally: OperationTally) -> float:
+        """Total cycles the tallied operations cost on this processor."""
+        costs = self.spec.cycle_costs
+        total = (
+            tally.int_alu * costs["int_alu"]
+            + tally.int_mul * costs["int_mul"]
+            + tally.int_mac * costs["int_mac"]
+            + tally.int_div * costs["int_div"]
+            + tally.shift * costs["shift"]
+            + tally.fp_add * costs["fp_add"]
+            + tally.fp_mul * costs["fp_mul"]
+            + tally.fp_div * costs["fp_div"]
+            + tally.load * costs["load"]
+            + tally.store * costs["store"]
+            + tally.branch * costs["branch"]
+            + tally.call * costs["call"]
+        )
+        for name, count in tally.libm_calls.items():
+            per_call = self.spec.libm_costs.get(name, self.spec.libm_default)
+            total += count * per_call
+        return total
+
+    def seconds(self, tally: OperationTally, clock_hz: float | None = None) -> float:
+        """Wall-clock seconds at ``clock_hz`` (default: the spec's clock)."""
+        clock = clock_hz if clock_hz is not None else self.spec.clock_hz
+        if clock <= 0:
+            raise PlatformError(f"clock must be positive, got {clock}")
+        return self.cycles(tally) / clock

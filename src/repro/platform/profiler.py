@@ -1,0 +1,134 @@
+"""Function-level profiler over the cost model (Tables 3-5 machinery).
+
+The paper identifies target code by profiling "directly on the
+hardware" with OS timers, producing per-function execution time and
+percentage tables.  Our deterministic equivalent accumulates one
+:class:`~repro.platform.tally.OperationTally` per function name and
+renders reports in the same shape as the paper's Tables 3, 4 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+from repro.platform.energy import EnergyModel
+from repro.platform.processor import CostModel
+from repro.platform.tally import OperationTally
+
+__all__ = ["Profiler", "ProfileRow", "ProfileReport"]
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One function's share of a profile."""
+
+    name: str
+    seconds: float
+    percent: float
+    cycles: float
+    energy_j: float
+
+
+class ProfileReport:
+    """A finished profile: rows sorted by descending time."""
+
+    def __init__(self, rows: list[ProfileRow], clock_hz: float):
+        self.rows = sorted(rows, key=lambda r: r.seconds, reverse=True)
+        self.clock_hz = clock_hz
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.rows)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(r.energy_j for r in self.rows)
+
+    def row(self, name: str) -> ProfileRow:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def names(self) -> list[str]:
+        """Function names, hottest first."""
+        return [r.name for r in self.rows]
+
+    def format_table(self, title: str = "Profile",
+                     time_unit: str = "s") -> str:
+        """Render like the paper's profile tables."""
+        scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[time_unit]
+        width = max([len(r.name) for r in self.rows] + [len("Total")])
+        lines = [title,
+                 f"  {'Function name':<{width}}  {'Time (' + time_unit + ')':>12}  {'%':>7}"]
+        for r in self.rows:
+            lines.append(
+                f"  {r.name:<{width}}  {r.seconds * scale:>12.5g}  {r.percent:>7.2f}")
+        lines.append(
+            f"  {'Total':<{width}}  {self.total_seconds * scale:>12.5g}  {100.0:>7.2f}")
+        return "\n".join(lines)
+
+
+class Profiler:
+    """Accumulates per-function tallies and prices them.
+
+    Usage::
+
+        profiler = Profiler(cost_model, energy_model)
+        profiler.record("III_dequantize_sample", tally)
+        report = profiler.report()
+    """
+
+    def __init__(self, cost_model: CostModel | None = None,
+                 energy_model: EnergyModel | None = None):
+        self.cost_model = cost_model or CostModel()
+        self.energy_model = energy_model or EnergyModel()
+        self._tallies: dict[str, OperationTally] = {}
+        self._order: list[str] = []
+
+    def record(self, name: str, tally: OperationTally) -> None:
+        """Accumulate ``tally`` under function ``name``."""
+        if name not in self._tallies:
+            self._tallies[name] = OperationTally()
+            self._order.append(name)
+        self._tallies[name].merge(tally)
+
+    def tally(self, name: str) -> OperationTally:
+        """The accumulated tally for ``name`` (empty if never recorded)."""
+        return self._tallies.get(name, OperationTally()).copy()
+
+    def combined_tally(self) -> OperationTally:
+        """Sum of all per-function tallies."""
+        total = OperationTally()
+        for t in self._tallies.values():
+            total.merge(t)
+        return total
+
+    def reset(self) -> None:
+        """Forget everything recorded so far."""
+        self._tallies.clear()
+        self._order.clear()
+
+    def report(self, clock_hz: float | None = None,
+               voltage: float | None = None) -> ProfileReport:
+        """Price every function and produce a report."""
+        if not self._tallies:
+            raise PlatformError("nothing profiled")
+        clock = clock_hz if clock_hz is not None else self.cost_model.spec.clock_hz
+        seconds = {name: self.cost_model.seconds(t, clock_hz=clock)
+                   for name, t in self._tallies.items()}
+        total = sum(seconds.values())
+        rows = []
+        for name in self._order:
+            t = self._tallies[name]
+            s = seconds[name]
+            rows.append(ProfileRow(
+                name=name,
+                seconds=s,
+                percent=(100.0 * s / total) if total else 0.0,
+                cycles=self.cost_model.cycles(t),
+                energy_j=self.energy_model.energy(
+                    t, self.cost_model, voltage=voltage, clock_hz=clock),
+            ))
+        return ProfileReport(rows, clock)

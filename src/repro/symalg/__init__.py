@@ -1,0 +1,49 @@
+"""``repro.symalg`` — the from-scratch symbolic algebra engine.
+
+This package plays the role Maple V played in the paper: sparse exact
+multivariate polynomials, term orders, multivariate division, Groebner
+bases, simplification modulo side relations, Horner forms,
+factorization, series approximation, and expression trees.
+
+Quick tour:
+
+>>> from repro.symalg import symbols, simplify_modulo
+>>> x, y = symbols("x y")
+>>> s = x + x**3 * y**2 - 2 * x * y**3
+>>> str(simplify_modulo(s, {"p": x**2 - 2*y}, ["x", "y", "p"]))
+'p*x*y^2 + x'
+"""
+
+from repro.symalg.division import DivisionResult, divide, exact_divide, reduce
+from repro.symalg.expression import (Add, Call, Const, Expression, Mul,
+                                     OpCount, Pow, Var, const, flatten,
+                                     to_source, var)
+from repro.symalg.factor import Factorization, factor, square_free_decomposition
+from repro.symalg.gcdtools import polynomial_gcd, polynomial_lcm
+from repro.symalg.groebner import groebner_basis, is_groebner_basis, s_polynomial
+from repro.symalg.horner import horner, horner_op_count
+from repro.symalg.ideal import (SideRelation, eliminate, ideal_membership,
+                                normal_form, simplify_modulo)
+from repro.symalg.ordering import GREVLEX, GRLEX, LEX, TermOrder
+from repro.symalg.parser import parse_expression, parse_polynomial
+from repro.symalg.polynomial import Polynomial, symbols
+from repro.symalg.series import (SUPPORTED_TAYLOR, approximation_error,
+                                 chebyshev_fit, taylor)
+from repro.symalg.treeheight import reduce_tree_height
+
+__all__ = [
+    "Polynomial", "symbols",
+    "TermOrder", "LEX", "GRLEX", "GREVLEX",
+    "divide", "reduce", "exact_divide", "DivisionResult",
+    "groebner_basis", "is_groebner_basis", "s_polynomial",
+    "SideRelation", "simplify_modulo", "normal_form", "ideal_membership",
+    "eliminate",
+    "polynomial_gcd", "polynomial_lcm",
+    "factor", "square_free_decomposition", "Factorization",
+    "horner", "horner_op_count",
+    "taylor", "chebyshev_fit", "approximation_error", "SUPPORTED_TAYLOR",
+    "Expression", "Const", "Var", "Add", "Mul", "Pow", "Call", "OpCount",
+    "const", "var", "flatten", "to_source",
+    "parse_expression", "parse_polynomial",
+    "reduce_tree_height",
+]

@@ -1,0 +1,128 @@
+"""Multivariate polynomial division with remainder.
+
+Implements the generalized division algorithm (Cox-Little-O'Shea ch. 2):
+given ``f`` and an ordered list of divisors ``g_1..g_s`` and a term
+order, produce quotients ``q_i`` and a remainder ``r`` with
+
+    f = q_1*g_1 + ... + q_s*g_s + r
+
+such that no term of ``r`` is divisible by any leading term ``LT(g_i)``.
+When the divisors form a Groebner basis, ``r`` is the unique *normal
+form* of ``f`` modulo the ideal — the operation the paper calls
+``simplify`` modulo a set of side relations.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import DivisionError
+from repro.symalg.ordering import GREVLEX, TermOrder
+from repro.symalg.polynomial import Polynomial
+
+__all__ = ["divide", "reduce", "exact_divide", "DivisionResult"]
+
+
+class DivisionResult:
+    """Quotients and remainder of a multivariate division.
+
+    Attributes
+    ----------
+    quotients:
+        One quotient polynomial per divisor, in divisor order.
+    remainder:
+        The remainder; no term is divisible by any divisor's leading term.
+    """
+
+    __slots__ = ("quotients", "remainder")
+
+    def __init__(self, quotients: list[Polynomial], remainder: Polynomial):
+        self.quotients = quotients
+        self.remainder = remainder
+
+    def reconstruct(self, divisors: Sequence[Polynomial]) -> Polynomial:
+        """Return ``sum(q_i * g_i) + r`` (should equal the dividend)."""
+        total = self.remainder
+        for q, g in zip(self.quotients, divisors):
+            total = total + q * g
+        return total
+
+
+def _monomial_divides(a: dict[str, int], b: dict[str, int]) -> bool:
+    """True iff monomial ``a`` divides monomial ``b`` (var->exp maps)."""
+    return all(b.get(var, 0) >= e for var, e in a.items())
+
+
+def _term_as_map(poly: Polynomial, exps: tuple[int, ...]) -> dict[str, int]:
+    return {v: e for v, e in zip(poly.variables, exps) if e}
+
+
+def _quotient_monomial(num: dict[str, int], den: dict[str, int],
+                       coeff: Fraction) -> Polynomial:
+    powers = dict(num)
+    for var, e in den.items():
+        powers[var] = powers.get(var, 0) - e
+    powers = {v: e for v, e in powers.items() if e}
+    return Polynomial.monomial(powers, coeff)
+
+
+def divide(dividend: Polynomial, divisors: Sequence[Polynomial],
+           order: TermOrder = GREVLEX) -> DivisionResult:
+    """Divide ``dividend`` by the ordered list ``divisors`` under ``order``.
+
+    Raises :class:`~repro.errors.DivisionError` if any divisor is zero.
+
+    >>> from repro.symalg.polynomial import symbols
+    >>> x, y = symbols("x y")
+    >>> res = divide(x**2 * y + x * y**2 + y**2, [x * y - 1, y**2 - 1])
+    >>> str(res.remainder)
+    'x + y + 1'
+    """
+    if any(g.is_zero() for g in divisors):
+        raise DivisionError("cannot divide by the zero polynomial")
+
+    leading = []
+    for g in divisors:
+        exps, coeff = g.leading_term(order)
+        leading.append((_term_as_map(g, exps), coeff))
+
+    quotients = [Polynomial.zero() for _ in divisors]
+    remainder = Polynomial.zero()
+    p = dividend
+
+    while not p.is_zero():
+        exps, coeff = p.leading_term(order)
+        lt_map = _term_as_map(p, exps)
+        for i, (g_lt, g_coeff) in enumerate(leading):
+            if _monomial_divides(g_lt, lt_map):
+                factor = _quotient_monomial(lt_map, g_lt, coeff / g_coeff)
+                quotients[i] = quotients[i] + factor
+                p = p - factor * divisors[i]
+                break
+        else:
+            term = Polynomial.monomial(lt_map, coeff)
+            remainder = remainder + term
+            p = p - term
+    return DivisionResult(quotients, remainder)
+
+
+def reduce(poly: Polynomial, divisors: Sequence[Polynomial],
+           order: TermOrder = GREVLEX) -> Polynomial:
+    """Normal form: the remainder of :func:`divide` (drops the quotients)."""
+    if not divisors:
+        return poly
+    return divide(poly, divisors, order).remainder
+
+
+def exact_divide(dividend: Polynomial, divisor: Polynomial,
+                 order: TermOrder = GREVLEX) -> Polynomial:
+    """Exact division; raises if ``divisor`` does not divide ``dividend``.
+
+    Used by content/primitive-part computations in the GCD and
+    factorization layers, where divisibility is known in advance.
+    """
+    result = divide(dividend, [divisor], order)
+    if not result.remainder.is_zero():
+        raise DivisionError(f"{divisor} does not exactly divide {dividend}")
+    return result.quotients[0]

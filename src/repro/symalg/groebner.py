@@ -1,0 +1,206 @@
+"""Buchberger's algorithm for Groebner bases.
+
+The paper's core symbolic operation — *simplification modulo a set of
+polynomials* — is normal-form reduction with respect to a Groebner
+basis of the side-relation ideal.  This module computes reduced
+Groebner bases with Buchberger's algorithm plus the two classic
+pair-pruning criteria:
+
+* the **product (first) criterion**: S-polynomials of pairs with
+  coprime leading monomials reduce to zero and are skipped;
+* the **chain (second) criterion**: a pair ``(i, j)`` is skipped when
+  some ``k`` has ``LT(g_k)`` dividing ``lcm(LT(g_i), LT(g_j))`` and the
+  pairs ``(i, k)`` and ``(j, k)`` were already handled.
+
+Since the computation is worst-case doubly exponential, work limits
+(basis size / pair count) guard against runaway instances and raise
+:class:`~repro.errors.GroebnerExplosion`; the mapping search treats
+that as a pruned branch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import GroebnerExplosion
+from repro.symalg.division import reduce as nf_reduce
+from repro.symalg.ordering import GREVLEX, TermOrder
+from repro.symalg.polynomial import Polynomial
+
+__all__ = ["s_polynomial", "groebner_basis", "is_groebner_basis"]
+
+
+def _lt_map(poly: Polynomial, order: TermOrder) -> dict[str, int]:
+    exps, _ = poly.leading_term(order)
+    return {v: e for v, e in zip(poly.variables, exps) if e}
+
+
+def _lcm_map(a: dict[str, int], b: dict[str, int]) -> dict[str, int]:
+    out = dict(a)
+    for var, e in b.items():
+        out[var] = max(out.get(var, 0), e)
+    return out
+
+
+def _divides(a: dict[str, int], b: dict[str, int]) -> bool:
+    return all(b.get(var, 0) >= e for var, e in a.items())
+
+
+def _coprime(a: dict[str, int], b: dict[str, int]) -> bool:
+    return all(b.get(var, 0) == 0 for var in a)
+
+
+def s_polynomial(f: Polynomial, g: Polynomial,
+                 order: TermOrder = GREVLEX) -> Polynomial:
+    """The S-polynomial ``S(f, g)`` under ``order``.
+
+    ``S(f,g) = (lcm/LT(f))*f - (lcm/LT(g))*g`` where ``lcm`` is the least
+    common multiple of the two leading monomials; it cancels the leading
+    terms against each other.
+    """
+    f_exps, f_coeff = f.leading_term(order)
+    g_exps, g_coeff = g.leading_term(order)
+    f_lt = {v: e for v, e in zip(f.variables, f_exps) if e}
+    g_lt = {v: e for v, e in zip(g.variables, g_exps) if e}
+    lcm = _lcm_map(f_lt, g_lt)
+
+    def cofactor(lt: dict[str, int]) -> Polynomial:
+        powers = {v: lcm[v] - lt.get(v, 0) for v in lcm}
+        powers = {v: e for v, e in powers.items() if e}
+        return Polynomial.monomial(powers, 1)
+
+    return cofactor(f_lt) * f / f_coeff - cofactor(g_lt) * g / g_coeff
+
+
+def groebner_basis(generators: Iterable[Polynomial],
+                   order: TermOrder = GREVLEX,
+                   *,
+                   max_basis: int = 200,
+                   max_pairs: int = 5000) -> list[Polynomial]:
+    """Compute the reduced Groebner basis of the ideal of ``generators``.
+
+    The result is monic, inter-reduced, and sorted leading-term
+    descending, hence canonical for the given order.
+
+    Raises
+    ------
+    GroebnerExplosion
+        If the basis grows beyond ``max_basis`` elements or more than
+        ``max_pairs`` S-pairs are processed.
+    """
+    basis = [g for g in generators if not g.is_zero()]
+    if not basis:
+        return []
+    basis = [g.monic(order) for g in basis]
+
+    pairs = {(i, j) for i in range(len(basis)) for j in range(i)}
+    done: set[tuple[int, int]] = set()
+    processed = 0
+
+    while pairs:
+        processed += 1
+        if processed > max_pairs:
+            raise GroebnerExplosion(
+                f"Buchberger exceeded {max_pairs} S-pairs")
+        # Prefer pairs with the smallest lcm degree (normal selection).
+        i, j = min(pairs, key=lambda ij: sum(
+            _lcm_map(_lt_map(basis[ij[0]], order),
+                     _lt_map(basis[ij[1]], order)).values()))
+        pairs.discard((i, j))
+        done.add((i, j))
+
+        lt_i = _lt_map(basis[i], order)
+        lt_j = _lt_map(basis[j], order)
+        if _coprime(lt_i, lt_j):
+            continue  # product criterion
+        if _chain_criterion(i, j, basis, order, done):
+            continue
+
+        s_poly = s_polynomial(basis[i], basis[j], order)
+        remainder = nf_reduce(s_poly, basis, order)
+        if remainder.is_zero():
+            continue
+        remainder = remainder.monic(order)
+        basis.append(remainder)
+        if len(basis) > max_basis:
+            raise GroebnerExplosion(
+                f"Groebner basis grew beyond {max_basis} elements")
+        new_index = len(basis) - 1
+        pairs.update((new_index, k) for k in range(new_index))
+
+    return _reduce_basis(basis, order)
+
+
+def _chain_criterion(i: int, j: int, basis: Sequence[Polynomial],
+                     order: TermOrder, done: set[tuple[int, int]]) -> bool:
+    """Buchberger's second criterion for pair (i, j)."""
+    lt_i = _lt_map(basis[i], order)
+    lt_j = _lt_map(basis[j], order)
+    lcm_ij = _lcm_map(lt_i, lt_j)
+    for k in range(len(basis)):
+        if k in (i, j):
+            continue
+        if not _divides(_lt_map(basis[k], order), lcm_ij):
+            continue
+        pair_ik = (max(i, k), min(i, k))
+        pair_jk = (max(j, k), min(j, k))
+        if pair_ik in done and pair_jk in done:
+            return True
+    return False
+
+
+def _reduce_basis(basis: list[Polynomial], order: TermOrder) -> list[Polynomial]:
+    """Minimize then inter-reduce the basis (reduced Groebner basis)."""
+    # Minimal: drop g whose leading term is divisible by another's.
+    minimal: list[Polynomial] = []
+    for i, g in enumerate(basis):
+        lt_g = _lt_map(g, order)
+        dominated = False
+        for j, h in enumerate(basis):
+            if i == j:
+                continue
+            lt_h = _lt_map(h, order)
+            if _divides(lt_h, lt_g) and not (lt_h == lt_g and j > i):
+                dominated = True
+                break
+        if not dominated:
+            minimal.append(g)
+
+    # Reduced: replace each element by its normal form modulo the others.
+    reduced: list[Polynomial] = []
+    for i, g in enumerate(minimal):
+        others = minimal[:i] + minimal[i + 1:]
+        if others:
+            g = nf_reduce(g, others, order)
+        if not g.is_zero():
+            reduced.append(g.monic(order))
+
+    def lead_key(p: Polynomial):
+        exps, _ = p.leading_term(order)
+        return order.sort_key(p.variables)(exps)
+
+    # Sorting leading-first makes the output deterministic.  Keys from
+    # different variable sets are not directly comparable, so sort on a
+    # common variable frame.
+    frame = tuple(sorted({v for p in reduced for v in p.variables}))
+
+    def framed_key(p: Polynomial):
+        exps, _ = p.leading_term(order)
+        full = {v: e for v, e in zip(p.variables, exps)}
+        framed = tuple(full.get(v, 0) for v in frame)
+        return order.sort_key(frame)(framed)
+
+    reduced.sort(key=framed_key, reverse=True)
+    return reduced
+
+
+def is_groebner_basis(basis: Sequence[Polynomial],
+                      order: TermOrder = GREVLEX) -> bool:
+    """Check the Buchberger criterion: all S-polynomials reduce to zero."""
+    basis = [g for g in basis if not g.is_zero()]
+    for i in range(len(basis)):
+        for j in range(i):
+            s_poly = s_polynomial(basis[i], basis[j], order)
+            if not nf_reduce(s_poly, basis, order).is_zero():
+                return False
+    return True

@@ -1,0 +1,93 @@
+"""Horner (nested) form of multivariate polynomials.
+
+The paper uses Horner transforms both as a candidate-generation
+manipulation and to cost residual polynomial code after mapping: the
+Horner form of a polynomial evaluates with the minimal number of
+multiplications among nesting schemes over a fixed variable order.
+
+The multivariate algorithm follows Maple's ``convert(S, 'horner',
+[x, y])``: collect by powers of the first variable, recursively Horner
+each coefficient in the remaining variables, then nest:
+
+    S = y^2*x + y*x^2 + 4*x*y + x^2 + 2*x
+    convert(S, 'horner', [x, y])  =  (2 + (4 + y)*y + (y + 1)*x)*x
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.symalg.expression import (Add, Const, Expression, Mul, OpCount,
+                                     Var, flatten)
+from repro.symalg.polynomial import Polynomial
+
+__all__ = ["horner", "horner_op_count"]
+
+
+def horner(poly: Polynomial, variable_order: Sequence[str] | None = None
+           ) -> Expression:
+    """Return the nested (Horner) expression of ``poly``.
+
+    ``variable_order`` selects nesting priority; variables not listed
+    are appended sorted by name.  The returned expression evaluates to
+    the same function as ``poly``.
+
+    >>> from repro.symalg.parser import parse_polynomial
+    >>> s = parse_polynomial("y^2*x + y*x^2 + 4*x*y + x^2 + 2*x")
+    >>> str(horner(s, ["x", "y"]))
+    '((y + 1) * x + (y + 4) * y + 2) * x'
+
+    (Term order aside, this is Maple's ``(2+(4+y)*y+(y+1)*x)*x``.)
+    """
+    order = _full_order(poly, variable_order)
+    return flatten(_horner(poly, order))
+
+
+def horner_op_count(poly: Polynomial,
+                    variable_order: Sequence[str] | None = None) -> OpCount:
+    """Operation count of the Horner form (cost-model input)."""
+    return horner(poly, variable_order).op_count()
+
+
+def _full_order(poly: Polynomial, variable_order: Sequence[str] | None
+                ) -> list[str]:
+    listed = list(variable_order) if variable_order else []
+    rest = sorted(set(poly.variables) - set(listed))
+    return [v for v in listed if v in poly.variables] + rest
+
+
+def _horner(poly: Polynomial, order: list[str]) -> Expression:
+    if poly.is_constant():
+        return Const(poly.constant_value())
+    if not order:
+        raise AssertionError("variable order exhausted before polynomial became constant")
+    var_name, *rest = order
+    coeffs = poly.coefficients_in(var_name)
+    max_power = max(coeffs)
+    if max_power == 0:
+        return _horner(poly, rest)
+
+    # Nest from the highest power down:  (((c_n) x + c_{n-1}) x + ...)
+    # skipping absent powers by multiplying with x^gap (costed as
+    # repeated multiplication, like the emitted code would be).
+    x = Var(var_name)
+    powers = sorted(coeffs, reverse=True)
+    acc: Expression | None = None
+    previous_power = None
+    for power in powers:
+        coeff_expr = _horner(coeffs[power], _full_order(coeffs[power], rest))
+        if acc is None:
+            acc = coeff_expr
+        else:
+            gap = previous_power - power
+            acc = Add((Mul((acc, _power(x, gap))), coeff_expr))
+        previous_power = power
+    if previous_power:
+        acc = Mul((acc, _power(x, previous_power)))
+    return acc
+
+
+def _power(base: Expression, exponent: int) -> Expression:
+    if exponent == 1:
+        return base
+    return Mul(tuple([base] * exponent))

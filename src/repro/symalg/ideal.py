@@ -1,0 +1,164 @@
+"""Ideal operations: simplification modulo side relations, membership,
+variable elimination.
+
+``simplify_modulo`` reproduces the Maple call the paper builds its
+mapping algorithm around::
+
+    > S := x + x^3*y^2 - 2*x*y^3
+    > simplify(S, {p = x^2 - 2*y}, [x, y, p]);
+    x + y^2*x*p
+
+A *side relation* names a new symbol (``p``) and equates it to a
+polynomial in the program variables.  Simplifying a target ``S`` modulo
+a set of side relations rewrites as much of ``S`` as possible in terms
+of the new symbols: we adjoin generators ``p - (x^2 - 2y)`` to an ideal,
+compute its Groebner basis under a lex order in which the program
+variables outrank the new symbols, and take the normal form of ``S``.
+Because the program variables are "expensive" under that order, the
+reduction eagerly replaces them with the library symbols — exactly the
+rewriting step of the DAC'02 library-mapping algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import SymbolicError
+from repro.symalg.division import reduce as nf_reduce
+from repro.symalg.groebner import groebner_basis
+from repro.symalg.ordering import TermOrder
+from repro.symalg.polynomial import Polynomial
+
+__all__ = ["SideRelation", "simplify_modulo", "ideal_membership",
+           "eliminate", "normal_form"]
+
+
+@dataclass(frozen=True)
+class SideRelation:
+    """``name = polynomial``: a library element viewed as a rewrite rule.
+
+    ``name`` is the fresh symbol standing for the element's output;
+    ``polynomial`` is the element's polynomial representation over the
+    program variables (and possibly other side-relation symbols).
+    """
+
+    name: str
+    polynomial: Polynomial
+
+    def __post_init__(self) -> None:
+        if self.name in self.polynomial.variables:
+            raise SymbolicError(
+                f"side relation symbol {self.name!r} occurs in its own definition")
+
+    def generator(self) -> Polynomial:
+        """The ideal generator ``name - polynomial``."""
+        return Polynomial.variable(self.name) - self.polynomial
+
+    def __str__(self) -> str:
+        return f"{self.name} = {self.polynomial}"
+
+
+def _elimination_order(target: Polynomial,
+                       relations: Sequence[SideRelation],
+                       variable_order: Sequence[str] | None) -> TermOrder:
+    """Lex order with program variables ahead of side-relation symbols.
+
+    If ``variable_order`` is given it is used verbatim (the Maple
+    convention, e.g. ``[x, y, p]``); otherwise program variables sort by
+    name followed by relation symbols in relation order.
+    """
+    if variable_order is not None:
+        return TermOrder("lex", tuple(variable_order))
+    program_vars: set[str] = set(target.variables)
+    for rel in relations:
+        program_vars.update(rel.polynomial.variables)
+    rel_names = [rel.name for rel in relations]
+    program_vars -= set(rel_names)
+    precedence = tuple(sorted(program_vars)) + tuple(rel_names)
+    return TermOrder("lex", precedence)
+
+
+def simplify_modulo(target: Polynomial,
+                    relations: Iterable[SideRelation] | Mapping[str, Polynomial],
+                    variable_order: Sequence[str] | None = None,
+                    *,
+                    max_basis: int = 200,
+                    max_pairs: int = 5000) -> Polynomial:
+    """Rewrite ``target`` in terms of the side-relation symbols.
+
+    Parameters
+    ----------
+    target:
+        Polynomial over the program variables.
+    relations:
+        Side relations, either as :class:`SideRelation` objects or as a
+        ``{name: polynomial}`` mapping.
+    variable_order:
+        Optional explicit lex precedence (program variables first, then
+        side-relation symbols), mirroring Maple's third argument.
+
+    Returns the normal form of ``target`` modulo the Groebner basis of
+    the side-relation ideal.  May raise
+    :class:`~repro.errors.GroebnerExplosion` on pathological inputs.
+
+    >>> from repro.symalg.polynomial import symbols
+    >>> x, y = symbols("x y")
+    >>> s = x + x**3 * y**2 - 2 * x * y**3
+    >>> str(simplify_modulo(s, {"p": x**2 - 2*y}, ["x", "y", "p"]))
+    'p*x*y^2 + x'
+
+    (Maple prints the same polynomial as ``x + y^2*x*p``.)
+    """
+    rel_list = _as_relations(relations)
+    if not rel_list:
+        return target
+    order = _elimination_order(target, rel_list, variable_order)
+    basis = groebner_basis([rel.generator() for rel in rel_list], order,
+                           max_basis=max_basis, max_pairs=max_pairs)
+    return nf_reduce(target, basis, order)
+
+
+def normal_form(poly: Polynomial, generators: Sequence[Polynomial],
+                order: TermOrder) -> Polynomial:
+    """Normal form of ``poly`` modulo the ideal of ``generators``.
+
+    Computes a Groebner basis first so the result is canonical.
+    """
+    basis = groebner_basis(generators, order)
+    return nf_reduce(poly, basis, order)
+
+
+def ideal_membership(poly: Polynomial, generators: Sequence[Polynomial],
+                     order: TermOrder | None = None) -> bool:
+    """True iff ``poly`` lies in the ideal generated by ``generators``."""
+    if poly.is_zero():
+        return True
+    if order is None:
+        order = TermOrder("grevlex")
+    return normal_form(poly, generators, order).is_zero()
+
+
+def eliminate(generators: Sequence[Polynomial],
+              drop: Sequence[str]) -> list[Polynomial]:
+    """Generators of the elimination ideal with ``drop`` variables removed.
+
+    Computes a lex Groebner basis with the dropped variables most
+    significant and keeps the elements free of them.
+    """
+    keep: set[str] = set()
+    for g in generators:
+        keep.update(g.variables)
+    keep -= set(drop)
+    precedence = tuple(drop) + tuple(sorted(keep))
+    order = TermOrder("lex", precedence)
+    basis = groebner_basis(generators, order)
+    dropped = set(drop)
+    return [g for g in basis if not dropped & set(g.variables)]
+
+
+def _as_relations(relations: Iterable[SideRelation] | Mapping[str, Polynomial]
+                  ) -> list[SideRelation]:
+    if isinstance(relations, Mapping):
+        return [SideRelation(name, poly) for name, poly in relations.items()]
+    return list(relations)

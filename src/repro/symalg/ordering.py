@@ -1,0 +1,113 @@
+"""Monomial (term) orders for multivariate polynomials.
+
+A term order decides which monomial is the *leading* one, which drives
+the multivariate division algorithm and Buchberger's algorithm.  Three
+classic orders are provided:
+
+* ``lex`` — pure lexicographic.  Used for variable elimination: with
+  precedence ``[x, y, p]`` every reduction prefers to rewrite ``x`` and
+  ``y`` away in favour of ``p``, which is exactly what the paper's
+  ``simplify(S, {p = ...}, [x, y, p])`` Maple call does.
+* ``grlex`` — graded lexicographic (total degree, ties by lex).
+* ``grevlex`` — graded reverse lexicographic; usually the fastest order
+  for Groebner bases.
+
+An order is attached to a *precedence*: a tuple of variable names from
+most to least significant.  Variables a polynomial uses that are absent
+from the precedence are appended (sorted by name) at the end, so a
+partial precedence like ``("x",)`` is legal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["TermOrder", "LEX", "GRLEX", "GREVLEX"]
+
+_KINDS = ("lex", "grlex", "grevlex")
+
+
+@dataclass(frozen=True)
+class TermOrder:
+    """A monomial order: a comparison kind plus a variable precedence.
+
+    Parameters
+    ----------
+    kind:
+        One of ``"lex"``, ``"grlex"``, ``"grevlex"``.
+    precedence:
+        Variable names from most significant to least significant.  May
+        be empty, in which case variables compare in sorted-name order.
+    """
+
+    kind: str = "grevlex"
+    precedence: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown term order kind {self.kind!r}; expected one of {_KINDS}")
+        if len(set(self.precedence)) != len(self.precedence):
+            raise ValueError(f"duplicate variable in precedence {self.precedence!r}")
+
+    def with_precedence(self, precedence: Iterable[str]) -> "TermOrder":
+        """Return a copy of this order using ``precedence``."""
+        return TermOrder(self.kind, tuple(precedence))
+
+    def arrangement(self, variables: Sequence[str]) -> tuple[int, ...]:
+        """Indices that rearrange ``variables`` into precedence order.
+
+        Variables named in :attr:`precedence` come first (in that
+        order); remaining variables follow sorted by name.
+        """
+        index_of = {name: i for i, name in enumerate(variables)}
+        arranged: list[int] = []
+        seen: set[str] = set()
+        for name in self.precedence:
+            if name in index_of:
+                arranged.append(index_of[name])
+                seen.add(name)
+        for name in sorted(index_of):
+            if name not in seen:
+                arranged.append(index_of[name])
+        return tuple(arranged)
+
+    def sort_key(self, variables: Sequence[str]):
+        """Return ``key(exponents) -> sortable`` for monomials over ``variables``.
+
+        Larger key means larger monomial under this order.  The key is
+        built once per polynomial operation and applied to many
+        exponent tuples, so it closes over the precomputed arrangement.
+        """
+        arranged = self.arrangement(variables)
+        kind = self.kind
+
+        if kind == "lex":
+            def key(exps: tuple[int, ...]):
+                return tuple(exps[i] for i in arranged)
+        elif kind == "grlex":
+            def key(exps: tuple[int, ...]):
+                return (sum(exps), tuple(exps[i] for i in arranged))
+        else:  # grevlex
+            def key(exps: tuple[int, ...]):
+                return (sum(exps), tuple(-exps[i] for i in reversed(arranged)))
+        return key
+
+    def max_monomial(self, exponents: Iterable[tuple[int, ...]],
+                     variables: Sequence[str]) -> tuple[int, ...]:
+        """Return the largest exponent tuple under this order."""
+        key = self.sort_key(variables)
+        return max(exponents, key=key)
+
+    def sorted_monomials(self, exponents: Iterable[tuple[int, ...]],
+                         variables: Sequence[str],
+                         reverse: bool = True) -> list[tuple[int, ...]]:
+        """Sort exponent tuples; by default descending (leading first)."""
+        key = self.sort_key(variables)
+        return sorted(exponents, key=key, reverse=reverse)
+
+
+#: Ready-made orders with empty precedence (sorted-name tie-breaking).
+LEX = TermOrder("lex")
+GRLEX = TermOrder("grlex")
+GREVLEX = TermOrder("grevlex")

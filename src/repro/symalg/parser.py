@@ -1,0 +1,173 @@
+"""A small expression parser: text -> expression tree -> polynomial.
+
+Grammar (recursive descent)::
+
+    expr    :=  term (("+" | "-") term)*
+    term    :=  unary (("*" | "/") unary)*
+    unary   :=  "-" unary | power
+    power   :=  atom (("^" | "**") integer)?
+    atom    :=  NUMBER | NAME | NAME "(" expr ("," expr)* ")" | "(" expr ")"
+
+Numbers may be integers, decimals (parsed exactly as rationals), or
+rationals written as divisions of integers.  Division is only allowed
+when the divisor folds to a nonzero constant — this is a polynomial
+front end, not a rational-function engine.
+
+Used throughout the library for library-element polynomial
+specifications and in tests to transcribe the paper's Maple snippets.
+"""
+
+from __future__ import annotations
+
+import re
+from decimal import Decimal
+from fractions import Fraction
+
+from repro.errors import ParseError
+from repro.symalg.expression import (Add, Call, Const, Expression, Mul, Pow,
+                                     Var, flatten)
+from repro.symalg.polynomial import Polynomial
+
+__all__ = ["parse_expression", "parse_polynomial"]
+
+_TOKEN_RE = re.compile(r"""
+    (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>\*\*|[-+*/^(),])
+  | (?P<ws>\s+)
+""", re.VERBOSE)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at column {pos} in {text!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group()))
+    tokens.append(("end", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.index]
+
+    def advance(self) -> tuple[str, str]:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, value: str) -> None:
+        kind, text = self.peek()
+        if text != value:
+            raise ParseError(f"expected {value!r}, found {text or 'end of input'!r} in {self.text!r}")
+        self.advance()
+
+    def parse(self) -> Expression:
+        expr = self.expr()
+        kind, text = self.peek()
+        if kind != "end":
+            raise ParseError(f"trailing input {text!r} in {self.text!r}")
+        return expr
+
+    def expr(self) -> Expression:
+        node = self.term()
+        while self.peek()[1] in ("+", "-"):
+            op = self.advance()[1]
+            right = self.term()
+            if op == "+":
+                node = Add((node, right))
+            else:
+                node = Add((node, Mul((Const(Fraction(-1)), right))))
+        return node
+
+    def term(self) -> Expression:
+        node = self.unary()
+        while self.peek()[1] in ("*", "/"):
+            op = self.advance()[1]
+            right = self.unary()
+            if op == "*":
+                node = Mul((node, right))
+            else:
+                folded = flatten(right)
+                if not isinstance(folded, Const):
+                    raise ParseError(
+                        f"division by non-constant {right} in {self.text!r}")
+                if folded.value == 0:
+                    raise ParseError(f"division by zero in {self.text!r}")
+                node = Mul((node, Const(1 / folded.value)))
+        return node
+
+    def unary(self) -> Expression:
+        if self.peek()[1] == "-":
+            self.advance()
+            return Mul((Const(Fraction(-1)), self.unary()))
+        if self.peek()[1] == "+":
+            self.advance()
+            return self.unary()
+        return self.power()
+
+    def power(self) -> Expression:
+        base = self.atom()
+        if self.peek()[1] in ("^", "**"):
+            self.advance()
+            negative = False
+            if self.peek()[1] == "-":
+                raise ParseError(f"negative exponents are not polynomial in {self.text!r}")
+            kind, text = self.advance()
+            if kind != "number" or "." in text:
+                raise ParseError(f"exponent must be a nonnegative integer in {self.text!r}")
+            return Pow(base, int(text))
+        return base
+
+    def atom(self) -> Expression:
+        kind, text = self.advance()
+        if kind == "number":
+            if "." in text:
+                dec = Decimal(text)
+                return Const(Fraction(dec))
+            return Const(Fraction(int(text)))
+        if kind == "name":
+            if self.peek()[1] == "(":
+                self.advance()
+                args = [self.expr()]
+                while self.peek()[1] == ",":
+                    self.advance()
+                    args.append(self.expr())
+                self.expect(")")
+                return Call(text, tuple(args))
+            return Var(text)
+        if text == "(":
+            node = self.expr()
+            self.expect(")")
+            return node
+        raise ParseError(f"unexpected {text or 'end of input'!r} in {self.text!r}")
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse ``text`` into an expression tree (flattened).
+
+    >>> str(parse_expression("exp(x) + 2*x"))
+    '(exp(x) + 2 * x)'
+    """
+    return flatten(_Parser(text).parse())
+
+
+def parse_polynomial(text: str) -> Polynomial:
+    """Parse ``text`` directly into a polynomial (no Call nodes allowed).
+
+    >>> parse_polynomial("(x+1)*(x-1)")
+    Polynomial('x^2 - 1')
+    """
+    return parse_expression(text).to_polynomial()

@@ -1,0 +1,543 @@
+"""Sparse multivariate polynomials over exact rationals.
+
+This module is the heart of the from-scratch symbolic engine that
+replaces Maple V in the DAC'02 methodology.  A :class:`Polynomial` is an
+immutable mapping from exponent tuples to nonzero
+:class:`~fractions.Fraction` coefficients, together with the tuple of
+variable names the exponents refer to.
+
+Design rules
+------------
+* **Canonical form.**  Variables are stored sorted by name, exponent
+  tuples carry one entry per variable, zero coefficients are dropped,
+  and variables that no term uses are pruned.  Two polynomials are equal
+  iff they represent the same function, so ``==`` and ``hash`` are
+  structural.
+* **Exact arithmetic.**  Coefficients are ``Fraction``; ``float`` inputs
+  are converted exactly (every binary float is a rational).  Numeric
+  tolerance only appears in :meth:`Polynomial.max_coefficient_distance`,
+  which the library matcher uses for the paper's "within an acceptable
+  tolerance" test.
+* **No hidden term order.**  Leading terms depend on a
+  :class:`~repro.symalg.ordering.TermOrder` passed explicitly by the
+  division/Groebner layers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Rational
+from typing import Callable, Iterable, Iterator, Mapping, Sequence, Union
+
+from repro.errors import SymbolicError
+from repro.symalg.ordering import GREVLEX, TermOrder
+
+__all__ = ["Polynomial", "symbols", "Coefficient", "Scalar"]
+
+#: Types accepted wherever a coefficient is expected.
+Scalar = Union[int, float, Fraction]
+Coefficient = Fraction
+
+
+def _to_fraction(value: Scalar) -> Fraction:
+    """Convert an accepted scalar to an exact Fraction."""
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise SymbolicError(f"non-finite coefficient {value!r}")
+        return Fraction(value)
+    if isinstance(value, Rational):
+        return Fraction(value.numerator, value.denominator)
+    raise SymbolicError(f"cannot use {type(value).__name__} as a polynomial coefficient")
+
+
+class Polynomial:
+    """An immutable sparse multivariate polynomial with rational coefficients.
+
+    Construct via :meth:`constant`, :meth:`variable`, :func:`symbols`,
+    :meth:`from_dict`, or the parser in :mod:`repro.symalg.parser`; then
+    combine with ``+ - * **``.
+
+    >>> x, y = symbols("x y")
+    >>> p = (x + y) * (x - y)
+    >>> p
+    Polynomial('x^2 - y^2')
+    >>> p.evaluate({"x": 3, "y": 2})
+    Fraction(5, 1)
+    """
+
+    __slots__ = ("_variables", "_terms", "_hash")
+
+    def __init__(self, variables: Sequence[str], terms: Mapping[tuple[int, ...], Scalar]):
+        """Build a polynomial; prefer the named constructors.
+
+        ``variables`` and ``terms`` are canonicalized: coefficients are
+        converted to ``Fraction``, zero terms dropped, variables sorted
+        and pruned.
+        """
+        variables = tuple(variables)
+        cleaned: dict[tuple[int, ...], Fraction] = {}
+        for exps, coeff in terms.items():
+            frac = _to_fraction(coeff)
+            if frac == 0:
+                continue
+            exps = tuple(exps)
+            if len(exps) != len(variables):
+                raise SymbolicError(
+                    f"exponent tuple {exps} does not match variables {variables}")
+            if any(e < 0 for e in exps):
+                raise SymbolicError(f"negative exponent in {exps}")
+            cleaned[exps] = cleaned.get(exps, Fraction(0)) + frac
+        cleaned = {e: c for e, c in cleaned.items() if c != 0}
+
+        # Prune unused variables and sort the rest by name.
+        used = [i for i in range(len(variables))
+                if any(exps[i] for exps in cleaned)]
+        pruned_vars = tuple(variables[i] for i in used)
+        order = sorted(range(len(pruned_vars)), key=lambda i: pruned_vars[i])
+        self._variables: tuple[str, ...] = tuple(pruned_vars[i] for i in order)
+        remap = [used[i] for i in order]
+        self._terms: dict[tuple[int, ...], Fraction] = {
+            tuple(exps[i] for i in remap): coeff for exps, coeff in cleaned.items()
+        }
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, value: Scalar) -> "Polynomial":
+        """The constant polynomial ``value``."""
+        return cls((), {(): value} if _to_fraction(value) != 0 else {})
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        """The zero polynomial."""
+        return cls((), {})
+
+    @classmethod
+    def one(cls) -> "Polynomial":
+        """The constant polynomial 1."""
+        return cls.constant(1)
+
+    @classmethod
+    def variable(cls, name: str) -> "Polynomial":
+        """The polynomial consisting of the single variable ``name``."""
+        if not name or not isinstance(name, str):
+            raise SymbolicError(f"invalid variable name {name!r}")
+        return cls((name,), {(1,): 1})
+
+    @classmethod
+    def monomial(cls, powers: Mapping[str, int], coefficient: Scalar = 1) -> "Polynomial":
+        """A single term, e.g. ``monomial({'x': 2, 'y': 1}, 3)`` is ``3*x^2*y``."""
+        names = tuple(powers)
+        exps = tuple(powers[n] for n in names)
+        return cls(names, {exps: coefficient})
+
+    @classmethod
+    def from_dict(cls, terms: Mapping[tuple[int, ...], Scalar],
+                  variables: Sequence[str]) -> "Polynomial":
+        """Build from an ``{exponent_tuple: coefficient}`` mapping."""
+        return cls(variables, terms)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """Variable names actually used, sorted."""
+        return self._variables
+
+    @property
+    def terms(self) -> Mapping[tuple[int, ...], Fraction]:
+        """Read-only view of the term map (do not mutate)."""
+        return self._terms
+
+    def __len__(self) -> int:
+        """Number of (nonzero) terms."""
+        return len(self._terms)
+
+    def is_zero(self) -> bool:
+        """True iff this is the zero polynomial."""
+        return not self._terms
+
+    def is_constant(self) -> bool:
+        """True iff no variables occur."""
+        return not self._variables
+
+    def constant_value(self) -> Fraction:
+        """The value of a constant polynomial (raises if non-constant)."""
+        if not self.is_constant():
+            raise SymbolicError(f"{self} is not constant")
+        return self._terms.get((), Fraction(0))
+
+    def total_degree(self) -> int:
+        """Maximum total degree over all terms (zero polynomial: -1)."""
+        if not self._terms:
+            return -1
+        return max(sum(exps) for exps in self._terms)
+
+    def degree_in(self, var: str) -> int:
+        """Maximum exponent of ``var`` (0 if absent, -1 for the zero poly)."""
+        if not self._terms:
+            return -1
+        if var not in self._variables:
+            return 0
+        i = self._variables.index(var)
+        return max(exps[i] for exps in self._terms)
+
+    def coefficient(self, powers: Mapping[str, int]) -> Fraction:
+        """Coefficient of the monomial given by ``powers`` (0 if absent)."""
+        full = {v: 0 for v in self._variables}
+        for name, power in powers.items():
+            if power and name not in full:
+                return Fraction(0)
+            if name in full:
+                full[name] = power
+        exps = tuple(full[v] for v in self._variables)
+        return self._terms.get(exps, Fraction(0))
+
+    def iter_terms(self) -> Iterator[tuple[dict[str, int], Fraction]]:
+        """Yield ``({var: exponent}, coefficient)`` pairs."""
+        for exps, coeff in self._terms.items():
+            yield ({v: e for v, e in zip(self._variables, exps) if e}, coeff)
+
+    # ------------------------------------------------------------------
+    # Alignment helper
+    # ------------------------------------------------------------------
+    def _aligned(self, other: "Polynomial") -> tuple[tuple[str, ...],
+                                                     dict[tuple[int, ...], Fraction],
+                                                     dict[tuple[int, ...], Fraction]]:
+        """Re-express both term maps over the union of the variable sets."""
+        if self._variables == other._variables:
+            return self._variables, self._terms, other._terms
+        union = tuple(sorted(set(self._variables) | set(other._variables)))
+
+        def remap(poly: "Polynomial") -> dict[tuple[int, ...], Fraction]:
+            pos = [union.index(v) for v in poly._variables]
+            out: dict[tuple[int, ...], Fraction] = {}
+            for exps, coeff in poly._terms.items():
+                full = [0] * len(union)
+                for p, e in zip(pos, exps):
+                    full[p] = e
+                out[tuple(full)] = coeff
+            return out
+
+        return union, remap(self), remap(other)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: Union["Polynomial", Scalar]) -> "Polynomial":
+        other = _coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        union, a, b = self._aligned(other)
+        out = dict(a)
+        for exps, coeff in b.items():
+            out[exps] = out.get(exps, Fraction(0)) + coeff
+        return Polynomial(union, out)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(self._variables, {e: -c for e, c in self._terms.items()})
+
+    def __sub__(self, other: Union["Polynomial", Scalar]) -> "Polynomial":
+        other = _coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self + (-other)
+
+    def __rsub__(self, other: Scalar) -> "Polynomial":
+        other = _coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return other + (-self)
+
+    def __mul__(self, other: Union["Polynomial", Scalar]) -> "Polynomial":
+        other = _coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        union, a, b = self._aligned(other)
+        out: dict[tuple[int, ...], Fraction] = {}
+        for e1, c1 in a.items():
+            for e2, c2 in b.items():
+                key = tuple(x + y for x, y in zip(e1, e2))
+                out[key] = out.get(key, Fraction(0)) + c1 * c2
+        return Polynomial(union, out)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Scalar) -> "Polynomial":
+        """Division by a nonzero scalar only; use :mod:`division` for polynomials."""
+        if isinstance(other, Polynomial):
+            if other.is_constant():
+                other = other.constant_value()
+            else:
+                raise SymbolicError(
+                    "use repro.symalg.division for polynomial/polynomial division")
+        frac = _to_fraction(other)
+        if frac == 0:
+            raise SymbolicError("division by zero")
+        return Polynomial(self._variables,
+                          {e: c / frac for e, c in self._terms.items()})
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise SymbolicError(f"polynomial exponent must be a nonnegative int, got {exponent!r}")
+        result = Polynomial.one()
+        base = self
+        n = exponent
+        while n:
+            if n & 1:
+                result = result * base
+            base = base * base if n > 1 else base
+            n >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Calculus / evaluation / substitution
+    # ------------------------------------------------------------------
+    def derivative(self, var: str) -> "Polynomial":
+        """Partial derivative with respect to ``var``."""
+        if var not in self._variables:
+            return Polynomial.zero()
+        i = self._variables.index(var)
+        out: dict[tuple[int, ...], Fraction] = {}
+        for exps, coeff in self._terms.items():
+            if exps[i] == 0:
+                continue
+            new = list(exps)
+            new[i] -= 1
+            out[tuple(new)] = out.get(tuple(new), Fraction(0)) + coeff * exps[i]
+        return Polynomial(self._variables, out)
+
+    def evaluate(self, env: Mapping[str, Scalar]) -> Union[Fraction, float]:
+        """Evaluate at a point.  Missing variables raise.
+
+        Returns a ``Fraction`` when all inputs are exact, otherwise a
+        ``float``.
+        """
+        missing = [v for v in self._variables if v not in env]
+        if missing:
+            raise SymbolicError(f"no value for variable(s) {missing}")
+        exact = all(not isinstance(env[v], float) for v in self._variables)
+        values = [env[v] if isinstance(env[v], float) else _to_fraction(env[v])
+                  for v in self._variables]
+        total: Union[Fraction, float] = Fraction(0) if exact else 0.0
+        for exps, coeff in self._terms.items():
+            term: Union[Fraction, float] = coeff if exact else float(coeff)
+            for value, e in zip(values, exps):
+                if e:
+                    term = term * value ** e
+            total = total + term
+        return total
+
+    def substitute(self, mapping: Mapping[str, Union["Polynomial", Scalar]]) -> "Polynomial":
+        """Replace variables by polynomials (or scalars) simultaneously.
+
+        >>> x, y = symbols("x y")
+        >>> (x * x + y).substitute({"x": y + 1})
+        Polynomial('y^2 + 3*y + 1')
+        """
+        subs: dict[str, Polynomial] = {}
+        for name, value in mapping.items():
+            subs[name] = value if isinstance(value, Polynomial) else Polynomial.constant(value)
+        result = Polynomial.zero()
+        for exps, coeff in self._terms.items():
+            term = Polynomial.constant(coeff)
+            for var, e in zip(self._variables, exps):
+                if not e:
+                    continue
+                base = subs.get(var, Polynomial.variable(var))
+                term = term * base ** e
+            result = result + term
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "Polynomial":
+        """Rename variables (must stay distinct)."""
+        new_names = [mapping.get(v, v) for v in self._variables]
+        if len(set(new_names)) != len(new_names):
+            raise SymbolicError(f"rename {mapping} collapses distinct variables")
+        return Polynomial(tuple(new_names), dict(self._terms))
+
+    def map_coefficients(self, fn: Callable[[Fraction], Scalar]) -> "Polynomial":
+        """Apply ``fn`` to every coefficient."""
+        return Polynomial(self._variables, {e: fn(c) for e, c in self._terms.items()})
+
+    # ------------------------------------------------------------------
+    # Term-order-dependent views
+    # ------------------------------------------------------------------
+    def leading_term(self, order: TermOrder = GREVLEX) -> tuple[tuple[int, ...], Fraction]:
+        """``(exponents, coefficient)`` of the leading term under ``order``."""
+        if not self._terms:
+            raise SymbolicError("zero polynomial has no leading term")
+        exps = order.max_monomial(self._terms.keys(), self._variables)
+        return exps, self._terms[exps]
+
+    def leading_monomial(self, order: TermOrder = GREVLEX) -> "Polynomial":
+        """The leading term as a (monic) polynomial."""
+        exps, _ = self.leading_term(order)
+        return Polynomial(self._variables, {exps: 1})
+
+    def leading_coefficient(self, order: TermOrder = GREVLEX) -> Fraction:
+        """Coefficient of the leading term."""
+        return self.leading_term(order)[1]
+
+    def monic(self, order: TermOrder = GREVLEX) -> "Polynomial":
+        """Scale so the leading coefficient is 1."""
+        if self.is_zero():
+            return self
+        return self / self.leading_coefficient(order)
+
+    def sorted_terms(self, order: TermOrder = GREVLEX
+                     ) -> list[tuple[tuple[int, ...], Fraction]]:
+        """Terms sorted leading-first."""
+        exps_sorted = order.sorted_monomials(self._terms.keys(), self._variables)
+        return [(e, self._terms[e]) for e in exps_sorted]
+
+    # ------------------------------------------------------------------
+    # Univariate views (used by Horner, factorization, GCD)
+    # ------------------------------------------------------------------
+    def coefficients_in(self, var: str) -> dict[int, "Polynomial"]:
+        """View as a univariate polynomial in ``var``: power -> coefficient poly."""
+        if var not in self._variables:
+            return {0: self} if not self.is_zero() else {}
+        i = self._variables.index(var)
+        rest = tuple(v for j, v in enumerate(self._variables) if j != i)
+        buckets: dict[int, dict[tuple[int, ...], Fraction]] = {}
+        for exps, coeff in self._terms.items():
+            power = exps[i]
+            rest_exps = tuple(e for j, e in enumerate(exps) if j != i)
+            buckets.setdefault(power, {})[rest_exps] = coeff
+        return {p: Polynomial(rest, t) for p, t in buckets.items()}
+
+    @staticmethod
+    def from_univariate(coeffs: Mapping[int, "Polynomial"], var: str) -> "Polynomial":
+        """Inverse of :meth:`coefficients_in`."""
+        x = Polynomial.variable(var)
+        result = Polynomial.zero()
+        for power, coeff in coeffs.items():
+            result = result + coeff * x ** power
+        return result
+
+    def content(self) -> Fraction:
+        """Rational content: gcd of numerators over lcm of denominators.
+
+        Sign convention: the content carries the sign of the leading
+        (grevlex) coefficient, so the primitive part has positive
+        leading coefficient.
+        """
+        if self.is_zero():
+            return Fraction(0)
+        from math import gcd, lcm
+        nums = [abs(c.numerator) for c in self._terms.values()]
+        dens = [c.denominator for c in self._terms.values()]
+        g = 0
+        for n in nums:
+            g = gcd(g, n)
+        m = 1
+        for d in dens:
+            m = lcm(m, d)
+        magnitude = Fraction(g, m)
+        sign = 1 if self.leading_coefficient(GREVLEX) > 0 else -1
+        return magnitude * sign
+
+    def primitive_part(self) -> "Polynomial":
+        """``self / self.content()`` (integer coefficients, positive leading)."""
+        if self.is_zero():
+            return self
+        return self / self.content()
+
+    # ------------------------------------------------------------------
+    # Numeric comparison (library matching tolerance)
+    # ------------------------------------------------------------------
+    def max_coefficient_distance(self, other: "Polynomial") -> float:
+        """Max absolute difference between aligned coefficients.
+
+        This is the metric behind the paper's "within an acceptable
+        tolerance of the polynomial representation of a library
+        element".
+        """
+        _, a, b = self._aligned(other)
+        keys = set(a) | set(b)
+        if not keys:
+            return 0.0
+        return max(abs(float(a.get(k, 0)) - float(b.get(k, 0))) for k in keys)
+
+    def almost_equal(self, other: "Polynomial", tolerance: float = 1e-9) -> bool:
+        """True iff all aligned coefficients differ by at most ``tolerance``."""
+        return self.max_coefficient_distance(other) <= tolerance
+
+    # ------------------------------------------------------------------
+    # Dunders
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, float, Fraction)):
+            other = Polynomial.constant(other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._variables == other._variables and self._terms == other._terms
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._variables, frozenset(self._terms.items())))
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return bool(self._terms)
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts: list[str] = []
+        for exps, coeff in self.sorted_terms(GREVLEX):
+            factors = []
+            for var, e in zip(self._variables, exps):
+                if e == 1:
+                    factors.append(var)
+                elif e > 1:
+                    factors.append(f"{var}^{e}")
+            mag = abs(coeff)
+            if not factors:
+                body = str(mag)
+            elif mag == 1:
+                body = "*".join(factors)
+            else:
+                body = "*".join([str(mag)] + factors)
+            sign = "-" if coeff < 0 else "+"
+            parts.append((sign, body))
+        first_sign, first_body = parts[0]
+        text = ("-" if first_sign == "-" else "") + first_body
+        for sign, body in parts[1:]:
+            text += f" {sign} {body}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"Polynomial({str(self)!r})"
+
+
+def _coerce(value: Union[Polynomial, Scalar]) -> Polynomial:
+    """Coerce scalars to polynomials; NotImplemented for foreign types."""
+    if isinstance(value, Polynomial):
+        return value
+    if isinstance(value, (int, float, Fraction, Rational)):
+        return Polynomial.constant(value)
+    return NotImplemented
+
+
+def symbols(names: str) -> tuple[Polynomial, ...]:
+    """Create variable polynomials from a space- or comma-separated string.
+
+    >>> x, y = symbols("x y")
+    >>> (x + y).total_degree()
+    1
+    """
+    parts = [n for chunk in names.replace(",", " ").split() for n in [chunk] if n]
+    if not parts:
+        raise SymbolicError(f"no variable names in {names!r}")
+    return tuple(Polynomial.variable(n) for n in parts)

@@ -1,0 +1,61 @@
+"""Tree-height reduction of expression trees.
+
+One of the manipulations Table 2 of the paper applies to the target
+expression (`"The algorithm also applies tree-height reduction,
+factorization, substitution, expansion, and Horner-based transform"`).
+Left-associated chains like ``((((a+b)+c)+d)+e)`` are rebalanced into
+log-depth binary trees, which both exposes instruction-level
+parallelism on the target and produces a differently-shaped candidate
+for the side-relation selection heuristics.
+
+Balancing never changes the multiset of leaves of an Add/Mul chain, so
+the value is preserved exactly (rational arithmetic is associative and
+commutative here).
+"""
+
+from __future__ import annotations
+
+from repro.symalg.expression import (Add, Call, Expression, Mul, Pow,
+                                     flatten)
+
+__all__ = ["reduce_tree_height"]
+
+
+def reduce_tree_height(expr: Expression) -> Expression:
+    """Rebalance Add/Mul chains into minimum-height binary trees.
+
+    >>> from repro.symalg.expression import var
+    >>> a, b, c, d = (var(n) for n in "abcd")
+    >>> chain = ((a + b) + c) + d
+    >>> chain.depth()
+    3
+    >>> reduce_tree_height(chain).depth()
+    2
+    """
+    expr = flatten(expr)
+    return _balance(expr)
+
+
+def _balance(expr: Expression) -> Expression:
+    if isinstance(expr, (Add, Mul)):
+        args = [_balance(a) for a in expr.args]
+        return _build_balanced(type(expr), args)
+    if isinstance(expr, Pow):
+        return Pow(_balance(expr.base), expr.exponent)
+    if isinstance(expr, Call):
+        return Call(expr.function, tuple(_balance(a) for a in expr.args))
+    return expr
+
+
+def _build_balanced(node_type, args: list[Expression]) -> Expression:
+    """Pairwise combine until one node remains (log-depth)."""
+    if len(args) == 1:
+        return args[0]
+    while len(args) > 1:
+        paired: list[Expression] = []
+        for i in range(0, len(args) - 1, 2):
+            paired.append(node_type((args[i], args[i + 1])))
+        if len(args) % 2:
+            paired.append(args[-1])
+        args = paired
+    return args[0]

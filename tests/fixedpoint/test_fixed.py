@@ -1,0 +1,192 @@
+"""Tests for Q-format fixed-point arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import Fixed, Q15, Q16_15, Q31, Q5_26, QFormat
+
+
+class TestQFormat:
+    def test_q15_layout(self):
+        assert Q15.total_bits == 16
+        assert Q15.scale == 1 << 15
+        assert Q15.max_value == Fraction((1 << 15) - 1, 1 << 15)
+        assert Q15.min_value == -1
+
+    def test_epsilon(self):
+        assert Q15.epsilon == Fraction(1, 1 << 15)
+
+    def test_negative_bits_raise(self):
+        with pytest.raises(FixedPointError):
+            QFormat(-1, 3)
+
+    def test_zero_magnitude_raises(self):
+        with pytest.raises(FixedPointError):
+            QFormat(0, 0)
+
+    def test_bad_overflow_mode_raises(self):
+        with pytest.raises(FixedPointError):
+            QFormat(1, 1, "explode")
+
+    def test_str(self):
+        assert str(Q5_26) == "Q5.26"
+
+
+class TestOverflowPolicies:
+    def test_saturate(self):
+        fmt = QFormat(3, 4, "saturate")
+        assert fmt.clamp_raw(10_000) == fmt.raw_max
+        assert fmt.clamp_raw(-10_000) == fmt.raw_min
+
+    def test_raise(self):
+        fmt = QFormat(3, 4, "raise")
+        with pytest.raises(FixedPointError):
+            fmt.clamp_raw(10_000)
+
+    def test_wrap(self):
+        fmt = QFormat(3, 4, "wrap")
+        # 8-bit word: raw 128 wraps to -128.
+        assert fmt.clamp_raw(128) == -128
+        assert fmt.clamp_raw(127) == 127
+
+    def test_with_overflow(self):
+        assert Q15.with_overflow("wrap").overflow == "wrap"
+
+
+class TestConversions:
+    def test_float_roundtrip_within_epsilon(self):
+        value = 0.123456
+        f = Fixed.from_float(value, Q15)
+        assert abs(f.to_float() - value) <= float(Q15.epsilon)
+
+    def test_fraction_roundtrip_exact_for_representable(self):
+        value = Fraction(3, 8)
+        f = Fixed.from_fraction(value, Q15)
+        assert f.to_fraction() == value
+
+    def test_from_int(self):
+        f = Fixed.from_int(3, Q16_15)
+        assert f.to_float() == 3.0
+
+    def test_negative_int(self):
+        assert Fixed.from_int(-2, Q16_15).to_float() == -2.0
+
+    def test_convert_formats(self):
+        f = Fixed.from_float(0.5, Q31)
+        g = f.convert(Q15)
+        assert g.to_float() == pytest.approx(0.5)
+
+    def test_convert_rounds(self):
+        f = Fixed(3, QFormat(0, 4))   # 3/16
+        g = f.convert(QFormat(0, 3))  # nearest is 2/8
+        assert g.raw == 2
+
+    def test_one_saturates_in_q15(self):
+        """Q15 cannot represent +1.0: saturates to max."""
+        f = Fixed.one(Q15)
+        assert f.raw == Q15.raw_max
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = Fixed.from_float(0.25, Q16_15)
+        b = Fixed.from_float(0.5, Q16_15)
+        assert (a + b).to_float() == pytest.approx(0.75)
+
+    def test_add_scalar(self):
+        a = Fixed.from_float(0.25, Q16_15)
+        assert (a + 1).to_float() == pytest.approx(1.25)
+        assert (1 + a).to_float() == pytest.approx(1.25)
+
+    def test_sub(self):
+        a = Fixed.from_float(1.0, Q16_15)
+        b = Fixed.from_float(0.25, Q16_15)
+        assert (a - b).to_float() == pytest.approx(0.75)
+        assert (1.0 - b).to_float() == pytest.approx(0.75)
+
+    def test_mul(self):
+        a = Fixed.from_float(0.5, Q16_15)
+        b = Fixed.from_float(0.5, Q16_15)
+        assert (a * b).to_float() == pytest.approx(0.25)
+
+    def test_mul_rounding(self):
+        fmt = QFormat(4, 4)
+        a = Fixed(1, fmt)  # 1/16
+        b = Fixed(8, fmt)  # 1/2
+        # product = 1/32 -> rounds to 1/16 (raw 8/16=0.5 -> raw 0.5 rounds up)
+        assert (a * b).raw == 1
+
+    def test_div(self):
+        a = Fixed.from_float(1.0, Q16_15)
+        b = Fixed.from_float(4.0, Q16_15)
+        assert (a / b).to_float() == pytest.approx(0.25)
+
+    def test_div_by_zero_raises(self):
+        a = Fixed.from_float(1.0, Q16_15)
+        with pytest.raises(FixedPointError):
+            a / Fixed.zero(Q16_15)
+
+    def test_mixed_formats_raise(self):
+        with pytest.raises(FixedPointError):
+            Fixed.from_float(0.5, Q15) + Fixed.from_float(0.5, Q31)
+
+    def test_shifts(self):
+        a = Fixed.from_int(1, Q16_15)
+        assert (a << 2).to_float() == 4.0
+        assert (a >> 1).to_float() == 0.5
+
+    def test_neg_abs(self):
+        a = Fixed.from_float(-0.5, Q16_15)
+        assert (-a).to_float() == 0.5
+        assert abs(a).to_float() == 0.5
+
+    def test_saturating_add(self):
+        big = Fixed(Q15.raw_max, Q15)
+        result = big + big
+        assert result.raw == Q15.raw_max
+
+    def test_comparisons(self):
+        a = Fixed.from_float(0.25, Q16_15)
+        b = Fixed.from_float(0.5, Q16_15)
+        assert a < b <= b
+        assert b > a >= a
+        assert a == Fixed.from_float(0.25, Q16_15)
+
+    def test_immutability(self):
+        a = Fixed.from_float(0.25, Q16_15)
+        with pytest.raises(AttributeError):
+            a.raw = 5  # type: ignore[misc]
+
+    def test_hashable(self):
+        assert len({Fixed.from_int(1, Q16_15), Fixed.from_int(1, Q16_15)}) == 1
+
+
+class TestQuantizationProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=-100.0, max_value=100.0,
+                     allow_nan=False, allow_infinity=False))
+    def test_quantization_error_bounded(self, value):
+        f = Fixed.from_float(value, Q16_15)
+        assert abs(f.to_float() - value) <= float(Q16_15.epsilon)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+           st.floats(min_value=-50.0, max_value=50.0, allow_nan=False))
+    def test_addition_error_bounded(self, a, b):
+        fa = Fixed.from_float(a, Q16_15)
+        fb = Fixed.from_float(b, Q16_15)
+        assert abs((fa + fb).to_float() - (a + b)) <= 3 * float(Q16_15.epsilon)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=-8.0, max_value=8.0, allow_nan=False),
+           st.floats(min_value=-8.0, max_value=8.0, allow_nan=False))
+    def test_multiplication_error_bounded(self, a, b):
+        fa = Fixed.from_float(a, Q16_15)
+        fb = Fixed.from_float(b, Q16_15)
+        # |error| <= eps/2 * (|a| + |b|) + eps quantization terms
+        bound = float(Q16_15.epsilon) * (abs(a) + abs(b) + 2)
+        assert abs((fa * fb).to_float() - a * b) <= bound

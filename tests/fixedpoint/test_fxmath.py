@@ -1,0 +1,167 @@
+"""Tests for fixed-point math kernels."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import (Fixed, Q16_15, QFormat, build_pow43_table,
+                              cost_fx_exp, cost_fx_log2_bitwise,
+                              cost_fx_log_poly, cost_fx_pow43, cost_fx_sin,
+                              cost_fx_sqrt, fx_cos, fx_exp, fx_log2_bitwise,
+                              fx_log_poly, fx_pow43, fx_sin, fx_sqrt)
+
+EPS = float(Q16_15.epsilon)
+
+
+def fx(value: float) -> Fixed:
+    return Fixed.from_float(value, Q16_15)
+
+
+class TestLog2Bitwise:
+    @pytest.mark.parametrize("value", [1.0, 2.0, 4.0, 8.0, 1024.0])
+    def test_exact_powers_of_two(self, value):
+        got = fx_log2_bitwise(fx(value))
+        assert got.to_float() == pytest.approx(math.log2(value), abs=1e-3)
+
+    @pytest.mark.parametrize("value", [1.5, 3.0, 7.3, 100.0, 0.25, 0.01])
+    def test_general_values(self, value):
+        got = fx_log2_bitwise(fx(value))
+        assert got.to_float() == pytest.approx(math.log2(value), abs=2e-3)
+
+    def test_non_positive_raises(self):
+        with pytest.raises(FixedPointError):
+            fx_log2_bitwise(fx(0.0))
+        with pytest.raises(FixedPointError):
+            fx_log2_bitwise(fx(-1.0))
+
+    def test_fewer_iterations_coarser(self):
+        precise = fx_log2_bitwise(fx(3.0), frac_iterations=15)
+        coarse = fx_log2_bitwise(fx(3.0), frac_iterations=4)
+        truth = math.log2(3.0)
+        assert abs(precise.to_float() - truth) <= abs(coarse.to_float() - truth) + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=1000.0, allow_nan=False))
+    def test_accuracy_bound(self, value):
+        got = fx_log2_bitwise(fx(value))
+        assert abs(got.to_float() - math.log2(value)) < 5e-3
+
+
+class TestLogPoly:
+    @pytest.mark.parametrize("value", [1.0, 1.5, 2.0, math.e, 10.0, 0.5, 0.1])
+    def test_matches_math_log(self, value):
+        got = fx_log_poly(fx(value))
+        assert got.to_float() == pytest.approx(math.log(value), abs=5e-3)
+
+    def test_non_positive_raises(self):
+        with pytest.raises(FixedPointError):
+            fx_log_poly(fx(0.0))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=0.05, max_value=500.0, allow_nan=False))
+    def test_accuracy_bound(self, value):
+        got = fx_log_poly(fx(value))
+        assert abs(got.to_float() - math.log(value)) < 1e-2
+
+
+class TestExp:
+    @pytest.mark.parametrize("value", [0.0, 1.0, -1.0, 2.5, -3.0, 0.1])
+    def test_matches_math_exp(self, value):
+        got = fx_exp(fx(value))
+        rel = abs(got.to_float() - math.exp(value)) / max(math.exp(value), 1e-9)
+        assert rel < 5e-3
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=-5.0, max_value=8.0, allow_nan=False))
+    def test_relative_accuracy(self, value):
+        got = fx_exp(fx(value))
+        rel = abs(got.to_float() - math.exp(value)) / math.exp(value)
+        assert rel < 2e-2
+
+
+class TestTrig:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0, math.pi / 2, 2.0, 3.0,
+                                       -1.0, -math.pi / 2, 6.0, -6.0])
+    def test_sin(self, value):
+        got = fx_sin(fx(value))
+        assert got.to_float() == pytest.approx(math.sin(value), abs=3e-3)
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0, math.pi, -2.0])
+    def test_cos(self, value):
+        got = fx_cos(fx(value))
+        assert got.to_float() == pytest.approx(math.cos(value), abs=3e-3)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=-10.0, max_value=10.0, allow_nan=False))
+    def test_sin_bounded(self, value):
+        got = fx_sin(fx(value)).to_float()
+        assert -1.01 <= got <= 1.01
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(min_value=-4.0, max_value=4.0, allow_nan=False))
+    def test_pythagorean_identity(self, value):
+        s = fx_sin(fx(value)).to_float()
+        c = fx_cos(fx(value)).to_float()
+        assert s * s + c * c == pytest.approx(1.0, abs=2e-2)
+
+
+class TestSqrt:
+    @pytest.mark.parametrize("value", [0.0, 1.0, 4.0, 2.0, 0.25, 100.0])
+    def test_matches_math_sqrt(self, value):
+        got = fx_sqrt(fx(value))
+        assert got.to_float() == pytest.approx(math.sqrt(value), abs=2e-3)
+
+    def test_negative_raises(self):
+        with pytest.raises(FixedPointError):
+            fx_sqrt(fx(-1.0))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1000.0, allow_nan=False))
+    def test_square_of_sqrt(self, value):
+        got = fx_sqrt(fx(value)).to_float()
+        assert got * got == pytest.approx(value, abs=0.05 + value * 1e-3)
+
+
+class TestPow43:
+    def test_table_values(self):
+        table = build_pow43_table(16, Q16_15)
+        for n in range(16):
+            assert table[n].to_float() == pytest.approx(n ** (4 / 3), abs=2e-4)
+
+    def test_negative_is_odd_extension(self):
+        table = build_pow43_table(16, Q16_15)
+        assert fx_pow43(-8, table).to_float() == pytest.approx(-(8 ** (4 / 3)), abs=1e-3)
+
+    def test_out_of_range_raises(self):
+        table = build_pow43_table(4, Q16_15)
+        with pytest.raises(FixedPointError):
+            fx_pow43(4, table)
+        with pytest.raises(FixedPointError):
+            fx_pow43(-4, table)
+
+
+class TestCosts:
+    """Cost tallies must be structurally sensible."""
+
+    def test_bitwise_log_cost_grows_with_precision(self):
+        cheap = cost_fx_log2_bitwise(Q16_15, frac_iterations=4)
+        costly = cost_fx_log2_bitwise(Q16_15, frac_iterations=15)
+        assert costly.total_ops() > cheap.total_ops()
+
+    def test_poly_log_cheaper_than_bitwise_at_full_precision(self):
+        """Polynomial expansion beats bit-by-bit extraction: that is why
+        the library has both and the mapper must choose."""
+        bitwise = cost_fx_log2_bitwise(Q16_15)
+        poly = cost_fx_log_poly(Q16_15)
+        assert poly.total_ops() < bitwise.total_ops()
+
+    def test_all_costs_include_call_overhead(self):
+        for cost in (cost_fx_log2_bitwise(), cost_fx_log_poly(), cost_fx_exp(),
+                     cost_fx_sin(), cost_fx_sqrt()):
+            assert cost.call == 1
+
+    def test_pow43_is_trivial(self):
+        assert cost_fx_pow43().total_ops() <= 5

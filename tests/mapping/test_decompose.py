@@ -1,0 +1,192 @@
+"""Tests for the branch-and-bound Decompose algorithm (Table 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import ArrayInput, extract_block
+from repro.library import Library, LibraryElement, full_library
+from repro.mapping import (all_manipulations, decompose, map_block,
+                           residual_cost, structural_hints)
+from repro.platform import Badge4, OperationTally
+from repro.symalg import Polynomial, symbols
+
+x, y, z = symbols("x y z")
+PLATFORM = Badge4()
+
+
+def element(poly, name="e", cost_ops=1, accuracy=1e-9):
+    return LibraryElement(name=name, library="IH", polynomials=(poly,),
+                          input_format="q", output_format="q",
+                          accuracy=accuracy,
+                          cost=OperationTally(int_mul=cost_ops))
+
+
+def in_vars(n):
+    return [Polynomial.variable(f"in{i}") for i in range(n)]
+
+
+class TestPaperExample:
+    """The DATE'02-style decomposition the paper builds on."""
+
+    def test_side_relation_mapping(self):
+        i0, i1 = in_vars(2)
+        lib = Library("demo", [element(i0 ** 2 - 2 * i1, "sq2y")])
+        target = x + x ** 3 * y ** 2 - 2 * x * y ** 3
+        result = decompose(target, lib, PLATFORM)
+        assert result.mapped
+        assert result.best.element_names() == ["sq2y"]
+        # Residual is exactly the paper's  x + y^2*x*p.
+        p = Polynomial.variable("sq2y_out")
+        assert result.best.residual == x + x * y ** 2 * p
+
+    def test_solution_cheaper_than_unmapped(self):
+        i0, i1 = in_vars(2)
+        lib = Library("demo", [element(i0 ** 2 - 2 * i1, "sq2y")])
+        target = x + x ** 3 * y ** 2 - 2 * x * y ** 3
+        result = decompose(target, lib, PLATFORM)
+        assert result.best.total_cycles < residual_cost(target, PLATFORM)
+
+
+class TestExactCover:
+    def test_target_equal_to_element(self):
+        i0, = in_vars(1)
+        lib = Library("demo", [element(i0 ** 2 + i0 + 1, "q")])
+        target = x ** 2 + x + 1
+        result = decompose(target, lib, PLATFORM)
+        assert result.mapped
+        assert result.best.residual == Polynomial.variable("q_out")
+
+    def test_mac_decomposition(self):
+        """a*b + c covered by one MAC element."""
+        i0, i1, i2 = in_vars(3)
+        lib = Library("demo", [element(i0 * i1 + i2, "mac")])
+        a, b, c = symbols("a b c")
+        result = decompose(a * b + c, lib, PLATFORM)
+        assert result.mapped
+        assert result.best.element_names() == ["mac"]
+
+    def test_two_step_cover(self):
+        """(x+1)^2 via sq after incr: nested element use."""
+        i0, = in_vars(1)
+        lib = Library("demo", [element(i0 + 1, "incr", cost_ops=1),
+                               element(i0 ** 2, "sq", cost_ops=1)])
+        target = (x + 1) ** 2
+        result = decompose(target, lib, PLATFORM, max_depth=3)
+        assert result.mapped
+        # Either direct expansion via sq(x) ... or incr-then-sq; both map.
+        assert result.best.total_cycles < residual_cost(target, PLATFORM)
+
+
+class TestBounding:
+    def test_no_useful_element_returns_unmapped(self):
+        i0, = in_vars(1)
+        lib = Library("demo", [element(i0 ** 5, "fifth")])
+        target = x + 1
+        result = decompose(target, lib, PLATFORM)
+        assert not result.mapped
+        assert result.best.residual == target
+
+    def test_expensive_element_pruned(self):
+        """An element costlier than evaluating the target is never used."""
+        i0, = in_vars(1)
+        costly = LibraryElement(
+            name="gold", library="IPP", polynomials=(i0 ** 2,),
+            input_format="q", output_format="q", accuracy=0,
+            cost=OperationTally(fp_div=100_000))
+        lib = Library("demo", [costly])
+        target = x ** 2
+        result = decompose(target, lib, PLATFORM)
+        assert not result.mapped
+        assert result.pruned >= 1
+
+    def test_accuracy_budget_excludes_sloppy_elements(self):
+        i0, = in_vars(1)
+        sloppy = element(i0 ** 2, "sloppy", accuracy=0.5)
+        lib = Library("demo", [sloppy])
+        target = x ** 2
+        strict = decompose(target, lib, PLATFORM, accuracy_budget=1e-3)
+        assert not strict.mapped
+        loose = decompose(target, lib, PLATFORM, accuracy_budget=1.0)
+        assert loose.mapped
+
+    def test_cheapest_of_equivalent_elements_wins(self):
+        """Four log-style implementations: best performance is chosen."""
+        i0, = in_vars(1)
+        lib = Library("demo", [
+            element(i0 ** 3 + i0, "slow", cost_ops=500),
+            element(i0 ** 3 + i0, "fast", cost_ops=2),
+        ])
+        target = x ** 3 + x
+        result = decompose(target, lib, PLATFORM)
+        assert result.best.element_names() == ["fast"]
+
+    def test_node_limit_respected(self):
+        i0, i1 = in_vars(2)
+        lib = Library("demo", [element(i0 * i1, "mul2")])
+        target = (x * y + y * z + x * z) ** 2
+        result = decompose(target, lib, PLATFORM, max_nodes=10)
+        assert result.nodes_explored <= 10
+
+
+class TestSemanticEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(-5, 5), st.integers(-5, 5))
+    def test_mapped_program_agrees_with_target(self, px, py):
+        from repro.mapping import rewrite
+        i0, i1 = in_vars(2)
+        lib = Library("demo", [element(i0 ** 2 - 2 * i1, "sq2y")])
+        target = x + x ** 3 * y ** 2 - 2 * x * y ** 3
+        result = decompose(target, lib, PLATFORM)
+        program = rewrite(result.best)
+        env = {"x": px, "y": py}
+        assert program.evaluate(env) == target.evaluate(env)
+
+
+class TestCandidates:
+    def test_all_manipulations_equivalent(self):
+        target = (x + 1) * (x - 1) * y + y ** 2
+        for form in all_manipulations(target):
+            assert form.expression.to_polynomial() == target
+
+    def test_factored_form_present_when_factorable(self):
+        target = (x + 1) ** 2 * (x - 3)
+        labels = {f.label for f in all_manipulations(target)}
+        assert "factored" in labels
+
+    def test_structural_hints_include_factors(self):
+        target = (x ** 2 - 2 * y) * z
+        hints = structural_hints(target)
+        assert any(h == x ** 2 - 2 * y for h in hints)
+
+
+class TestBlockMapping:
+    def test_imdct_block_selects_ipp(self):
+        from repro.mapping.flow import _imdct_block
+        winner, matches = map_block(_imdct_block(), full_library(), PLATFORM)
+        assert winner.element.name == "IppsMDCTInv_MP3_32s"
+        assert {m.element.name for m in matches} == {
+            "IppsMDCTInv_MP3_32s", "fixed_IMDCT", "float_IMDCT"}
+
+    def test_imdct_block_without_ipp_selects_fixed(self):
+        """Table 4's world: no IPP library yet -> in-house fixed wins."""
+        from repro.library import (inhouse_library, linux_math_library,
+                                   reference_library)
+        from repro.library.catalog import Library as Lib
+        from repro.mapping.flow import _imdct_block
+        lib = Lib.union(reference_library(), linux_math_library(),
+                        inhouse_library())
+        winner, _ = map_block(_imdct_block(), lib, PLATFORM)
+        assert winner.element.name == "fixed_IMDCT"
+
+    def test_matrixing_block_selects_ipp_synth(self):
+        from repro.mapping.flow import _matrixing_block
+        winner, _ = map_block(_matrixing_block(), full_library(), PLATFORM)
+        assert winner.element.name == "ippsSynthPQMF_MP3_32s16s"
+
+    def test_no_match_returns_none(self):
+        from repro.mapping.flow import _imdct_block
+        empty = Library("empty")
+        winner, matches = map_block(_imdct_block(), empty, PLATFORM)
+        assert winner is None
+        assert matches == []

@@ -1,0 +1,76 @@
+"""End-to-end tests of the three-step methodology flow (Section 4)."""
+
+import pytest
+
+from repro.mapping import MethodologyFlow
+from repro.mp3 import make_stream
+
+
+@pytest.fixture(scope="module")
+def flow_report():
+    flow = MethodologyFlow()
+    stream = make_stream(n_frames=2, seed=11)
+    return flow.run_passes(stream)
+
+
+class TestPassStructure:
+    def test_three_passes(self, flow_report):
+        names = [p.name for p in flow_report.passes]
+        assert names == ["Original", "LM + IH mapping", "LM + IH + IPP mapping"]
+
+    def test_original_uses_no_elements(self, flow_report):
+        assert flow_report.passes[0].chosen_elements == {}
+
+    def test_lm_ih_chooses_fixed_elements(self, flow_report):
+        chosen = flow_report.pass_named("LM + IH mapping").chosen_elements
+        assert chosen["inv_mdctL"] == "fixed_IMDCT"
+        assert chosen["SubBandSynthesis"] == "fixed_SubBandSyn"
+
+    def test_full_pass_chooses_ipp_elements(self, flow_report):
+        chosen = flow_report.pass_named("LM + IH + IPP mapping").chosen_elements
+        assert chosen["inv_mdctL"] == "IppsMDCTInv_MP3_32s"
+        assert chosen["SubBandSynthesis"] == "ippsSynthPQMF_MP3_32s16s"
+
+
+class TestProfiles:
+    def test_original_profile_matches_table3(self, flow_report):
+        profile = flow_report.passes[0].profile
+        assert profile.names()[:3] == ["III_dequantize_sample",
+                                       "SubBandSynthesis", "inv_mdctL"]
+
+    def test_lm_ih_profile_matches_table4(self, flow_report):
+        profile = flow_report.pass_named("LM + IH mapping").profile
+        names = profile.names()
+        assert names[0] == "inv_mdctL"
+        assert names[1] == "SubBandSynthesis"
+        top_two = profile.rows[0].percent + profile.rows[1].percent
+        assert top_two > 70   # paper: ~85%
+
+    def test_full_profile_matches_table5(self, flow_report):
+        profile = flow_report.pass_named("LM + IH + IPP mapping").profile
+        assert profile.names()[0] == "ippsSynthPQMF_MP3_32s16s"
+        assert profile.row("ippsSynthPQMF_MP3_32s16s").percent > 20
+        assert profile.row("IppsMDCTInv_MP3_32s").percent < 15
+
+
+class TestLadder:
+    def test_compliance_everywhere(self, flow_report):
+        for p in flow_report.passes:
+            assert p.compliance.level in ("full", "limited")
+
+    def test_speedup_factors(self, flow_report):
+        ladder = {name: perf for name, perf, _energy
+                  in flow_report.speedup_ladder()}
+        assert ladder["Original"] == 1.0
+        assert 50 < ladder["LM + IH mapping"] < 250        # paper: 92x
+        assert 250 < ladder["LM + IH + IPP mapping"] < 1000  # paper: 352-519x
+
+    def test_energy_factors_track_performance(self, flow_report):
+        for name, perf, energy in flow_report.speedup_ladder():
+            if name == "Original":
+                continue
+            assert energy == pytest.approx(perf, rel=0.5)
+
+    def test_each_pass_improves(self, flow_report):
+        seconds = [p.seconds for p in flow_report.passes]
+        assert seconds == sorted(seconds, reverse=True)

@@ -1,0 +1,120 @@
+"""Tests for the bitstream reader/writer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import Mp3Error
+from repro.mp3.bitstream import SYNC_BITS, SYNC_WORD, BitReader, BitWriter
+
+
+class TestWriter:
+    def test_single_bits(self):
+        w = BitWriter()
+        for bit in (1, 0, 1, 1):
+            w.write(bit, 1)
+        assert w.getvalue() == bytes([0b10110000])
+
+    def test_multibit_value(self):
+        w = BitWriter()
+        w.write(0b101101, 6)
+        assert w.getvalue()[0] >> 2 == 0b101101
+
+    def test_value_too_large_raises(self):
+        with pytest.raises(Mp3Error):
+            BitWriter().write(4, 2)
+
+    def test_negative_bits_raises(self):
+        with pytest.raises(Mp3Error):
+            BitWriter().write(0, -1)
+
+    def test_zero_bits_noop(self):
+        w = BitWriter()
+        w.write(0, 0)
+        assert w.getvalue() == b""
+
+    def test_bit_length(self):
+        w = BitWriter()
+        w.write(0b1, 1)
+        w.write(0b1010, 4)
+        assert w.bit_length == 5
+
+    def test_align_byte(self):
+        w = BitWriter()
+        w.write(1, 1)
+        w.align_byte()
+        w.write(0xFF, 8)
+        data = w.getvalue()
+        assert len(data) == 2
+        assert data[1] == 0xFF
+
+
+class TestReader:
+    def test_read_back(self):
+        w = BitWriter()
+        w.write(0b110, 3)
+        w.write(0x5A, 8)
+        r = BitReader(w.getvalue())
+        assert r.read(3) == 0b110
+        assert r.read(8) == 0x5A
+
+    def test_peek_does_not_consume(self):
+        r = BitReader(bytes([0b10100000]))
+        assert r.peek(3) == 0b101
+        assert r.read(3) == 0b101
+
+    def test_exhaustion_raises(self):
+        r = BitReader(b"\xff")
+        r.read(8)
+        with pytest.raises(Mp3Error):
+            r.read(1)
+
+    def test_bits_remaining(self):
+        r = BitReader(b"\x00\x00")
+        r.read(5)
+        assert r.bits_remaining == 11
+
+    def test_align(self):
+        r = BitReader(b"\x00\xff")
+        r.read(3)
+        r.align_byte()
+        assert r.read(8) == 0xFF
+
+
+class TestSync:
+    def test_finds_sync_at_start(self):
+        w = BitWriter()
+        w.write(SYNC_WORD, SYNC_BITS)
+        r = BitReader(w.getvalue())
+        assert r.seek_sync()
+        assert r.read(SYNC_BITS) == SYNC_WORD
+
+    def test_skips_garbage(self):
+        w = BitWriter()
+        w.write(0x12, 8)
+        w.write(0x34, 8)
+        w.write(SYNC_WORD, SYNC_BITS)
+        r = BitReader(w.getvalue())
+        assert r.seek_sync()
+        assert r.bit_position == 16
+
+    def test_no_sync_returns_false(self):
+        r = BitReader(b"\x00" * 8)
+        assert not r.seek_sync()
+
+    def test_empty_stream(self):
+        assert not BitReader(b"").seek_sync()
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=2 ** 16 - 1),
+                              st.integers(min_value=16, max_value=20)),
+                    min_size=0, max_size=30))
+    def test_write_read_identity(self, chunks):
+        w = BitWriter()
+        for value, bits in chunks:
+            w.write(value, bits)
+        r = BitReader(w.getvalue())
+        for value, bits in chunks:
+            assert r.read(bits) == value

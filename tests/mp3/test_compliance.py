@@ -1,0 +1,72 @@
+"""Tests for the MPEG-style compliance checker."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ComplianceError
+from repro.mp3.compliance import (FULL_RMS_LIMIT, LIMITED_RMS_LIMIT,
+                                  ComplianceLevel, check_compliance)
+
+
+def signal(n=4096, seed=0):
+    return np.random.default_rng(seed).uniform(-0.9, 0.9, n)
+
+
+class TestLevels:
+    def test_identical_is_full(self):
+        ref = signal()
+        assert check_compliance(ref, ref).level == ComplianceLevel.FULL
+
+    def test_tiny_noise_is_full(self):
+        ref = signal()
+        noisy = ref + np.random.default_rng(1).normal(0, FULL_RMS_LIMIT / 4,
+                                                      ref.shape)
+        assert check_compliance(ref, noisy).level == ComplianceLevel.FULL
+
+    def test_medium_noise_is_limited(self):
+        ref = signal()
+        noisy = ref + np.random.default_rng(2).normal(
+            0, (FULL_RMS_LIMIT + LIMITED_RMS_LIMIT) / 4, ref.shape)
+        assert check_compliance(ref, noisy).level == ComplianceLevel.LIMITED
+
+    def test_heavy_noise_is_non_compliant(self):
+        ref = signal()
+        noisy = ref + np.random.default_rng(3).normal(0, 0.01, ref.shape)
+        assert check_compliance(ref, noisy).level == ComplianceLevel.NON_COMPLIANT
+
+    def test_peak_limit_matters(self):
+        """A single big spike breaks full compliance even with tiny RMS."""
+        ref = signal()
+        spiky = ref.copy()
+        spiky[0] += 2.0 ** -12
+        report = check_compliance(ref, spiky)
+        assert report.level != ComplianceLevel.FULL
+
+    def test_ordering_helper(self):
+        assert ComplianceLevel.at_least("full", "limited")
+        assert ComplianceLevel.at_least("limited", "limited")
+        assert not ComplianceLevel.at_least("non-compliant", "limited")
+
+
+class TestRequire:
+    def test_passes_when_sufficient(self):
+        ref = signal()
+        check_compliance(ref, ref).require("full")
+
+    def test_raises_when_insufficient(self):
+        ref = signal()
+        noisy = ref + 0.05
+        with pytest.raises(ComplianceError):
+            check_compliance(ref, noisy).require("limited")
+
+
+class TestValidation:
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ComplianceError):
+            check_compliance(np.zeros(4), np.zeros(5))
+
+    def test_report_fields(self):
+        ref = signal()
+        report = check_compliance(ref, ref + 1e-6)
+        assert report.rms_error == pytest.approx(1e-6)
+        assert report.max_error == pytest.approx(1e-6)

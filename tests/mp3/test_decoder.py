@@ -1,0 +1,154 @@
+"""Integration tests: the whole decoder across library configurations."""
+
+import numpy as np
+import pytest
+
+from repro.mp3 import (CONFIGURATIONS, IH_IPP_FULL, IH_IPP_SUBBAND,
+                       IH_LIBRARY, IPP_MP3, IPP_SUBBAND, IPP_SUBBAND_IMDCT,
+                       ORIGINAL, ComplianceLevel, DecoderConfig, Mp3Decoder,
+                       check_compliance, make_stream)
+from repro.mp3.tables import FRAME_SAMPLES
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_stream(n_frames=2, seed=42)
+
+
+@pytest.fixture(scope="module")
+def reference(stream):
+    decoder = Mp3Decoder(ORIGINAL)
+    pcm = decoder.decode(stream)
+    return pcm, decoder.profiler.report()
+
+
+class TestDecodeBasics:
+    def test_output_shape(self, stream, reference):
+        pcm, _ = reference
+        assert pcm.shape == (stream.n_frames * FRAME_SAMPLES, 2)
+
+    def test_output_in_range(self, reference):
+        pcm, _ = reference
+        assert np.all(np.abs(pcm) <= 1.0)
+
+    def test_output_nontrivial(self, reference):
+        pcm, _ = reference
+        assert np.abs(pcm).max() > 1e-3
+
+    def test_deterministic(self, stream):
+        a = Mp3Decoder(ORIGINAL).decode(stream)
+        b = Mp3Decoder(ORIGINAL).decode(stream)
+        np.testing.assert_array_equal(a, b)
+
+    def test_mono_stream(self):
+        mono = make_stream(n_frames=1, channels=1)
+        pcm = Mp3Decoder(ORIGINAL).decode(mono)
+        assert pcm.shape == (FRAME_SAMPLES, 1)
+
+    def test_bad_variant_raises(self):
+        from repro.errors import Mp3Error
+        with pytest.raises(Mp3Error):
+            DecoderConfig("bad", dequantize="quantum")
+
+
+class TestCompliance:
+    @pytest.mark.parametrize("config", CONFIGURATIONS[1:],
+                             ids=lambda c: c.name)
+    def test_all_configs_at_least_limited(self, config, stream, reference):
+        pcm_ref, _ = reference
+        pcm = Mp3Decoder(config).decode(stream)
+        report = check_compliance(pcm_ref, pcm)
+        report.require(ComplianceLevel.LIMITED)
+
+    def test_fixed_pipeline_full_compliance(self, stream, reference):
+        """The paper's IH mapping keeps full compliance (Section 4)."""
+        pcm_ref, _ = reference
+        pcm = Mp3Decoder(IH_LIBRARY).decode(stream)
+        assert check_compliance(pcm_ref, pcm).level == ComplianceLevel.FULL
+
+    def test_reference_is_self_compliant(self, reference):
+        pcm_ref, _ = reference
+        assert check_compliance(pcm_ref, pcm_ref).level == ComplianceLevel.FULL
+
+
+class TestProfiles:
+    """The qualitative content of Tables 3-5."""
+
+    def test_original_hot_functions(self, reference):
+        _, report = reference
+        names = report.names()
+        # Table 3: dequantize > subband synthesis > imdct, in that order.
+        assert names[:3] == ["III_dequantize_sample", "SubBandSynthesis",
+                             "inv_mdctL"]
+        assert report.rows[0].percent > 35
+        assert report.rows[1].percent > 25
+
+    def test_ih_profile_dominated_by_imdct_and_subband(self, stream):
+        decoder = Mp3Decoder(IH_LIBRARY)
+        decoder.decode(stream)
+        report = decoder.profiler.report()
+        names = report.names()
+        # Table 4: inv_mdctL first, SubBandSynthesis second, together ~85%.
+        assert names[0] == "inv_mdctL"
+        assert names[1] == "SubBandSynthesis"
+        top_two = report.rows[0].percent + report.rows[1].percent
+        assert top_two > 70
+
+    def test_full_mapping_profile(self, stream):
+        decoder = Mp3Decoder(IH_IPP_FULL)
+        decoder.decode(stream)
+        report = decoder.profiler.report()
+        # Table 5: ippsSynthPQMF on top; IMDCT no longer critical.
+        assert report.names()[0] == "ippsSynthPQMF_MP3_32s16s"
+        imdct_row = report.row("IppsMDCTInv_MP3_32s")
+        assert imdct_row.percent < 15
+
+    def test_ipp_names_used_only_when_mapped(self, stream):
+        decoder = Mp3Decoder(ORIGINAL)
+        decoder.decode(stream)
+        names = decoder.profiler.report().names()
+        assert not any(n.startswith("ipps") or n.startswith("Ipps")
+                       for n in names)
+
+
+class TestSpeedupLadder:
+    """The qualitative content of Table 6."""
+
+    @pytest.fixture(scope="class")
+    def times(self, stream):
+        out = {}
+        for config in CONFIGURATIONS:
+            decoder = Mp3Decoder(config)
+            decoder.decode(stream)
+            out[config.name] = decoder.profiler.report().total_seconds
+        return out
+
+    def test_strictly_improving_ladder(self, times):
+        order = [c.name for c in CONFIGURATIONS]
+        values = [times[name] for name in order]
+        assert values == sorted(values, reverse=True)
+
+    def test_ipp_subband_factor_band(self, times):
+        factor = times["Original"] / times["IPP SubBand"]
+        assert 1.2 < factor < 2.5            # paper: 1.7
+
+    def test_ih_factor_band(self, times):
+        factor = times["Original"] / times["IH Library"]
+        assert 50 < factor < 250             # paper: 92
+
+    def test_best_mapped_factor_band(self, times):
+        factor = times["Original"] / times["IH + IPP SubBand & IMDCT"]
+        assert 200 < factor < 1000           # paper: 352 (Table 5 implies ~520)
+
+    def test_hand_optimized_still_wins(self, times):
+        """IPP MP3 beats the best automatic mapping (paper: by ~5x)."""
+        best_auto = times["IH + IPP SubBand & IMDCT"]
+        hand = times["IPP MP3"]
+        assert hand < best_auto
+        assert best_auto / hand < 10
+
+    def test_best_mapped_faster_than_real_time(self, stream, times):
+        """Section 4: the final code runs ~3.5-4x faster than real time."""
+        decode_time = times["IH + IPP SubBand & IMDCT"]
+        realtime = stream.duration_seconds
+        assert realtime / decode_time > 2.0

@@ -1,0 +1,73 @@
+"""Tests for Lee's fast DCT and the polyphase symmetry mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.mp3.fastdct import (dct2, dct2_add_count, dct2_mul_count,
+                               matrixing_from_dct)
+from repro.mp3.tables import POLYPHASE_N
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+def direct_dct2(x):
+    n = len(x)
+    m = np.arange(n)[:, None]
+    k = np.arange(n)[None, :]
+    return np.cos(m * (2 * k + 1) * np.pi / (2 * n)) @ x
+
+
+class TestDct2:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32, 64])
+    def test_matches_direct(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(dct2(x), direct_dct2(x), atol=1e-10)
+
+    def test_impulse(self):
+        x = np.zeros(32)
+        x[0] = 1.0
+        got = dct2(x)
+        expected = np.cos(np.arange(32) * np.pi / 64)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_linearity(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((2, 32))
+        np.testing.assert_allclose(dct2(a + 2 * b), dct2(a) + 2 * dct2(b),
+                                   atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(arrays(np.float64, 32, elements=finite))
+    def test_property_matches_direct(self, x):
+        np.testing.assert_allclose(dct2(x), direct_dct2(x), atol=1e-7)
+
+
+class TestOpCounts:
+    def test_textbook_figures_for_32(self):
+        assert dct2_mul_count(32) == 80
+        assert dct2_add_count(32) == 209
+
+    def test_much_cheaper_than_matrix(self):
+        assert dct2_mul_count(32) < 32 * 32 / 10
+
+    def test_recurrences(self):
+        assert dct2_mul_count(2) == 1
+        assert dct2_add_count(2) == 2
+        assert dct2_mul_count(1) == 0
+
+
+class TestMatrixing:
+    @settings(max_examples=25, deadline=None)
+    @given(arrays(np.float64, 32, elements=finite))
+    def test_matches_direct_matrixing(self, s):
+        np.testing.assert_allclose(matrixing_from_dct(s), POLYPHASE_N @ s,
+                                   atol=1e-7)
+
+    def test_v16_is_zero(self):
+        rng = np.random.default_rng(5)
+        s = rng.standard_normal(32)
+        assert matrixing_from_dct(s)[16] == 0.0

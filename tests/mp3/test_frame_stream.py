@@ -1,0 +1,119 @@
+"""Tests for frame structures and the synthetic stream generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import Mp3Error
+from repro.mp3.bitstream import BitReader, BitWriter
+from repro.mp3.frame import Frame, FrameHeader, GranuleChannel
+from repro.mp3.synth_stream import EncodedStream, SyntheticEncoder, make_stream
+from repro.mp3.tables import FRAME_SAMPLES, GRANULE_SAMPLES
+
+
+def simple_frame(channels=2):
+    header = FrameHeader(0, channels, True)
+    rng = np.random.default_rng(1)
+    granules = [[GranuleChannel(150, rng.integers(-20, 20, GRANULE_SAMPLES))
+                 for _ in range(channels)] for _ in range(2)]
+    return Frame(header, granules)
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        w = BitWriter()
+        FrameHeader(1, 2, False).write(w)
+        got = FrameHeader.read(BitReader(w.getvalue()))
+        assert got.sample_rate_index == 1
+        assert got.channels == 2
+        assert not got.ms_stereo
+
+    def test_sample_rate(self):
+        assert FrameHeader(0).sample_rate == 44100
+        assert FrameHeader(1).sample_rate == 48000
+
+    def test_bad_sync_raises(self):
+        with pytest.raises(Mp3Error):
+            FrameHeader.read(BitReader(b"\x00\x00"))
+
+
+class TestGranuleChannel:
+    def test_validates_gain(self):
+        with pytest.raises(Mp3Error):
+            GranuleChannel(300, np.zeros(GRANULE_SAMPLES, dtype=np.int64))
+
+    def test_validates_shape(self):
+        with pytest.raises(Mp3Error):
+            GranuleChannel(150, np.zeros(10, dtype=np.int64))
+
+    def test_count_nonzero(self):
+        values = np.zeros(GRANULE_SAMPLES, dtype=np.int64)
+        values[:7] = 3
+        assert GranuleChannel(150, values).count_nonzero == 7
+
+
+class TestFrameRoundTrip:
+    @pytest.mark.parametrize("channels", [1, 2])
+    def test_write_read_identity(self, channels):
+        frame = simple_frame(channels)
+        w = BitWriter()
+        frame.write(w)
+        got = Frame.read(BitReader(w.getvalue()))
+        assert got.header.channels == channels
+        for g in range(2):
+            for ch in range(channels):
+                assert got.granules[g][ch].global_gain == frame.granules[g][ch].global_gain
+                np.testing.assert_array_equal(got.granules[g][ch].values,
+                                              frame.granules[g][ch].values)
+
+    def test_wrong_granule_count_raises(self):
+        header = FrameHeader()
+        gc = GranuleChannel(150, np.zeros(GRANULE_SAMPLES, dtype=np.int64))
+        with pytest.raises(Mp3Error):
+            Frame(header, [[gc, gc]])
+
+
+class TestSyntheticEncoder:
+    def test_deterministic(self):
+        a = make_stream(n_frames=2, seed=7)
+        b = make_stream(n_frames=2, seed=7)
+        assert a.data == b.data
+
+    def test_different_seeds_differ(self):
+        assert make_stream(2, seed=1).data != make_stream(2, seed=2).data
+
+    def test_duration(self):
+        stream = make_stream(n_frames=10)
+        expected = 10 * FRAME_SAMPLES / 44100
+        assert stream.duration_seconds == pytest.approx(expected)
+
+    def test_frame_budget(self):
+        stream = make_stream(n_frames=1)
+        assert stream.frame_duration_seconds == pytest.approx(FRAME_SAMPLES / 44100)
+
+    def test_spectra_have_zero_tail(self):
+        enc = SyntheticEncoder(seed=3)
+        frame = enc.make_frame()
+        for granule in frame.granules:
+            for gc in granule:
+                assert np.all(gc.values[480:] == 0)
+
+    def test_spectra_have_content(self):
+        enc = SyntheticEncoder(seed=3)
+        frame = enc.make_frame()
+        assert frame.granules[0][0].count_nonzero > 50
+
+    def test_zero_frames_raises(self):
+        with pytest.raises(Mp3Error):
+            SyntheticEncoder().encode(0)
+
+    def test_bad_channels_raises(self):
+        with pytest.raises(Mp3Error):
+            SyntheticEncoder(channels=3)
+
+    def test_stream_parses_back(self):
+        stream = make_stream(n_frames=3)
+        reader = BitReader(stream.data)
+        for _ in range(3):
+            assert reader.seek_sync()
+            frame = Frame.read(reader)
+            assert frame.header.channels == 2

@@ -1,0 +1,86 @@
+"""Tests for the vectorized Q-format helpers and the cost recipes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.mp3.costs import (asm_adds, asm_mac_taps, domain_conversion,
+                             float_macs, ih_adds, ih_mul_taps)
+from repro.mp3.fxutil import (XR_FRAC, from_q, qmul, qround_shift, saturate32,
+                              to_q)
+from repro.platform import CostModel, OperationTally
+
+finite = st.floats(min_value=-30.0, max_value=30.0, allow_nan=False)
+
+
+class TestQuantization:
+    @settings(max_examples=50, deadline=None)
+    @given(arrays(np.float64, 16, elements=finite))
+    def test_roundtrip_error_bounded(self, values):
+        raws = to_q(values, XR_FRAC)
+        back = from_q(raws, XR_FRAC)
+        assert np.max(np.abs(back - values)) <= 2.0 ** -(XR_FRAC + 1) + 1e-15
+
+    def test_qround_shift_rounds_half_up(self):
+        assert qround_shift(np.array([3]), 1).item() == 2   # 1.5 -> 2
+        assert qround_shift(np.array([1]), 1).item() == 1   # 0.5 -> 1
+
+    def test_qround_negative_shift_is_left_shift(self):
+        assert qround_shift(np.array([3]), -2).item() == 12
+
+    @settings(max_examples=50, deadline=None)
+    @given(arrays(np.float64, 8, elements=st.floats(-3, 3, allow_nan=False)),
+           arrays(np.float64, 8, elements=st.floats(-3, 3, allow_nan=False)))
+    def test_qmul_tracks_product(self, a, b):
+        qa, qb = to_q(a, XR_FRAC), to_q(b, XR_FRAC)
+        got = from_q(qmul(qa, qb, XR_FRAC), XR_FRAC)
+        assert np.max(np.abs(got - a * b)) < 1e-6
+
+    def test_saturate32(self):
+        raws = np.array([2 ** 40, -(2 ** 40), 5], dtype=np.int64)
+        out = saturate32(raws)
+        assert out[0] == 2 ** 31 - 1
+        assert out[1] == -(2 ** 31)
+        assert out[2] == 5
+
+
+class TestCostRecipes:
+    def setup_method(self):
+        self.model = CostModel()
+
+    def per_tap(self, recipe, n=1000):
+        tally = OperationTally()
+        recipe(tally, n)
+        return self.model.cycles(tally) / n
+
+    def test_ih_tap_price_band(self):
+        """The calibrated ~30 cycles/tap that pins Table 1's fixed rows."""
+        assert 25 <= self.per_tap(ih_mul_taps) <= 35
+
+    def test_asm_tap_price_band(self):
+        assert 3 <= self.per_tap(asm_mac_taps) <= 7
+
+    def test_grade_hierarchy(self):
+        ih = self.per_tap(ih_mul_taps)
+        asm = self.per_tap(asm_mac_taps)
+        float_tally = OperationTally()
+        float_macs(float_tally, muls=1000, adds=1000)
+        flt = self.model.cycles(float_tally) / 1000
+        assert asm < ih < flt
+
+    def test_zero_counts_are_noops(self):
+        tally = OperationTally()
+        ih_mul_taps(tally, 0)
+        ih_adds(tally, 0)
+        asm_mac_taps(tally, 0)
+        asm_adds(tally, 0)
+        domain_conversion(tally, 0, to_fixed=True)
+        assert tally.is_empty()
+
+    def test_conversion_priced_per_sample(self):
+        small, big = OperationTally(), OperationTally()
+        domain_conversion(small, 10, to_fixed=True)
+        domain_conversion(big, 1000, to_fixed=False)
+        assert self.model.cycles(big) > 50 * self.model.cycles(small)

@@ -1,0 +1,70 @@
+"""Failure injection: the decoder must fail loudly on damaged streams."""
+
+import numpy as np
+import pytest
+
+from repro.errors import Mp3Error
+from repro.mp3 import ORIGINAL, Mp3Decoder, make_stream
+from repro.mp3.bitstream import BitReader
+from repro.mp3.frame import Frame
+from repro.mp3.synth_stream import EncodedStream
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_stream(n_frames=2, seed=5)
+
+
+class TestTruncation:
+    def test_truncated_stream_raises(self, stream):
+        cut = EncodedStream(stream.data[:len(stream.data) // 3],
+                            stream.n_frames, stream.sample_rate,
+                            stream.channels)
+        with pytest.raises(Mp3Error):
+            Mp3Decoder(ORIGINAL).decode(cut)
+
+    def test_missing_frames_raise(self, stream):
+        greedy = EncodedStream(stream.data, stream.n_frames + 5,
+                               stream.sample_rate, stream.channels)
+        with pytest.raises(Mp3Error):
+            Mp3Decoder(ORIGINAL).decode(greedy)
+
+    def test_empty_stream_raises(self):
+        empty = EncodedStream(b"", 1, 44100, 2)
+        with pytest.raises(Mp3Error):
+            Mp3Decoder(ORIGINAL).decode(empty)
+
+
+class TestCorruption:
+    def test_zeroed_header_loses_sync(self, stream):
+        data = bytearray(stream.data)
+        data[0] = 0x00  # destroy the first sync byte
+        reader = BitReader(bytes(data))
+        # seek_sync must skip past the damage or report no sync at all;
+        # reading a frame at position 0 must raise.
+        with pytest.raises(Mp3Error):
+            Frame.read(reader)
+
+    def test_sync_recovery_skips_garbage(self, stream):
+        """Prepending garbage bytes must not break frame sync."""
+        garbage = b"\x12\x34\x56" + stream.data
+        padded = EncodedStream(garbage, stream.n_frames,
+                               stream.sample_rate, stream.channels)
+        pcm = Mp3Decoder(ORIGINAL).decode(padded)
+        reference = Mp3Decoder(ORIGINAL).decode(stream)
+        np.testing.assert_array_equal(pcm, reference)
+
+    def test_flipped_payload_bits_still_decode_or_raise(self, stream):
+        """Payload corruption either decodes (different audio) or raises
+        a clean Mp3Error — never an unrelated exception."""
+        data = bytearray(stream.data)
+        for pos in (50, 150, 400):
+            data[pos] ^= 0xFF
+        corrupted = EncodedStream(bytes(data), stream.n_frames,
+                                  stream.sample_rate, stream.channels)
+        try:
+            pcm = Mp3Decoder(ORIGINAL).decode(corrupted)
+        except Mp3Error:
+            return
+        assert pcm.shape[1] == stream.channels
+        assert np.all(np.isfinite(pcm))

@@ -1,0 +1,294 @@
+"""Tests for individual decoder stages: numerics and tallies."""
+
+import numpy as np
+import pytest
+
+from repro.mp3 import antialias as aa
+from repro.mp3 import dequantize as dq
+from repro.mp3 import hybrid as hy
+from repro.mp3 import imdct as im
+from repro.mp3 import reorder as ro
+from repro.mp3 import stereo as stx
+from repro.mp3 import synthesis as sy
+from repro.mp3.frame import GranuleChannel
+from repro.mp3.fxutil import XR_FRAC, from_q, to_q
+from repro.mp3.tables import GRANULE_SAMPLES, IMDCT_COS_36, IMDCT_WIN_36, SUBBANDS
+from repro.platform import CostModel, OperationTally
+
+
+def tally():
+    return OperationTally()
+
+
+def make_gc(seed=0, gain=160):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(-40, 40, GRANULE_SAMPLES)
+    return GranuleChannel(gain, values)
+
+
+class TestDequantize:
+    def test_float_formula(self):
+        values = np.zeros(GRANULE_SAMPLES, dtype=np.int64)
+        values[0] = 8
+        values[1] = -8
+        gc = GranuleChannel(210, values)
+        xr = dq.dequantize_float(gc, tally())
+        assert xr[0] == pytest.approx(8 ** (4 / 3))
+        assert xr[1] == pytest.approx(-(8 ** (4 / 3)))
+
+    def test_gain_scaling(self):
+        values = np.zeros(GRANULE_SAMPLES, dtype=np.int64)
+        values[0] = 1
+        lo = dq.dequantize_float(GranuleChannel(206, values), tally())
+        hi = dq.dequantize_float(GranuleChannel(210, values), tally())
+        assert hi[0] == pytest.approx(2 * lo[0])
+
+    def test_fixed_matches_float_within_quantum(self):
+        gc = make_gc(1)
+        xr_f = dq.dequantize_float(gc, tally())
+        xr_q = dq.dequantize_fixed(gc, tally())
+        np.testing.assert_allclose(from_q(xr_q, XR_FRAC), xr_f,
+                                   atol=2.0 ** -XR_FRAC)
+
+    def test_asm_matches_fixed(self):
+        gc = make_gc(2)
+        np.testing.assert_array_equal(dq.dequantize_fixed(gc, tally()),
+                                      dq.dequantize_asm(gc, tally()))
+
+    def test_float_cost_dominated_by_pow(self):
+        gc = make_gc(3)
+        t = tally()
+        dq.dequantize_float(gc, t)
+        assert t.libm_calls["pow"] == 2 * GRANULE_SAMPLES
+        model = CostModel()
+        pow_only = OperationTally()
+        pow_only.libm("pow", t.libm_calls["pow"])
+        assert model.cycles(pow_only) / model.cycles(t) > 0.9
+
+    def test_fixed_two_orders_cheaper(self):
+        gc = make_gc(4)
+        t_float, t_fixed = tally(), tally()
+        dq.dequantize_float(gc, t_float)
+        dq.dequantize_fixed(gc, t_fixed)
+        model = CostModel()
+        assert model.cycles(t_float) / model.cycles(t_fixed) > 100
+
+
+class TestStereo:
+    def test_ms_reconstruction(self):
+        rng = np.random.default_rng(0)
+        left = rng.standard_normal(GRANULE_SAMPLES)
+        right = rng.standard_normal(GRANULE_SAMPLES)
+        mid = (left + right) / np.sqrt(2)
+        side = (left - right) / np.sqrt(2)
+        got_l, got_r = stx.stereo_float(mid, side, True, tally())
+        np.testing.assert_allclose(got_l, left, atol=1e-12)
+        np.testing.assert_allclose(got_r, right, atol=1e-12)
+
+    def test_lr_passthrough(self):
+        a = np.arange(GRANULE_SAMPLES, dtype=np.float64)
+        b = -a
+        got_a, got_b = stx.stereo_float(a, b, False, tally())
+        np.testing.assert_array_equal(got_a, a)
+        np.testing.assert_array_equal(got_b, b)
+
+    def test_fixed_tracks_float(self):
+        rng = np.random.default_rng(1)
+        mid = rng.uniform(-0.1, 0.1, GRANULE_SAMPLES)
+        side = rng.uniform(-0.1, 0.1, GRANULE_SAMPLES)
+        f_l, f_r = stx.stereo_float(mid, side, True, tally())
+        q_l, q_r = stx.stereo_fixed(to_q(mid, XR_FRAC), to_q(side, XR_FRAC),
+                                    True, tally())
+        np.testing.assert_allclose(from_q(q_l, XR_FRAC), f_l, atol=1e-6)
+        np.testing.assert_allclose(from_q(q_r, XR_FRAC), f_r, atol=1e-6)
+
+    def test_passthrough_cheaper_than_ms(self):
+        mid = np.zeros(GRANULE_SAMPLES)
+        t_ms, t_lr = tally(), tally()
+        stx.stereo_float(mid, mid, True, t_ms)
+        stx.stereo_float(mid, mid, False, t_lr)
+        model = CostModel()
+        assert model.cycles(t_lr) < model.cycles(t_ms)
+
+
+class TestReorder:
+    def test_long_blocks_identity(self):
+        xr = np.arange(GRANULE_SAMPLES, dtype=np.float64)
+        out = ro.reorder(xr, short_blocks=False, tally=tally())
+        np.testing.assert_array_equal(out, xr)
+
+    def test_long_blocks_copy_not_alias(self):
+        xr = np.zeros(GRANULE_SAMPLES)
+        out = ro.reorder(xr, short_blocks=False, tally=tally())
+        out[0] = 1.0
+        assert xr[0] == 0.0
+
+    def test_short_block_permutation_is_permutation(self):
+        perm = ro.short_block_permutation()
+        assert sorted(perm.tolist()) == list(range(GRANULE_SAMPLES))
+
+    def test_short_blocks_apply_permutation(self):
+        xr = np.arange(GRANULE_SAMPLES, dtype=np.float64)
+        out = ro.reorder(xr, short_blocks=True, tally=tally())
+        assert not np.array_equal(out, xr)
+        assert sorted(out.tolist()) == list(range(GRANULE_SAMPLES))
+
+
+class TestAntialias:
+    def test_touches_only_boundary_lines(self):
+        xr = np.zeros(GRANULE_SAMPLES)
+        xr[100] = 1.0  # inside subband 5, away from +-8 of boundaries 90/108
+        out = aa.antialias_float(xr, tally())
+        # line 100 is within 8 of boundary at 108 -> changed; line 9*18+9=171
+        xr2 = np.zeros(GRANULE_SAMPLES)
+        xr2[9 * 18 + 9] = 1.0  # distance 9 from both boundaries: untouched
+        out2 = aa.antialias_float(xr2, tally())
+        np.testing.assert_array_equal(out2, xr2)
+        assert not np.array_equal(out, xr)
+
+    def test_energy_preserved(self):
+        """cs^2 + ca^2 = 1: butterflies are rotations."""
+        rng = np.random.default_rng(2)
+        xr = rng.standard_normal(GRANULE_SAMPLES)
+        out = aa.antialias_float(xr, tally())
+        assert np.sum(out ** 2) == pytest.approx(np.sum(xr ** 2))
+
+    def test_fixed_tracks_float(self):
+        rng = np.random.default_rng(3)
+        xr = rng.uniform(-0.05, 0.05, GRANULE_SAMPLES)
+        out_f = aa.antialias_float(xr, tally())
+        out_q = aa.antialias_fixed(to_q(xr, XR_FRAC), tally())
+        np.testing.assert_allclose(from_q(out_q, XR_FRAC), out_f, atol=1e-4)
+
+    def test_asm_matches_fixed_numerically(self):
+        rng = np.random.default_rng(4)
+        raws = to_q(rng.uniform(-0.05, 0.05, GRANULE_SAMPLES), XR_FRAC)
+        np.testing.assert_array_equal(aa.antialias_fixed(raws.copy(), tally()),
+                                      aa.antialias_asm(raws.copy(), tally()))
+
+    def test_cost_ordering(self):
+        xr = np.zeros(GRANULE_SAMPLES)
+        raws = np.zeros(GRANULE_SAMPLES, dtype=np.int64)
+        t_f, t_q, t_a = tally(), tally(), tally()
+        aa.antialias_float(xr, t_f)
+        aa.antialias_fixed(raws, t_q)
+        aa.antialias_asm(raws, t_a)
+        model = CostModel()
+        assert model.cycles(t_f) > model.cycles(t_q) > model.cycles(t_a)
+
+
+class TestImdct:
+    def test_float_matches_equation_one(self):
+        rng = np.random.default_rng(0)
+        lines = rng.standard_normal(18)
+        out = im.imdct_block_float(lines, tally())
+        expected = (IMDCT_COS_36 @ lines) * IMDCT_WIN_36
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_fixed_tracks_float(self):
+        rng = np.random.default_rng(1)
+        lines = rng.uniform(-0.05, 0.05, 18)
+        out_f = im.imdct_block_float(lines, tally())
+        out_q = im.imdct_block_fixed(to_q(lines, XR_FRAC), tally())
+        np.testing.assert_allclose(from_q(out_q, XR_FRAC), out_f, atol=1e-3)
+
+    def test_ipp_matches_fixed_numerically(self):
+        rng = np.random.default_rng(2)
+        raws = to_q(rng.uniform(-0.05, 0.05, 18), XR_FRAC)
+        np.testing.assert_array_equal(im.imdct_block_fixed(raws, tally()),
+                                      im.imdct_block_ipp(raws, tally()))
+
+    def test_cost_hierarchy(self):
+        lines = np.zeros(18)
+        raws = np.zeros(18, dtype=np.int64)
+        t_f, t_q, t_i = tally(), tally(), tally()
+        im.imdct_block_float(lines, t_f)
+        im.imdct_block_fixed(raws, t_q)
+        im.imdct_block_ipp(raws, t_i)
+        model = CostModel()
+        # float >> fixed > ipp; the paper's Table 1 ratio logic.
+        assert model.cycles(t_f) / model.cycles(t_q) > 10
+        assert model.cycles(t_q) / model.cycles(t_i) > 5
+
+
+class TestHybrid:
+    def test_overlap_add(self):
+        state = hy.HybridState()
+        blocks = np.zeros((SUBBANDS, 36))
+        blocks[0, :] = 1.0
+        first = hy.hybrid_float(blocks, state, tally())
+        # first call: saved state was zero -> first half passes through
+        assert first[0, 0] == 1.0
+        second = hy.hybrid_float(np.zeros((SUBBANDS, 36)), state, tally())
+        # second call: previous second half overlaps in
+        assert second[0, 0] == 1.0
+
+    def test_frequency_inversion_pattern(self):
+        state = hy.HybridState()
+        blocks = np.ones((SUBBANDS, 36))
+        rows = hy.hybrid_float(blocks, state, tally())
+        assert rows[1, 1] == -1.0   # odd subband, odd sample flipped
+        assert rows[1, 0] == 1.0
+        assert rows[0, 1] == 1.0
+
+    def test_fixed_matches_float(self):
+        rng = np.random.default_rng(3)
+        blocks = rng.uniform(-0.05, 0.05, (SUBBANDS, 36))
+        sf = hy.HybridState()
+        sq = hy.HybridState(np.int64)
+        out_f = hy.hybrid_float(blocks, sf, tally())
+        out_q = hy.hybrid_fixed(to_q(blocks, XR_FRAC), sq, tally())
+        np.testing.assert_allclose(from_q(out_q, XR_FRAC), out_f, atol=1e-6)
+
+    def test_reset(self):
+        state = hy.HybridState()
+        hy.hybrid_float(np.ones((SUBBANDS, 36)), state, tally())
+        state.reset()
+        assert np.all(state.saved == 0)
+
+
+class TestSynthesis:
+    def test_variants_agree_numerically(self):
+        rng = np.random.default_rng(4)
+        sf = sy.SynthesisState()
+        sq = sy.SynthesisState(fixed=True)
+        si = sy.SynthesisState(fixed=True)
+        for _ in range(4):  # run several steps so the FIFO fills
+            step = rng.uniform(-0.1, 0.1, 32)
+            out_f = sy.synthesis_float(step, sf, tally())
+            out_q = sy.synthesis_fixed_fast(to_q(step, XR_FRAC), sq, tally())
+            out_i = sy.synthesis_ipp(to_q(step, XR_FRAC), si, tally())
+            np.testing.assert_allclose(from_q(out_q, XR_FRAC), out_f, atol=1e-4)
+            np.testing.assert_array_equal(out_q, out_i)
+
+    def test_dc_reconstruction_gain(self):
+        """A constant subband-0 input must produce bounded steady output."""
+        state = sy.SynthesisState()
+        out = None
+        for _ in range(40):
+            step = np.zeros(32)
+            step[0] = 0.01
+            out = sy.synthesis_float(step, state, tally())
+        assert np.all(np.abs(out) < 1.0)
+        assert np.max(np.abs(out)) > 1e-4   # signal actually flows through
+
+    def test_cost_hierarchy(self):
+        step = np.zeros(32)
+        raw_step = np.zeros(32, dtype=np.int64)
+        t_f, t_q, t_i = tally(), tally(), tally()
+        sy.synthesis_float(step, sy.SynthesisState(), t_f)
+        sy.synthesis_fixed_fast(raw_step, sy.SynthesisState(fixed=True), t_q)
+        sy.synthesis_ipp(raw_step, sy.SynthesisState(fixed=True), t_i)
+        model = CostModel()
+        ratio_fixed = model.cycles(t_f) / model.cycles(t_q)
+        ratio_ipp = model.cycles(t_f) / model.cycles(t_i)
+        # Table 1's ordering: float << fixed << ipp speedups.
+        assert ratio_fixed > 30
+        assert ratio_ipp > 200
+        assert ratio_ipp > ratio_fixed
+
+    def test_state_reset(self):
+        state = sy.SynthesisState()
+        sy.synthesis_float(np.ones(32), state, tally())
+        state.reset()
+        assert np.all(state.v == 0)

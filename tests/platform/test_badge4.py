@@ -1,0 +1,42 @@
+"""Tests for the Badge4 platform bundle (Figure 1)."""
+
+from repro.platform import BADGE4_COMPONENTS, Badge4
+
+
+class TestInventory:
+    def test_figure1_blocks_present(self):
+        kinds = {c.kind for c in BADGE4_COMPONENTS}
+        assert {"processor", "companion", "memory", "radio", "audio", "power"} <= kinds
+
+    def test_three_memories(self):
+        memories = [c for c in BADGE4_COMPONENTS if c.kind == "memory"]
+        assert {c.name for c in memories} == {"SRAM", "SDRAM", "FLASH"}
+
+    def test_badge4_vs_smartbadge_delta(self):
+        """Badge4 = SmartBadge + new CPU + SDRAM + companion chip."""
+        names = {c.name for c in BADGE4_COMPONENTS}
+        assert "SDRAM" in names
+        assert "SA-1111 companion chip" in names
+        assert "StrongARM SA-1110" in names
+
+
+class TestBundle:
+    def test_models_wired(self):
+        badge = Badge4()
+        assert badge.cost_model.spec.name == "StrongARM SA-1110"
+        assert badge.governor.points[-1].clock_hz == badge.processor.clock_hz
+
+    def test_profiler_factory_independent(self):
+        badge = Badge4()
+        p1 = badge.profiler()
+        p2 = badge.profiler()
+        from repro.platform import OperationTally
+        p1.record("f", OperationTally(int_alu=1))
+        assert p2.tally("f").is_empty()
+
+    def test_describe_mentions_all_components(self):
+        text = Badge4().describe()
+        for comp in BADGE4_COMPONENTS:
+            assert comp.name in text
+        assert "206.4 MHz" in text
+        assert "no — soft float" in text

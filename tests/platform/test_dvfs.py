@@ -1,0 +1,77 @@
+"""Tests for the DVFS governor."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform import (BADGE4_ENERGY, SA1110_OPERATING_POINTS, CostModel,
+                            DvfsGovernor, OperationTally, SA1110)
+
+
+@pytest.fixture
+def governor():
+    return DvfsGovernor(CostModel(SA1110), BADGE4_ENERGY)
+
+
+def workload(cycles: int) -> OperationTally:
+    return OperationTally(int_alu=cycles)
+
+
+class TestLadder:
+    def test_point_count(self):
+        assert len(SA1110_OPERATING_POINTS) == 11
+
+    def test_range(self):
+        assert SA1110_OPERATING_POINTS[0].clock_hz == pytest.approx(59.0e6)
+        assert SA1110_OPERATING_POINTS[-1].clock_hz == pytest.approx(206.4e6)
+
+    def test_voltage_monotone_in_frequency(self):
+        volts = [p.voltage for p in SA1110_OPERATING_POINTS]
+        assert volts == sorted(volts)
+
+    def test_str(self):
+        assert "MHz" in str(SA1110_OPERATING_POINTS[0])
+
+
+class TestGovernor:
+    def test_fast_workload_can_slow_down(self, governor):
+        # 0.25 s of work at 206.4 MHz; deadline 1 s -> can run ~4x slower.
+        t = workload(int(206.4e6 * 0.25))
+        decision = governor.slowest_feasible(t, deadline_s=1.0)
+        assert decision.meets_deadline
+        assert decision.point.clock_hz < 206.4e6
+        assert decision.point.clock_hz >= 206.4e6 * 0.25 * 0.99
+
+    def test_tight_workload_stays_fast(self, governor):
+        t = workload(int(206.4e6 * 0.99))
+        decision = governor.slowest_feasible(t, deadline_s=1.0)
+        assert decision.meets_deadline
+        assert decision.point.clock_hz == pytest.approx(206.4e6)
+
+    def test_infeasible_workload_reports_miss(self, governor):
+        t = workload(int(206.4e6 * 3))
+        decision = governor.slowest_feasible(t, deadline_s=1.0)
+        assert not decision.meets_deadline
+        assert decision.point.clock_hz == pytest.approx(206.4e6)
+
+    def test_bad_deadline_raises(self, governor):
+        with pytest.raises(PlatformError):
+            governor.slowest_feasible(workload(10), deadline_s=0)
+
+    def test_energy_saving_factor_exceeds_one_for_slack(self, governor):
+        """The paper's claim: 3.5x-faster-than-real-time MP3 saves energy."""
+        t = workload(int(206.4e6 / 3.5))
+        factor = governor.energy_saving_factor(t, deadline_s=1.0)
+        assert factor > 1.5
+
+    def test_sweep_covers_all_points(self, governor):
+        decisions = governor.sweep(workload(1000), deadline_s=1.0)
+        assert len(decisions) == len(SA1110_OPERATING_POINTS)
+
+    def test_sweep_time_monotone(self, governor):
+        decisions = governor.sweep(workload(10 ** 7), deadline_s=1.0)
+        times = [d.seconds for d in decisions]
+        assert times == sorted(times, reverse=True)
+
+    def test_empty_points_raise(self):
+        with pytest.raises(PlatformError):
+            DvfsGovernor(CostModel(SA1110), BADGE4_ENERGY, points=())

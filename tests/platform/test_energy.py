@@ -1,0 +1,61 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform import (BADGE4_ENERGY, CostModel, EnergyModel,
+                            OperationTally, SA1110)
+
+
+class TestCorePower:
+    def test_nominal_point(self):
+        assert BADGE4_ENERGY.core_power() == pytest.approx(0.40)
+
+    def test_quadratic_in_voltage(self):
+        half_v = BADGE4_ENERGY.core_power(voltage=1.55 / 2)
+        assert half_v == pytest.approx(0.40 / 4)
+
+    def test_linear_in_frequency(self):
+        half_f = BADGE4_ENERGY.core_power(clock_hz=206.4e6 / 2)
+        assert half_f == pytest.approx(0.40 / 2)
+
+    def test_bad_efficiency_raises(self):
+        with pytest.raises(PlatformError):
+            EnergyModel(dcdc_efficiency=0.0)
+
+
+class TestEnergy:
+    def setup_method(self):
+        self.cm = CostModel(SA1110)
+
+    def test_energy_scales_with_work(self):
+        small = OperationTally(int_alu=10_000)
+        big = OperationTally(int_alu=1_000_000)
+        e_small = BADGE4_ENERGY.energy(small, self.cm)
+        e_big = BADGE4_ENERGY.energy(big, self.cm)
+        assert e_big == pytest.approx(100 * e_small)
+
+    def test_memory_activity_adds_energy(self):
+        compute = OperationTally(int_alu=1000)
+        with_mem = OperationTally(int_alu=1000, load=500, store=500)
+        assert (BADGE4_ENERGY.energy(with_mem, self.cm)
+                > BADGE4_ENERGY.energy(compute, self.cm))
+
+    def test_dcdc_inflates_energy(self):
+        lossless = EnergyModel(dcdc_efficiency=1.0)
+        lossy = EnergyModel(dcdc_efficiency=0.5)
+        t = OperationTally(int_alu=1000)
+        assert (lossy.energy(t, self.cm)
+                == pytest.approx(2 * lossless.energy(t, self.cm)))
+
+    def test_lower_voltage_and_frequency_save_energy(self):
+        """The DVFS premise: same work, lower V/f, less energy.
+
+        (Lower f alone does NOT save dynamic energy in this first-order
+        model — it's the V^2 factor that pays off; static power actually
+        penalizes slow execution.  Check the combined effect.)
+        """
+        t = OperationTally(int_alu=10_000_000)
+        full = BADGE4_ENERGY.energy(t, self.cm, voltage=1.55, clock_hz=206.4e6)
+        scaled = BADGE4_ENERGY.energy(t, self.cm, voltage=1.0, clock_hz=59e6)
+        assert scaled < full

@@ -1,0 +1,78 @@
+"""Tests for the SA-1110 cost model."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform import SA1110, CostModel, OperationTally, ProcessorSpec
+
+
+class TestSpec:
+    def test_sa1110_identity(self):
+        assert SA1110.clock_hz == pytest.approx(206.4e6)
+        assert not SA1110.has_fpu
+
+    def test_bad_clock_raises(self):
+        with pytest.raises(PlatformError):
+            ProcessorSpec("x", 0, True, SA1110.cycle_costs, {})
+
+    def test_missing_cost_entries_raise(self):
+        with pytest.raises(PlatformError):
+            ProcessorSpec("x", 1e6, True, {"int_alu": 1}, {})
+
+
+class TestCycles:
+    def setup_method(self):
+        self.model = CostModel(SA1110)
+
+    def test_empty_tally_costs_nothing(self):
+        assert self.model.cycles(OperationTally()) == 0
+
+    def test_single_int_alu(self):
+        t = OperationTally(int_alu=100)
+        assert self.model.cycles(t) == 100
+
+    def test_soft_float_is_two_orders_costlier(self):
+        """The paper's entire premise: no FPU makes float brutal."""
+        int_t = OperationTally(int_mac=1000)
+        fp_t = OperationTally(fp_add=500, fp_mul=500)
+        ratio = self.model.cycles(fp_t) / self.model.cycles(int_t)
+        assert ratio > 30  # two orders vs MACs would be ~100; >30 is the floor
+
+    def test_libm_pow_dominates(self):
+        """pow is costlier than thousands of integer ops."""
+        t = OperationTally()
+        t.libm("pow", 1)
+        assert self.model.cycles(t) > self.model.cycles(OperationTally(int_alu=10000))
+
+    def test_unknown_libm_uses_default(self):
+        t = OperationTally()
+        t.libm("bessel_j0", 2)
+        assert self.model.cycles(t) == 2 * SA1110.libm_default
+
+    def test_cost_ordering_int_lt_fp_lt_libm(self):
+        int_op = self.model.cycles(OperationTally(int_mul=1))
+        fp_op = self.model.cycles(OperationTally(fp_mul=1))
+        libm = CostModel(SA1110)
+        t = OperationTally()
+        t.libm("cos", 1)
+        libm_call = libm.cycles(t)
+        assert int_op < fp_op < libm_call
+
+
+class TestSeconds:
+    def test_seconds_at_spec_clock(self):
+        model = CostModel(SA1110)
+        t = OperationTally(int_alu=206_400_000)
+        assert model.seconds(t) == pytest.approx(1.0)
+
+    def test_seconds_at_scaled_clock(self):
+        model = CostModel(SA1110)
+        t = OperationTally(int_alu=1000)
+        fast = model.seconds(t, clock_hz=206.4e6)
+        slow = model.seconds(t, clock_hz=103.2e6)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_bad_clock_raises(self):
+        model = CostModel(SA1110)
+        with pytest.raises(PlatformError):
+            model.seconds(OperationTally(), clock_hz=-1)

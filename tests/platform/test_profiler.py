@@ -1,0 +1,97 @@
+"""Tests for the profiler and its table rendering."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform import OperationTally, Profiler
+
+
+def tally(**kwargs) -> OperationTally:
+    t = OperationTally()
+    for k, v in kwargs.items():
+        setattr(t, k, v)
+    return t
+
+
+class TestRecording:
+    def test_accumulates(self):
+        p = Profiler()
+        p.record("f", tally(int_alu=10))
+        p.record("f", tally(int_alu=5))
+        assert p.tally("f").int_alu == 15
+
+    def test_tally_returns_copy(self):
+        p = Profiler()
+        p.record("f", tally(int_alu=10))
+        out = p.tally("f")
+        out.int_alu = 999
+        assert p.tally("f").int_alu == 10
+
+    def test_unknown_function_empty(self):
+        assert Profiler().tally("ghost").is_empty()
+
+    def test_combined(self):
+        p = Profiler()
+        p.record("a", tally(int_alu=1))
+        p.record("b", tally(int_mul=2))
+        combined = p.combined_tally()
+        assert combined.int_alu == 1
+        assert combined.int_mul == 2
+
+    def test_reset(self):
+        p = Profiler()
+        p.record("a", tally(int_alu=1))
+        p.reset()
+        with pytest.raises(PlatformError):
+            p.report()
+
+
+class TestReport:
+    def make(self):
+        p = Profiler()
+        p.record("hot", tally(fp_mul=100_000))
+        p.record("warm", tally(fp_mul=10_000))
+        p.record("cold", tally(int_alu=100))
+        return p.report()
+
+    def test_rows_sorted_by_time(self):
+        report = self.make()
+        assert report.names() == ["hot", "warm", "cold"]
+
+    def test_percentages_sum_to_100(self):
+        report = self.make()
+        assert sum(r.percent for r in report.rows) == pytest.approx(100.0)
+
+    def test_total_seconds_consistent(self):
+        report = self.make()
+        assert report.total_seconds == pytest.approx(
+            sum(r.seconds for r in report.rows))
+
+    def test_row_lookup(self):
+        report = self.make()
+        assert report.row("hot").percent > 80
+        with pytest.raises(KeyError):
+            report.row("ghost")
+
+    def test_energy_positive(self):
+        report = self.make()
+        assert all(r.energy_j > 0 for r in report.rows)
+
+    def test_report_at_lower_clock_scales_time(self):
+        p = Profiler()
+        p.record("f", tally(int_alu=10_000))
+        fast = p.report().total_seconds
+        slow = p.report(clock_hz=103.2e6).total_seconds
+        assert slow == pytest.approx(fast * 2)
+
+    def test_format_table_shape(self):
+        text = self.make().format_table(title="Original MP3 Profile", time_unit="ms")
+        assert "Original MP3 Profile" in text
+        assert "hot" in text
+        assert "Total" in text
+        lines = text.splitlines()
+        assert len(lines) == 2 + 3 + 1  # title + header + 3 rows + total
+
+    def test_empty_profiler_raises(self):
+        with pytest.raises(PlatformError):
+            Profiler().report()

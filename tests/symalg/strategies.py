@@ -1,0 +1,50 @@
+"""Shared hypothesis strategies for symalg property tests."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import strategies as st
+
+from repro.symalg.polynomial import Polynomial
+
+VARIABLES = ("x", "y", "z")
+
+coefficients = st.fractions(
+    min_value=Fraction(-50), max_value=Fraction(50), max_denominator=8,
+).filter(lambda f: f != 0)
+
+exponent_tuples = st.tuples(
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=4),
+)
+
+
+@st.composite
+def polynomials(draw, max_terms: int = 6, allow_zero: bool = True):
+    """A random small polynomial in up to three variables."""
+    n_terms = draw(st.integers(min_value=0 if allow_zero else 1,
+                               max_value=max_terms))
+    terms = {}
+    for _ in range(n_terms):
+        exps = draw(exponent_tuples)
+        coeff = draw(coefficients)
+        terms[exps] = terms.get(exps, Fraction(0)) + coeff
+    return Polynomial(VARIABLES, terms)
+
+
+@st.composite
+def nonzero_polynomials(draw, max_terms: int = 6):
+    """A random nonzero polynomial."""
+    poly = draw(polynomials(max_terms=max_terms, allow_zero=False))
+    if poly.is_zero():
+        poly = poly + 1
+    return poly
+
+
+evaluation_points = st.fixed_dictionaries({
+    "x": st.fractions(min_value=Fraction(-5), max_value=Fraction(5), max_denominator=4),
+    "y": st.fractions(min_value=Fraction(-5), max_value=Fraction(5), max_denominator=4),
+    "z": st.fractions(min_value=Fraction(-5), max_value=Fraction(5), max_denominator=4),
+})

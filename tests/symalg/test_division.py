@@ -1,0 +1,92 @@
+"""Tests for the multivariate division algorithm."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import DivisionError
+from repro.symalg import GREVLEX, LEX, Polynomial, divide, exact_divide, reduce, symbols
+
+from .strategies import nonzero_polynomials, polynomials
+
+x, y, z = symbols("x y z")
+
+
+class TestExamples:
+    def test_cox_little_oshea_example(self):
+        """CLO ch.2 §3 example 1: divide x^2 y + x y^2 + y^2 by [xy-1, y^2-1]."""
+        f = x ** 2 * y + x * y ** 2 + y ** 2
+        res = divide(f, [x * y - 1, y ** 2 - 1], LEX.with_precedence(["x", "y"]))
+        assert res.quotients[0] == x + y
+        assert res.quotients[1] == Polynomial.one()
+        assert res.remainder == x + y + 1
+
+    def test_divisor_order_changes_result(self):
+        """Division remainder depends on divisor order for non-GB sets."""
+        f = x ** 2 * y + x * y ** 2 + y ** 2
+        order = LEX.with_precedence(["x", "y"])
+        r1 = reduce(f, [x * y - 1, y ** 2 - 1], order)
+        r2 = reduce(f, [y ** 2 - 1, x * y - 1], order)
+        assert r1 != r2
+
+    def test_single_divisor_univariate(self):
+        f = x ** 3 - 2 * x + 5
+        res = divide(f, [x - 1])
+        assert res.remainder == Polynomial.constant(4)  # f(1) = 4
+
+    def test_zero_dividend(self):
+        res = divide(Polynomial.zero(), [x + 1])
+        assert res.remainder.is_zero()
+        assert res.quotients[0].is_zero()
+
+    def test_zero_divisor_raises(self):
+        with pytest.raises(DivisionError):
+            divide(x, [Polynomial.zero()])
+
+    def test_empty_divisor_list_reduce(self):
+        assert reduce(x + 1, []) == x + 1
+
+
+class TestExactDivision:
+    def test_exact(self):
+        assert exact_divide((x + y) * (x - y), x + y) == x - y
+
+    def test_inexact_raises(self):
+        with pytest.raises(DivisionError):
+            exact_divide(x ** 2 + 1, x + 1)
+
+    def test_constant_divisor(self):
+        assert exact_divide(2 * x, Polynomial.constant(2)) == x
+
+
+class TestInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(polynomials(), nonzero_polynomials(max_terms=3),
+           nonzero_polynomials(max_terms=3))
+    def test_reconstruction(self, f, g1, g2):
+        """f == q1 g1 + q2 g2 + r, always."""
+        res = divide(f, [g1, g2], GREVLEX)
+        assert res.reconstruct([g1, g2]) == f
+
+    @settings(max_examples=60, deadline=None)
+    @given(polynomials(), nonzero_polynomials(max_terms=3))
+    def test_remainder_irreducible(self, f, g):
+        """No remainder term is divisible by LT(g)."""
+        res = divide(f, [g], GREVLEX)
+        lt_exps, _ = g.leading_term(GREVLEX)
+        lt = {v: e for v, e in zip(g.variables, lt_exps) if e}
+        for powers, _ in res.remainder.iter_terms():
+            divisible = all(powers.get(v, 0) >= e for v, e in lt.items())
+            assert not divisible
+
+    @settings(max_examples=60, deadline=None)
+    @given(polynomials(), nonzero_polynomials(max_terms=3))
+    def test_reduce_idempotent(self, f, g):
+        once = reduce(f, [g], GREVLEX)
+        twice = reduce(once, [g], GREVLEX)
+        assert once == twice
+
+    @settings(max_examples=60, deadline=None)
+    @given(nonzero_polynomials(max_terms=4), nonzero_polynomials(max_terms=3))
+    def test_product_reduces_to_zero(self, q, g):
+        """q*g is in the ideal (g), so dividing by [g] leaves nothing."""
+        assert reduce(q * g, [g], GREVLEX).is_zero()

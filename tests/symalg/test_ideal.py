@@ -1,0 +1,89 @@
+"""Tests for simplification modulo side relations (the paper's core op)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SymbolicError
+from repro.symalg import Polynomial, SideRelation, simplify_modulo, symbols
+
+from .strategies import evaluation_points, nonzero_polynomials
+
+x, y, z = symbols("x y z")
+
+
+class TestPaperExample:
+    def test_maple_simplify_snippet(self):
+        """Section 3.3: simplify(x + x^3 y^2 - 2 x y^3, {p = x^2 - 2y}, [x,y,p])."""
+        s = x + x ** 3 * y ** 2 - 2 * x * y ** 3
+        result = simplify_modulo(s, {"p": x ** 2 - 2 * y}, ["x", "y", "p"])
+        p = Polynomial.variable("p")
+        assert result == x + x * y ** 2 * p
+
+    def test_default_variable_order_matches_explicit(self):
+        s = x + x ** 3 * y ** 2 - 2 * x * y ** 3
+        explicit = simplify_modulo(s, {"p": x ** 2 - 2 * y}, ["x", "y", "p"])
+        default = simplify_modulo(s, {"p": x ** 2 - 2 * y})
+        assert explicit == default
+
+
+class TestRewriting:
+    def test_perfect_match_collapses_to_symbol(self):
+        """When the target IS a library polynomial, result is the symbol."""
+        target = x ** 2 + 2 * x + 1
+        result = simplify_modulo(target, {"sq": x ** 2 + 2 * x + 1})
+        assert result == Polynomial.variable("sq")
+
+    def test_partial_match_leaves_residual(self):
+        target = x ** 2 + 2 * x + 1 + y
+        result = simplify_modulo(target, {"sq": x ** 2 + 2 * x + 1})
+        assert result == Polynomial.variable("sq") + y
+
+    def test_two_relations(self):
+        """MAC-style decomposition: target = a*b + c via mac = a*b + c."""
+        a, b, c = symbols("a b c")
+        target = a * b + c
+        result = simplify_modulo(target, {"mac": a * b + c})
+        assert result == Polynomial.variable("mac")
+
+    def test_nested_relations(self):
+        """Second relation can reference the first relation's symbol."""
+        t = Polynomial.variable("t")
+        target = (x ** 2 + 1) ** 2
+        relations = [SideRelation("t", x ** 2 + 1),
+                     SideRelation("u", t ** 2)]
+        result = simplify_modulo(target, relations, ["x", "t", "u"])
+        assert result == Polynomial.variable("u")
+
+    def test_no_relations_is_identity(self):
+        assert simplify_modulo(x + y, {}) == x + y
+
+    def test_unrelated_relation_leaves_target(self):
+        assert simplify_modulo(x + 1, {"q": z ** 5}) == x + 1
+
+
+class TestSemanticEquivalence:
+    """Rewritten forms must agree with the original as functions."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(nonzero_polynomials(max_terms=4), nonzero_polynomials(max_terms=3),
+           evaluation_points)
+    def test_substituting_back_recovers_value(self, target, rel_poly, point):
+        result = simplify_modulo(target, {"p": rel_poly})
+        rel_value = rel_poly.evaluate(point)
+        env = dict(point)
+        env["p"] = rel_value
+        assert result.evaluate(env) == target.evaluate(point)
+
+
+class TestSideRelation:
+    def test_generator(self):
+        rel = SideRelation("p", x ** 2)
+        assert rel.generator() == Polynomial.variable("p") - x ** 2
+
+    def test_self_referential_raises(self):
+        p = Polynomial.variable("p")
+        with pytest.raises(SymbolicError):
+            SideRelation("p", p + 1)
+
+    def test_str(self):
+        assert str(SideRelation("p", x + 1)) == "p = x + 1"

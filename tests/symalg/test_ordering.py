@@ -1,0 +1,103 @@
+"""Tests for monomial term orders."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.symalg.ordering import GREVLEX, GRLEX, LEX, TermOrder
+
+VARS = ("x", "y", "z")
+exps = st.tuples(*[st.integers(min_value=0, max_value=6)] * 3)
+
+
+class TestConstruction:
+    def test_bad_kind_raises(self):
+        with pytest.raises(ValueError):
+            TermOrder("degrevlexx")
+
+    def test_duplicate_precedence_raises(self):
+        with pytest.raises(ValueError):
+            TermOrder("lex", ("x", "x"))
+
+    def test_with_precedence(self):
+        order = LEX.with_precedence(["y", "x"])
+        assert order.precedence == ("y", "x")
+        assert order.kind == "lex"
+
+
+class TestArrangement:
+    def test_default_sorted_by_name(self):
+        assert GREVLEX.arrangement(("z", "x", "y")) == (1, 2, 0)
+
+    def test_precedence_first(self):
+        order = TermOrder("lex", ("z",))
+        # z first, then remaining sorted: x, y
+        assert order.arrangement(("x", "y", "z")) == (2, 0, 1)
+
+    def test_precedence_with_absent_names(self):
+        order = TermOrder("lex", ("q", "y"))
+        assert order.arrangement(("x", "y")) == (1, 0)
+
+
+class TestClassicExamples:
+    """Cox-Little-O'Shea staple comparisons over (x, y, z)."""
+
+    def test_lex(self):
+        key = LEX.sort_key(VARS)
+        assert key((1, 0, 0)) > key((0, 3, 4))      # x > y^3 z^4
+        assert key((3, 2, 1)) > key((3, 2, 0))
+
+    def test_grlex_degree_first(self):
+        key = GRLEX.sort_key(VARS)
+        assert key((0, 3, 4)) > key((1, 0, 0))      # degree 7 > 1
+        assert key((2, 1, 0)) > key((1, 1, 1))      # same degree, lex tie-break
+
+    def test_grevlex_vs_grlex_disagree(self):
+        # Classic example: x^2 y z vs x y^3:  grlex and grevlex both
+        # compare by degree (4 each)...
+        grlex_key = GRLEX.sort_key(VARS)
+        grevlex_key = GREVLEX.sort_key(VARS)
+        a, b = (1, 1, 2), (0, 3, 1)
+        # grlex: x beats y on the lex tie-break.
+        assert grlex_key(a) > grlex_key(b)
+        # grevlex: b has fewer z's, so b wins (smallest last exponent).
+        assert grevlex_key(b) > grevlex_key(a)
+
+    def test_grevlex_single_variables(self):
+        key = GREVLEX.sort_key(VARS)
+        assert key((1, 0, 0)) > key((0, 1, 0)) > key((0, 0, 1))
+
+
+class TestOrderAxioms:
+    @given(exps, exps)
+    def test_total_order(self, a, b):
+        for order in (LEX, GRLEX, GREVLEX):
+            key = order.sort_key(VARS)
+            assert (key(a) > key(b)) or (key(b) > key(a)) or a == b
+
+    @given(exps, exps, exps)
+    def test_multiplicative(self, a, b, c):
+        """a > b implies a+c > b+c (compatibility with multiplication)."""
+        for order in (LEX, GRLEX, GREVLEX):
+            key = order.sort_key(VARS)
+            if key(a) > key(b):
+                ac = tuple(i + j for i, j in zip(a, c))
+                bc = tuple(i + j for i, j in zip(b, c))
+                assert key(ac) > key(bc)
+
+    @given(exps)
+    def test_one_is_minimal(self, a):
+        """The constant monomial is the global minimum (well-ordering)."""
+        for order in (LEX, GRLEX, GREVLEX):
+            key = order.sort_key(VARS)
+            if a != (0, 0, 0):
+                assert key(a) > key((0, 0, 0))
+
+
+class TestHelpers:
+    def test_max_monomial(self):
+        assert GREVLEX.max_monomial([(1, 0, 0), (0, 0, 2)], VARS) == (0, 0, 2)
+
+    def test_sorted_monomials_descending_default(self):
+        out = LEX.sorted_monomials([(0, 1, 0), (1, 0, 0)], VARS)
+        assert out == [(1, 0, 0), (0, 1, 0)]

@@ -1,0 +1,130 @@
+"""Tests for the expression parser."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ParseError
+from repro.symalg import Call, Polynomial, parse_expression, parse_polynomial, symbols
+
+x, y = symbols("x y")
+
+
+class TestBasics:
+    def test_integer(self):
+        assert parse_polynomial("42") == Polynomial.constant(42)
+
+    def test_decimal_exact(self):
+        assert parse_polynomial("0.25") == Polynomial.constant(Fraction(1, 4))
+
+    def test_variable(self):
+        assert parse_polynomial("x") == x
+
+    def test_addition_subtraction(self):
+        assert parse_polynomial("x + 1 - y") == x + 1 - y
+
+    def test_multiplication(self):
+        assert parse_polynomial("2*x*y") == 2 * x * y
+
+    def test_division_by_constant(self):
+        assert parse_polynomial("x/2") == x / 2
+
+    def test_division_by_folded_constant(self):
+        assert parse_polynomial("x/(1+1)") == x / 2
+
+    def test_caret_power(self):
+        assert parse_polynomial("x^3") == x ** 3
+
+    def test_double_star_power(self):
+        assert parse_polynomial("x**3") == x ** 3
+
+    def test_unary_minus(self):
+        assert parse_polynomial("-x") == -x
+
+    def test_double_negation(self):
+        assert parse_polynomial("--x") == x
+
+    def test_unary_plus(self):
+        assert parse_polynomial("+x") == x
+
+    def test_parentheses(self):
+        assert parse_polynomial("(x+1)*(x-1)") == x ** 2 - 1
+
+    def test_whitespace_insensitive(self):
+        assert parse_polynomial(" x +\t2 * y ") == x + 2 * y
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        assert parse_polynomial("1 + 2*x") == 2 * x + 1
+
+    def test_pow_binds_tighter_than_mul(self):
+        assert parse_polynomial("2*x^2") == 2 * x ** 2
+
+    def test_unary_minus_with_power(self):
+        # -x^2 parses as -(x^2)
+        assert parse_polynomial("-x^2") == -(x ** 2)
+
+
+class TestCalls:
+    def test_function_call(self):
+        e = parse_expression("exp(x)")
+        assert isinstance(e, Call)
+        assert e.function == "exp"
+
+    def test_nested_call(self):
+        e = parse_expression("f(g(x) + 1)")
+        assert isinstance(e, Call)
+
+    def test_multi_argument_call(self):
+        e = parse_expression("mac(a, b, c)")
+        assert isinstance(e, Call)
+        assert len(e.args) == 3
+
+    def test_call_not_polynomial(self):
+        with pytest.raises(Exception):
+            parse_polynomial("exp(x)")
+
+
+class TestErrors:
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_expression("(x + 1")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expression("x + 1 )")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_expression("x $ y")
+
+    def test_division_by_variable(self):
+        with pytest.raises(ParseError):
+            parse_expression("x / y")
+
+    def test_division_by_zero(self):
+        with pytest.raises(ParseError):
+            parse_expression("x / 0")
+
+    def test_fractional_exponent(self):
+        with pytest.raises(ParseError):
+            parse_expression("x ^ 1.5")
+
+    def test_negative_exponent(self):
+        with pytest.raises(ParseError):
+            parse_expression("x ^ -2")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_expression("")
+
+
+class TestPaperPolynomials:
+    def test_paper_factor_input(self):
+        p = parse_polynomial("x^2*(x^14 + x^15 + 1)")
+        assert p == parse_polynomial("x^16 + x^17 + x^2")
+
+    def test_paper_simplify_input(self):
+        p = parse_polynomial("x + x^3*y^2 - 2*x*y^3")
+        assert p == x + x ** 3 * y ** 2 - 2 * x * y ** 3

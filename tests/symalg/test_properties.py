@@ -1,0 +1,112 @@
+"""Hypothesis property tests: the polynomial ring axioms and friends."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.symalg import Polynomial, symbols
+
+from .strategies import evaluation_points, polynomials
+
+settings.register_profile("symalg", max_examples=60, deadline=None)
+settings.load_profile("symalg")
+
+
+class TestRingAxioms:
+    @given(polynomials(), polynomials())
+    def test_addition_commutative(self, p, q):
+        assert p + q == q + p
+
+    @given(polynomials(), polynomials(), polynomials())
+    def test_addition_associative(self, p, q, r):
+        assert (p + q) + r == p + (q + r)
+
+    @given(polynomials())
+    def test_additive_identity(self, p):
+        assert p + Polynomial.zero() == p
+
+    @given(polynomials())
+    def test_additive_inverse(self, p):
+        assert (p + (-p)).is_zero()
+
+    @given(polynomials(), polynomials())
+    def test_multiplication_commutative(self, p, q):
+        assert p * q == q * p
+
+    @given(polynomials(max_terms=4), polynomials(max_terms=4), polynomials(max_terms=4))
+    def test_multiplication_associative(self, p, q, r):
+        assert (p * q) * r == p * (q * r)
+
+    @given(polynomials())
+    def test_multiplicative_identity(self, p):
+        assert p * Polynomial.one() == p
+
+    @given(polynomials(max_terms=4), polynomials(max_terms=4), polynomials(max_terms=4))
+    def test_distributive(self, p, q, r):
+        assert p * (q + r) == p * q + p * r
+
+    @given(polynomials())
+    def test_zero_annihilates(self, p):
+        assert (p * Polynomial.zero()).is_zero()
+
+
+class TestEvaluationHomomorphism:
+    """evaluate() is a ring homomorphism: it commutes with + and *."""
+
+    @given(polynomials(), polynomials(), evaluation_points)
+    def test_add(self, p, q, point):
+        assert (p + q).evaluate(point) == p.evaluate(point) + q.evaluate(point)
+
+    @given(polynomials(max_terms=4), polynomials(max_terms=4), evaluation_points)
+    def test_mul(self, p, q, point):
+        assert (p * q).evaluate(point) == p.evaluate(point) * q.evaluate(point)
+
+    @given(polynomials(max_terms=4), evaluation_points)
+    def test_pow(self, p, point):
+        assert (p ** 3).evaluate(point) == p.evaluate(point) ** 3
+
+
+class TestDerivativeRules:
+    @given(polynomials(), polynomials())
+    def test_linearity(self, p, q):
+        got = (p + q).derivative("x")
+        assert got == p.derivative("x") + q.derivative("x")
+
+    @given(polynomials(max_terms=4), polynomials(max_terms=4))
+    def test_product_rule(self, p, q):
+        got = (p * q).derivative("x")
+        assert got == p.derivative("x") * q + p * q.derivative("x")
+
+    @given(polynomials(max_terms=4))
+    def test_mixed_partials_commute(self, p):
+        assert p.derivative("x").derivative("y") == p.derivative("y").derivative("x")
+
+
+class TestSubstitutionRules:
+    @given(polynomials(max_terms=4), polynomials(max_terms=3), evaluation_points)
+    def test_substitution_composes_with_evaluation(self, p, q, point):
+        """p[x := q](pt) == p(x := q(pt), ...)."""
+        substituted = p.substitute({"x": q})
+        env = dict(point)
+        env["x"] = q.evaluate(point)
+        assert substituted.evaluate(point) == p.evaluate(env)
+
+    @given(polynomials(max_terms=4))
+    def test_identity_substitution(self, p):
+        x = Polynomial.variable("x")
+        assert p.substitute({"x": x}) == p
+
+
+class TestDegreeLaws:
+    @given(polynomials(max_terms=4), polynomials(max_terms=4))
+    def test_degree_of_product(self, p, q):
+        if p.is_zero() or q.is_zero():
+            return
+        assert (p * q).total_degree() == p.total_degree() + q.total_degree()
+
+    @given(polynomials(), polynomials())
+    def test_degree_of_sum_bounded(self, p, q):
+        s = p + q
+        if s.is_zero():
+            return
+        assert s.total_degree() <= max(p.total_degree(), q.total_degree())

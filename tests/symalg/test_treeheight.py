@@ -1,0 +1,66 @@
+"""Tests for tree-height reduction."""
+
+from hypothesis import given, settings
+
+from repro.symalg import parse_expression, reduce_tree_height
+from repro.symalg.expression import Add, Call, Mul, Pow, var
+
+from .strategies import evaluation_points, nonzero_polynomials
+
+
+class TestBalancing:
+    def test_add_chain_becomes_log_depth(self):
+        chain = ((var("a") + var("b")) + var("c")) + var("d")
+        assert chain.depth() == 3
+        balanced = reduce_tree_height(chain)
+        assert balanced.depth() == 2
+
+    def test_eight_leaves_depth_three(self):
+        names = "abcdefgh"
+        expr = var(names[0])
+        for n in names[1:]:
+            expr = expr + var(n)
+        balanced = reduce_tree_height(expr)
+        assert balanced.depth() == 3
+
+    def test_mul_chain(self):
+        expr = var("a") * var("b") * var("c") * var("d")
+        balanced = reduce_tree_height(expr)
+        assert balanced.depth() == 2
+
+    def test_leaf_unchanged(self):
+        assert reduce_tree_height(var("x")) == var("x")
+
+    def test_balances_inside_pow(self):
+        chain = ((var("a") + var("b")) + var("c")) + var("d")
+        expr = Pow(chain, 2)
+        balanced = reduce_tree_height(expr)
+        assert balanced.depth() == 3  # 2 for the sum + 1 for the pow
+
+    def test_balances_inside_call(self):
+        chain = ((var("a") + var("b")) + var("c")) + var("d")
+        expr = Call("exp", (chain,))
+        balanced = reduce_tree_height(expr)
+        assert balanced.depth() == 3
+
+
+class TestSemantics:
+    def test_value_preserved(self):
+        expr = parse_expression("a + b + c + d + e")
+        env = {"a": 1, "b": 2, "c": 3, "d": 4, "e": 5}
+        assert reduce_tree_height(expr).evaluate(env) == expr.evaluate(env)
+
+    @settings(max_examples=30, deadline=None)
+    @given(nonzero_polynomials(max_terms=6), evaluation_points)
+    def test_polynomial_expressions_preserved(self, poly, point):
+        from repro.symalg import horner
+        expr = horner(poly)
+        balanced = reduce_tree_height(expr)
+        assert balanced.evaluate(point) == poly.evaluate(point)
+
+    @settings(max_examples=30, deadline=None)
+    @given(nonzero_polynomials(max_terms=6))
+    def test_polynomial_form_preserved(self, poly):
+        from repro.symalg import horner
+        balanced = reduce_tree_height(horner(poly))
+        assert balanced.to_polynomial() == poly
