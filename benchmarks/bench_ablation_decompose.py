@@ -12,11 +12,21 @@ compound target).
 import pytest
 
 from repro.library import Library, LibraryElement
-from repro.mapping import decompose
+from repro.mapping import clear_mapping_caches, decompose
 from repro.platform import OperationTally
 from repro.symalg import Polynomial, symbols
+from repro.symalg.gcdtools import clear_gcd_caches
+from repro.symalg.ideal import clear_ideal_caches
 
 x, y, z = symbols("x y z")
+
+
+def _go_cold() -> None:
+    """Drop every result-level cache so each measured run searches for
+    real (the warm-cache story belongs to bench_table2, not here)."""
+    clear_mapping_caches()
+    clear_ideal_caches()
+    clear_gcd_caches()
 
 
 def _library():
@@ -43,6 +53,7 @@ _TARGET = x + x ** 3 * y ** 2 - 2 * x * y ** 3
 
 
 def test_ablation_full_algorithm(benchmark, platform, report):
+    _go_cold()
     result = benchmark.pedantic(
         decompose, args=(_TARGET, _library(), platform),
         kwargs={"max_nodes": 30}, rounds=1, iterations=1)
@@ -53,6 +64,7 @@ def test_ablation_full_algorithm(benchmark, platform, report):
 
 def test_ablation_without_bounding(benchmark, platform, report):
     full = decompose(_TARGET, _library(), platform, max_nodes=30)
+    _go_cold()
     result = benchmark.pedantic(
         decompose, args=(_TARGET, _library(), platform),
         kwargs={"max_nodes": 30, "use_bounding": False},
@@ -68,6 +80,7 @@ def test_ablation_without_bounding(benchmark, platform, report):
 
 def test_ablation_without_hints(benchmark, platform, report):
     full = decompose(_TARGET, _library(), platform, max_nodes=30)
+    _go_cold()
     result = benchmark.pedantic(
         decompose, args=(_TARGET, _library(), platform),
         kwargs={"max_nodes": 30, "use_hints": False},

@@ -1,10 +1,10 @@
 """Legacy setup shim.
 
-This environment has no ``wheel`` package and no network, so PEP 517
-editable installs (which require building a wheel) fail.  Keeping the
-packaging metadata in ``setup.cfg``/``setup.py`` lets
-``pip install -e . --no-use-pep517 --no-build-isolation`` and plain
-``pip install -e .`` (with older pip) work fully offline.
+All packaging metadata lives in ``pyproject.toml`` (PEP 621), which
+setuptools reads in both PEP 517 and legacy modes.  This shim exists so
+offline environments without the ``wheel`` package can still install
+editable via ``pip install -e . --no-use-pep517 --no-build-isolation``;
+modern environments just run ``pip install -e .``.
 """
 
 from setuptools import setup

@@ -4,8 +4,16 @@ Branch-and-bound decomposition of target polynomials into complex
 library elements via simplification modulo side relations, candidate
 generation by symbolic manipulation, block matching for multi-output
 elements, code rewriting, and the full three-step methodology driver.
+
+The entry points (:func:`decompose`, :func:`map_block`) and the
+candidate generators are memoized — see :mod:`repro.mapping.cache` for
+the fingerprinting contract, :func:`mapping_cache_stats` for hit
+rates, and :func:`clear_mapping_caches` for cold-start measurements.
 """
 
+from repro.mapping.cache import (clear_mapping_caches, fingerprint_block,
+                                 fingerprint_library, fingerprint_platform,
+                                 mapping_cache_stats)
 from repro.mapping.candidates import (CandidateForm, all_manipulations,
                                       structural_hints)
 from repro.mapping.decompose import (DecomposeResult, MappingSolution,
@@ -22,4 +30,6 @@ __all__ = [
     "residual_cost",
     "rewrite", "MappedProgram",
     "MethodologyFlow", "MappingPass", "FlowReport",
+    "mapping_cache_stats", "clear_mapping_caches",
+    "fingerprint_block", "fingerprint_library", "fingerprint_platform",
 ]

@@ -1,0 +1,168 @@
+"""Memoization for the mapping flow: repeated decompositions are free.
+
+The mapping entry points (:func:`~repro.mapping.decompose.decompose`,
+:func:`~repro.mapping.decompose.map_block`) and the candidate
+generators are pure functions of their arguments, but their arguments
+are not all hashable: a :class:`~repro.library.catalog.Library` is a
+mutable collection, a :class:`~repro.platform.tally.OperationTally`
+carries a ``dict``, and a :class:`~repro.platform.badge4.Badge4` owns
+live model objects.  This module supplies the two missing pieces:
+
+* **Fingerprints** — small hashable tuples that capture exactly the
+  inputs the algorithms read (element polynomials, costs, cycle
+  prices), so semantically equal libraries/platforms hit the same
+  cache line even when they are distinct objects rebuilt per pass.
+* **LRU caches** — bounded, with hit/miss counters, registered
+  centrally so :func:`clear_mapping_caches` and
+  :func:`mapping_cache_stats` see every cache the mapping layer owns.
+
+Caching contract
+----------------
+Cached values are treated as immutable: callers receive either frozen
+dataclasses or fresh shallow copies of list results, never an aliased
+mutable structure that a later hit would observe mutated.  Correctness
+therefore only requires that fingerprints cover every input the
+algorithms depend on — a fingerprint collision between semantically
+different inputs would be a bug in the fingerprint, not in the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from repro.frontend.extract import TargetBlock
+from repro.library.catalog import Library
+from repro.library.element import LibraryElement
+from repro.platform.badge4 import Badge4
+from repro.platform.tally import OperationTally
+
+__all__ = ["LRUCache", "mapping_cache_stats", "clear_mapping_caches",
+           "fingerprint_tally", "fingerprint_element", "fingerprint_library",
+           "fingerprint_block", "fingerprint_platform"]
+
+_MISS = object()
+
+#: Every cache the mapping layer creates, for stats/clearing.
+_REGISTRY: list["LRUCache"] = []
+
+
+class LRUCache:
+    """A bounded mapping-layer cache with least-recently-used eviction.
+
+    >>> cache = LRUCache(maxsize=2, name="doc")
+    >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
+    >>> cache.get("a") is None          # evicted: capacity 2
+    True
+    >>> cache.get("c")
+    3
+    >>> cache.stats()["hits"], cache.stats()["misses"]
+    (1, 1)
+    """
+
+    def __init__(self, maxsize: int = 256, name: str = ""):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.name = name
+        self._data: dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        _REGISTRY.append(self)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value for ``key`` (marking it recently used)."""
+        value = self._data.pop(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+            return default
+        self._data[key] = value    # re-insert: now most recently used
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``key -> value``, evicting the LRU entry when full."""
+        self._data.pop(key, None)
+        self._data[key] = value
+        if len(self._data) > self.maxsize:
+            # dicts iterate in insertion order: first key is the LRU.
+            self._data.pop(next(iter(self._data)))
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> dict[str, int]:
+        """``{"size", "maxsize", "hits", "misses"}`` for this cache."""
+        return {"size": len(self._data), "maxsize": self.maxsize,
+                "hits": self.hits, "misses": self.misses}
+
+
+def mapping_cache_stats() -> dict[str, dict[str, int]]:
+    """Hit/miss/size statistics for every mapping-layer cache, by name."""
+    return {cache.name: cache.stats() for cache in _REGISTRY}
+
+
+def clear_mapping_caches() -> None:
+    """Empty every mapping-layer cache (benchmarks use this between
+    cold/warm phases; tests use it for isolation)."""
+    for cache in _REGISTRY:
+        cache.clear()
+
+
+# ----------------------------------------------------------------------
+# Fingerprints: hashable digests of the unhashable inputs
+# ----------------------------------------------------------------------
+def fingerprint_tally(tally: OperationTally) -> tuple:
+    """Hashable digest of an operation tally (all counts + libm calls)."""
+    return (tally.int_alu, tally.int_mul, tally.int_mac, tally.int_div,
+            tally.shift, tally.fp_add, tally.fp_mul, tally.fp_div,
+            tally.load, tally.store, tally.branch, tally.call,
+            tuple(sorted(tally.libm_calls.items())))
+
+
+def fingerprint_element(element: LibraryElement) -> tuple:
+    """Hashable digest of everything the mapper reads from an element.
+
+    Covers the polynomial representation (structural — the
+    :class:`~repro.symalg.polynomial.Polynomial` hash), accuracy, and
+    the cost tally; the ``kernel`` callable is deliberately excluded
+    because matching and decomposition never execute it.
+    """
+    return (element.name, element.library, element.polynomials,
+            element.accuracy, fingerprint_tally(element.cost))
+
+
+def fingerprint_library(library: Library) -> tuple:
+    """Order-independent digest of a library's mapped-against content.
+
+    Two libraries with the same elements fingerprint identically even
+    when assembled by different :meth:`~repro.library.catalog.Library.union`
+    calls, so every pass of a benchmark ladder shares cache lines.
+    """
+    return tuple(sorted(fingerprint_element(e) for e in library))
+
+
+def fingerprint_block(block: TargetBlock) -> tuple:
+    """Digest of a target block: name, output polynomials, input frame."""
+    return (block.name,
+            tuple(sorted(block.outputs.items())),
+            block.input_variables)
+
+
+def fingerprint_platform(platform: Badge4) -> tuple:
+    """Digest of the cost-model inputs of a platform.
+
+    Only what prices a tally matters to the mapper: the processor's
+    cycle costs and libm prices.  Energy and DVFS state are not read on
+    the mapping path and are excluded.
+    """
+    spec = platform.cost_model.spec
+    return (spec.name, spec.clock_hz, spec.has_fpu,
+            tuple(sorted(spec.cycle_costs.items())),
+            tuple(sorted(spec.libm_costs.items())),
+            spec.libm_default)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.mapping.cache import LRUCache
 from repro.symalg.expression import Expression
 from repro.symalg.factor import factor
 from repro.symalg.horner import horner
@@ -22,6 +23,11 @@ from repro.symalg.polynomial import Polynomial
 from repro.symalg.treeheight import reduce_tree_height
 
 __all__ = ["CandidateForm", "all_manipulations", "structural_hints"]
+
+#: Polynomials are immutable and hashable, so they key their own
+#: manipulation results directly.
+_MANIPULATIONS_CACHE = LRUCache(maxsize=1024, name="all_manipulations")
+_HINTS_CACHE = LRUCache(maxsize=1024, name="structural_hints")
 
 
 @dataclass(frozen=True)
@@ -32,11 +38,26 @@ class CandidateForm:
     expression: Expression
 
     def op_count(self):
+        """Operation counts of this form's expression tree."""
         return self.expression.op_count()
 
 
 def all_manipulations(target: Polynomial) -> list[CandidateForm]:
-    """The manipulation set of Table 2, deduplicated by rendering."""
+    """The manipulation set of Table 2, deduplicated by rendering.
+
+    Memoized on the target polynomial — factorization and tree-height
+    reduction are the expensive parts of candidate seeding, and the
+    Decompose search asks for the same target's forms repeatedly.
+    """
+    cached = _MANIPULATIONS_CACHE.get(target)
+    if cached is not None:
+        return list(cached)
+    forms = _all_manipulations_uncached(target)
+    _MANIPULATIONS_CACHE.put(target, tuple(forms))
+    return forms
+
+
+def _all_manipulations_uncached(target: Polynomial) -> list[CandidateForm]:
     forms: list[CandidateForm] = []
 
     expanded = horner(target, list(target.variables))  # canonical nesting
@@ -78,8 +99,18 @@ def structural_hints(target: Polynomial) -> list[Polynomial]:
 
     Factors (and square-free parts) of the target are natural "shapes"
     a library element might implement — the Decompose algorithm scores
-    side relations that equal one of these hints first.
+    side relations that equal one of these hints first.  Memoized on
+    the target polynomial.
     """
+    cached = _HINTS_CACHE.get(target)
+    if cached is not None:
+        return list(cached)
+    hints = _structural_hints_uncached(target)
+    _HINTS_CACHE.put(target, tuple(hints))
+    return hints
+
+
+def _structural_hints_uncached(target: Polynomial) -> list[Polynomial]:
     hints: list[Polynomial] = []
     factorization = factor(target)
     for base, _mult in factorization.factors:

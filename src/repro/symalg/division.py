@@ -10,6 +10,17 @@ such that no term of ``r`` is divisible by any leading term ``LT(g_i)``.
 When the divisors form a Groebner basis, ``r`` is the unique *normal
 form* of ``f`` modulo the ideal — the operation the paper calls
 ``simplify`` modulo a set of side relations.
+
+Hot path
+--------
+The loop never allocates intermediate :class:`Polynomial` objects.  All
+inputs are re-packed once onto a shared *frame* (the union of their
+variables, arranged into the term order's precedence), after which every
+step is packed-int monomial arithmetic on plain dicts: leading-term
+selection by (at worst) a memoized key function — for lex orders packed
+codes compare as raw ints — divisibility by the guard-bit trick, and
+coefficient updates that stay machine-``int`` until a denominator
+appears.
 """
 
 from __future__ import annotations
@@ -18,6 +29,7 @@ from fractions import Fraction
 from typing import Sequence
 
 from repro.errors import DivisionError
+from repro.symalg.monomials import guard_mask
 from repro.symalg.ordering import GREVLEX, TermOrder
 from repro.symalg.polynomial import Polynomial
 
@@ -49,22 +61,84 @@ class DivisionResult:
         return total
 
 
-def _monomial_divides(a: dict[str, int], b: dict[str, int]) -> bool:
-    """True iff monomial ``a`` divides monomial ``b`` (var->exp maps)."""
-    return all(b.get(var, 0) >= e for var, e in a.items())
+def _coeff_div(a, b):
+    """Exact coefficient quotient ``a / b`` on the int-fast-path types."""
+    if type(a) is int and type(b) is int:
+        q, r = divmod(a, b)
+        return q if r == 0 else Fraction(a, b)
+    q = a / b
+    return q.numerator if q.denominator == 1 else q
 
 
-def _term_as_map(poly: Polynomial, exps: tuple[int, ...]) -> dict[str, int]:
-    return {v: e for v, e in zip(poly.variables, exps) if e}
+def _division_frame(dividend: Polynomial, divisors: Sequence[Polynomial],
+                    order: TermOrder) -> tuple[tuple[str, ...], int, object]:
+    """Shared arranged frame, guard mask and code key for one division."""
+    union = set(dividend.variables)
+    for g in divisors:
+        union.update(g.variables)
+    frame = order.frame(tuple(sorted(union)))
+    return frame, guard_mask(len(frame)), order.code_key(len(frame))
 
 
-def _quotient_monomial(num: dict[str, int], den: dict[str, int],
-                       coeff: Fraction) -> Polynomial:
-    powers = dict(num)
-    for var, e in den.items():
-        powers[var] = powers.get(var, 0) - e
-    powers = {v: e for v, e in powers.items() if e}
-    return Polynomial.monomial(powers, coeff)
+def _leading(codes: dict, key) -> int:
+    """Leading monomial code of a nonzero packed term dict."""
+    return max(codes) if key is None else max(codes, key=key)
+
+
+def _prepare_divisors(divisors: Sequence[Polynomial],
+                      frame: tuple[str, ...], key) -> list[tuple[int, object, dict]]:
+    """``(lt_code, lt_coeff, codes)`` per divisor, on the shared frame."""
+    prepared = []
+    for g in divisors:
+        codes = g._codes_on(frame)
+        lt = _leading(codes, key)
+        prepared.append((lt, codes[lt], codes))
+    return prepared
+
+
+def _reduce_codes(p: dict, divisors: list[tuple[int, object, dict]],
+                  key, guard: int, quotients: list[dict] | None = None) -> dict:
+    """Core division loop on packed dicts.  Consumes ``p``; returns remainder.
+
+    ``divisors`` entries are ``(lt_code, lt_coeff, codes)`` on the same
+    frame as ``p``.  When ``quotients`` is given (one dict per divisor),
+    quotient monomials are accumulated into it.
+    """
+    remainder: dict = {}
+    while p:
+        lead = _leading(p, key)
+        coeff = p[lead]
+        lead_guarded = lead | guard
+        for i, (g_lt, g_coeff, g_codes) in enumerate(divisors):
+            shifted = lead_guarded - g_lt
+            if shifted & guard == guard:
+                q_code = shifted ^ guard        # == lead - g_lt, fieldwise
+                q_coeff = _coeff_div(coeff, g_coeff)
+                if quotients is not None:
+                    q = quotients[i]
+                    q[q_code] = q.get(q_code, 0) + q_coeff
+                get = p.get
+                for code, value in g_codes.items():
+                    k = q_code + code
+                    # Guard-clean inputs keep every field below 2^31, so
+                    # a set guard bit here pinpoints the first addition
+                    # that would silently corrupt a neighbouring field
+                    # (possible under non-graded orders, where reduction
+                    # can grow intermediate degrees without bound).
+                    if k & guard:
+                        raise DivisionError(
+                            "intermediate exponent overflowed the packed "
+                            "monomial range during reduction")
+                    v = get(k, 0) - q_coeff * value
+                    if v:
+                        p[k] = v
+                    else:
+                        p.pop(k, None)
+                break
+        else:
+            remainder[lead] = coeff
+            del p[lead]
+    return remainder
 
 
 def divide(dividend: Polynomial, divisors: Sequence[Polynomial],
@@ -82,37 +156,34 @@ def divide(dividend: Polynomial, divisors: Sequence[Polynomial],
     if any(g.is_zero() for g in divisors):
         raise DivisionError("cannot divide by the zero polynomial")
 
-    leading = []
-    for g in divisors:
-        exps, coeff = g.leading_term(order)
-        leading.append((_term_as_map(g, exps), coeff))
-
-    quotients = [Polynomial.zero() for _ in divisors]
-    remainder = Polynomial.zero()
-    p = dividend
-
-    while not p.is_zero():
-        exps, coeff = p.leading_term(order)
-        lt_map = _term_as_map(p, exps)
-        for i, (g_lt, g_coeff) in enumerate(leading):
-            if _monomial_divides(g_lt, lt_map):
-                factor = _quotient_monomial(lt_map, g_lt, coeff / g_coeff)
-                quotients[i] = quotients[i] + factor
-                p = p - factor * divisors[i]
-                break
-        else:
-            term = Polynomial.monomial(lt_map, coeff)
-            remainder = remainder + term
-            p = p - term
-    return DivisionResult(quotients, remainder)
+    frame, guard, key = _division_frame(dividend, divisors, order)
+    prepared = _prepare_divisors(divisors, frame, key)
+    p = dict(dividend._codes_on(frame))
+    quotient_codes: list[dict] = [{} for _ in divisors]
+    remainder = _reduce_codes(p, prepared, key, guard, quotient_codes)
+    return DivisionResult(
+        [Polynomial._from_frame(frame, q) for q in quotient_codes],
+        Polynomial._from_frame(frame, remainder))
 
 
 def reduce(poly: Polynomial, divisors: Sequence[Polynomial],
            order: TermOrder = GREVLEX) -> Polynomial:
-    """Normal form: the remainder of :func:`divide` (drops the quotients)."""
+    """Normal form: the remainder of :func:`divide` (drops the quotients).
+
+    >>> from repro.symalg.polynomial import symbols
+    >>> x, y = symbols("x y")
+    >>> str(reduce(x**2 * y, [x * y - 1]))
+    'x'
+    """
     if not divisors:
         return poly
-    return divide(poly, divisors, order).remainder
+    if any(g.is_zero() for g in divisors):
+        raise DivisionError("cannot divide by the zero polynomial")
+    frame, guard, key = _division_frame(poly, divisors, order)
+    prepared = _prepare_divisors(divisors, frame, key)
+    p = dict(poly._codes_on(frame))
+    remainder = _reduce_codes(p, prepared, key, guard)
+    return Polynomial._from_frame(frame, remainder)
 
 
 def exact_divide(dividend: Polynomial, divisor: Polynomial,

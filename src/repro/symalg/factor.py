@@ -184,8 +184,61 @@ def _factor_multivariate(poly: Polynomial) -> list[Polynomial]:
         if not cont.is_constant():
             prim = exact_divide(poly, cont, _LEX)
             return _factor_multivariate_or_uni(cont) + _factor_multivariate_or_uni(prim)
-    # Attempt a two-block split by substitution is out of scope; keep whole.
+    homogeneous = _factor_homogeneous(poly)
+    if homogeneous is not None:
+        return homogeneous
+    # A general two-block split by substitution is out of scope; keep whole.
     return [poly.primitive_part()]
+
+
+def _is_homogeneous(poly: Polynomial) -> bool:
+    """True iff every term has the same total degree."""
+    degrees = {sum(powers.values()) for powers, _ in poly.iter_terms()}
+    return len(degrees) == 1
+
+
+def _homogenize(poly: Polynomial, pivot: str) -> Polynomial:
+    """Make ``poly`` homogeneous by padding each term with ``pivot``."""
+    target = poly.total_degree()
+    v = Polynomial.variable(pivot)
+    result = Polynomial.zero()
+    for powers, coeff in poly.iter_terms():
+        deficit = target - sum(powers.values())
+        result = result + Polynomial.monomial(powers, coeff) * v ** deficit
+    return result
+
+
+def _factor_homogeneous(poly: Polynomial) -> list[Polynomial] | None:
+    """Split a homogeneous polynomial by dehomogenizing one variable.
+
+    ``x^3 + y^3 -> (x + y)(x^2 - x*y + y^2)`` via factoring ``x^3 + 1``
+    and re-homogenizing each factor (factors of a homogeneous
+    polynomial are homogeneous).  Returns ``None`` when the trick does
+    not apply or finds nothing to split.
+    """
+    if not _is_homogeneous(poly):
+        return None
+    pivot = poly.variables[-1]
+    dehomogenized = poly.substitute({pivot: 1}).primitive_part()
+    if dehomogenized.is_constant():
+        return None
+    parts = _factor_multivariate_or_uni(dehomogenized)
+    if len(parts) <= 1:
+        return None
+    rebuilt = Polynomial.one()
+    factors = []
+    for part in parts:
+        lifted = _homogenize(part, pivot).primitive_part()
+        factors.append(lifted)
+        rebuilt = rebuilt * lifted
+    try:
+        cofactor = exact_divide(poly, rebuilt, _LEX)
+    except SymbolicError:
+        return None   # lift failed to reproduce the input; keep whole
+    # The cofactor is c * pivot^k (degree lost in dehomogenization).
+    k = cofactor.degree_in(pivot)
+    factors.extend([Polynomial.variable(pivot)] * max(k, 0))
+    return factors
 
 
 def _factor_multivariate_or_uni(poly: Polynomial) -> list[Polynomial]:

@@ -18,6 +18,7 @@ GCD of the rational contents is folded back in so that
 from __future__ import annotations
 
 from fractions import Fraction
+from functools import lru_cache
 from math import gcd as int_gcd
 from math import lcm as int_lcm
 
@@ -27,9 +28,14 @@ from repro.symalg.ordering import GREVLEX, TermOrder
 from repro.symalg.polynomial import Polynomial
 
 __all__ = ["polynomial_gcd", "polynomial_lcm", "content_in", "primitive_in",
-           "pseudo_remainder"]
+           "pseudo_remainder", "clear_gcd_caches"]
 
 _LEX = TermOrder("lex")
+
+
+def clear_gcd_caches() -> None:
+    """Drop the memoized GCD results (mainly for benchmarks/tests)."""
+    _cached_gcd.cache_clear()
 
 
 def _fraction_gcd(a: Fraction, b: Fraction) -> Fraction:
@@ -100,11 +106,20 @@ def primitive_in(poly: Polynomial, var: str) -> Polynomial:
 def polynomial_gcd(a: Polynomial, b: Polynomial) -> Polynomial:
     """GCD of two polynomials over Q, normalized primitive-positive.
 
+    Memoized: the square-free and factorization layers recompute GCDs
+    of the same (immutable) pairs, and the candidate generator calls
+    them once per search node.
+
     >>> from repro.symalg.polynomial import symbols
     >>> x, y = symbols("x y")
     >>> polynomial_gcd((x + y) * (x - y), (x + y) ** 2)
     Polynomial('x + y')
     """
+    return _cached_gcd(a, b)
+
+
+@lru_cache(maxsize=4096)
+def _cached_gcd(a: Polynomial, b: Polynomial) -> Polynomial:
     if a.is_zero():
         return _normalize(b)
     if b.is_zero():

@@ -16,38 +16,36 @@ Since the computation is worst-case doubly exponential, work limits
 (basis size / pair count) guard against runaway instances and raise
 :class:`~repro.errors.GroebnerExplosion`; the mapping search treats
 that as a pruned branch.
+
+Hot path
+--------
+The whole computation runs on *packed* monomial codes over one shared
+variable frame (arranged into the order's precedence): basis elements
+live as plain dicts, leading terms are computed once per element and
+cached in a parallel list, S-pairs sit in a heap keyed by the total
+degree of their lcm (normal selection), and S-polynomial construction
+plus reduction reuse the packed division core — no intermediate
+:class:`Polynomial` objects anywhere in the loop.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterable, Sequence
 
-from repro.errors import GroebnerExplosion
-from repro.symalg.division import reduce as nf_reduce
+from repro.errors import DivisionError, GroebnerExplosion
+from repro.symalg.division import _coeff_div, _leading, _reduce_codes
+from repro.symalg.monomials import coprime, degree, divides, guard_mask, lcm
 from repro.symalg.ordering import GREVLEX, TermOrder
 from repro.symalg.polynomial import Polynomial
 
-__all__ = ["s_polynomial", "groebner_basis", "is_groebner_basis"]
+__all__ = ["s_polynomial", "groebner_basis", "is_groebner_basis",
+           "DEFAULT_MAX_BASIS", "DEFAULT_MAX_PAIRS"]
 
-
-def _lt_map(poly: Polynomial, order: TermOrder) -> dict[str, int]:
-    exps, _ = poly.leading_term(order)
-    return {v: e for v, e in zip(poly.variables, exps) if e}
-
-
-def _lcm_map(a: dict[str, int], b: dict[str, int]) -> dict[str, int]:
-    out = dict(a)
-    for var, e in b.items():
-        out[var] = max(out.get(var, 0), e)
-    return out
-
-
-def _divides(a: dict[str, int], b: dict[str, int]) -> bool:
-    return all(b.get(var, 0) >= e for var, e in a.items())
-
-
-def _coprime(a: dict[str, int], b: dict[str, int]) -> bool:
-    return all(b.get(var, 0) == 0 for var in a)
+#: Default work limits, shared with the callers that memoize bases
+#: (see :mod:`repro.symalg.ideal`) so cache keys stay consistent.
+DEFAULT_MAX_BASIS = 200
+DEFAULT_MAX_PAIRS = 5000
 
 
 def s_polynomial(f: Polynomial, g: Polynomial,
@@ -57,30 +55,79 @@ def s_polynomial(f: Polynomial, g: Polynomial,
     ``S(f,g) = (lcm/LT(f))*f - (lcm/LT(g))*g`` where ``lcm`` is the least
     common multiple of the two leading monomials; it cancels the leading
     terms against each other.
+
+    >>> from repro.symalg.polynomial import symbols
+    >>> x, y = symbols("x y")
+    >>> str(s_polynomial(x**2 + y, x * y + 1))
+    'y^2 - x'
     """
-    f_exps, f_coeff = f.leading_term(order)
-    g_exps, g_coeff = g.leading_term(order)
-    f_lt = {v: e for v, e in zip(f.variables, f_exps) if e}
-    g_lt = {v: e for v, e in zip(g.variables, g_exps) if e}
-    lcm = _lcm_map(f_lt, g_lt)
+    union = tuple(sorted(set(f.variables) | set(g.variables)))
+    frame = order.frame(union)
+    key = order.code_key(len(frame))
+    f_codes = f._codes_on(frame)
+    g_codes = g._codes_on(frame)
+    s = _s_poly_codes(f_codes, _leading(f_codes, key),
+                      g_codes, _leading(g_codes, key),
+                      guard_mask(len(frame)))
+    return Polynomial._from_frame(frame, s)
 
-    def cofactor(lt: dict[str, int]) -> Polynomial:
-        powers = {v: lcm[v] - lt.get(v, 0) for v in lcm}
-        powers = {v: e for v, e in powers.items() if e}
-        return Polynomial.monomial(powers, 1)
 
-    return cofactor(f_lt) * f / f_coeff - cofactor(g_lt) * g / g_coeff
+def _s_poly_codes(f_codes: dict, f_lt: int, g_codes: dict, g_lt: int,
+                  guard: int) -> dict:
+    """Packed S-polynomial of two term dicts on a shared frame.
+
+    ``guard`` is the frame's guard mask; a cofactor addition that sets a
+    guard bit would corrupt a neighbouring exponent field and raises
+    instead (same contract as the division core).
+    """
+    common = lcm(f_lt, g_lt)
+    cof_f = common - f_lt
+    cof_g = common - g_lt
+    f_lc = f_codes[f_lt]
+    g_lc = g_codes[g_lt]
+    out: dict = {}
+    for code, coeff in f_codes.items():
+        k = code + cof_f
+        if k & guard:
+            raise GroebnerExplosion(
+                "S-polynomial exponent overflowed the packed monomial range")
+        out[k] = _coeff_div(coeff, f_lc)
+    get = out.get
+    for code, coeff in g_codes.items():
+        k = code + cof_g
+        if k & guard:
+            raise GroebnerExplosion(
+                "S-polynomial exponent overflowed the packed monomial range")
+        v = get(k, 0) - _coeff_div(coeff, g_lc)
+        if v:
+            out[k] = v
+        else:
+            del out[k]
+    return out
+
+
+def _monic_codes(codes: dict, lt: int) -> dict:
+    """Scale a packed term dict so the leading coefficient is 1."""
+    lc = codes[lt]
+    if lc == 1:
+        return codes
+    return {code: _coeff_div(coeff, lc) for code, coeff in codes.items()}
 
 
 def groebner_basis(generators: Iterable[Polynomial],
                    order: TermOrder = GREVLEX,
                    *,
-                   max_basis: int = 200,
-                   max_pairs: int = 5000) -> list[Polynomial]:
+                   max_basis: int = DEFAULT_MAX_BASIS,
+                   max_pairs: int = DEFAULT_MAX_PAIRS) -> list[Polynomial]:
     """Compute the reduced Groebner basis of the ideal of ``generators``.
 
     The result is monic, inter-reduced, and sorted leading-term
     descending, hence canonical for the given order.
+
+    >>> from repro.symalg.polynomial import symbols
+    >>> x, y = symbols("x y")
+    >>> [str(p) for p in groebner_basis([x**2 - y, y**2 - 1])]
+    ['x^2 - y', 'y^2 - 1']
 
     Raises
     ------
@@ -88,59 +135,82 @@ def groebner_basis(generators: Iterable[Polynomial],
         If the basis grows beyond ``max_basis`` elements or more than
         ``max_pairs`` S-pairs are processed.
     """
-    basis = [g for g in generators if not g.is_zero()]
-    if not basis:
+    gens = [g for g in generators if not g.is_zero()]
+    if not gens:
         return []
-    basis = [g.monic(order) for g in basis]
 
-    pairs = {(i, j) for i in range(len(basis)) for j in range(i)}
+    union = sorted({v for g in gens for v in g.variables})
+    frame = order.frame(tuple(union))
+    n = len(frame)
+    guard = guard_mask(n)
+    key = order.code_key(n)
+
+    basis: list[dict] = []
+    lts: list[int] = []
+    # The division view of the basis, grown in lockstep with it.
+    divisors: list[tuple[int, object, dict]] = []
+    for g in gens:
+        codes = g._codes_on(frame)
+        lt = _leading(codes, key)
+        monic = _monic_codes(codes, lt)
+        basis.append(monic)
+        lts.append(lt)
+        divisors.append((lt, 1, monic))
+
+    # S-pairs as a heap keyed by lcm total degree (normal selection).
+    pair_heap: list[tuple[int, int, int]] = []
+    for i in range(len(basis)):
+        for j in range(i):
+            heapq.heappush(pair_heap, (degree(lcm(lts[i], lts[j])), i, j))
     done: set[tuple[int, int]] = set()
     processed = 0
 
-    while pairs:
+    while pair_heap:
         processed += 1
         if processed > max_pairs:
             raise GroebnerExplosion(
                 f"Buchberger exceeded {max_pairs} S-pairs")
-        # Prefer pairs with the smallest lcm degree (normal selection).
-        i, j = min(pairs, key=lambda ij: sum(
-            _lcm_map(_lt_map(basis[ij[0]], order),
-                     _lt_map(basis[ij[1]], order)).values()))
-        pairs.discard((i, j))
+        _, i, j = heapq.heappop(pair_heap)
         done.add((i, j))
 
-        lt_i = _lt_map(basis[i], order)
-        lt_j = _lt_map(basis[j], order)
-        if _coprime(lt_i, lt_j):
+        if coprime(lts[i], lts[j]):
             continue  # product criterion
-        if _chain_criterion(i, j, basis, order, done):
+        if _chain_criterion(i, j, lts, guard, done):
             continue
 
-        s_poly = s_polynomial(basis[i], basis[j], order)
-        remainder = nf_reduce(s_poly, basis, order)
-        if remainder.is_zero():
+        s_codes = _s_poly_codes(basis[i], lts[i], basis[j], lts[j], guard)
+        try:
+            remainder = _reduce_codes(s_codes, divisors, key, guard)
+        except DivisionError as exc:
+            # Runaway intermediate degrees are an explosion to callers
+            # (the mapping search treats it as a pruned branch).
+            raise GroebnerExplosion(str(exc)) from exc
+        if not remainder:
             continue
-        remainder = remainder.monic(order)
-        basis.append(remainder)
+        lt = _leading(remainder, key)
+        monic = _monic_codes(remainder, lt)
+        basis.append(monic)
+        lts.append(lt)
+        divisors.append((lt, 1, monic))
         if len(basis) > max_basis:
             raise GroebnerExplosion(
                 f"Groebner basis grew beyond {max_basis} elements")
         new_index = len(basis) - 1
-        pairs.update((new_index, k) for k in range(new_index))
+        for k in range(new_index):
+            heapq.heappush(pair_heap,
+                           (degree(lcm(lts[new_index], lts[k])), new_index, k))
 
-    return _reduce_basis(basis, order)
+    return _reduce_basis(basis, lts, frame, key, guard)
 
 
-def _chain_criterion(i: int, j: int, basis: Sequence[Polynomial],
-                     order: TermOrder, done: set[tuple[int, int]]) -> bool:
+def _chain_criterion(i: int, j: int, lts: Sequence[int], guard: int,
+                     done: set[tuple[int, int]]) -> bool:
     """Buchberger's second criterion for pair (i, j)."""
-    lt_i = _lt_map(basis[i], order)
-    lt_j = _lt_map(basis[j], order)
-    lcm_ij = _lcm_map(lt_i, lt_j)
-    for k in range(len(basis)):
+    lcm_ij = lcm(lts[i], lts[j])
+    for k in range(len(lts)):
         if k in (i, j):
             continue
-        if not _divides(_lt_map(basis[k], order), lcm_ij):
+        if not divides(lts[k], lcm_ij, guard):
             continue
         pair_ik = (max(i, k), min(i, k))
         pair_jk = (max(j, k), min(j, k))
@@ -149,54 +219,43 @@ def _chain_criterion(i: int, j: int, basis: Sequence[Polynomial],
     return False
 
 
-def _reduce_basis(basis: list[Polynomial], order: TermOrder) -> list[Polynomial]:
+def _reduce_basis(basis: list[dict], lts: list[int], frame: tuple[str, ...],
+                  key, guard: int) -> list[Polynomial]:
     """Minimize then inter-reduce the basis (reduced Groebner basis)."""
     # Minimal: drop g whose leading term is divisible by another's.
-    minimal: list[Polynomial] = []
-    for i, g in enumerate(basis):
-        lt_g = _lt_map(g, order)
+    minimal: list[tuple[dict, int]] = []
+    for i, (g, lt_g) in enumerate(zip(basis, lts)):
         dominated = False
-        for j, h in enumerate(basis):
+        for j, lt_h in enumerate(lts):
             if i == j:
                 continue
-            lt_h = _lt_map(h, order)
-            if _divides(lt_h, lt_g) and not (lt_h == lt_g and j > i):
+            if divides(lt_h, lt_g, guard) and not (lt_h == lt_g and j > i):
                 dominated = True
                 break
         if not dominated:
-            minimal.append(g)
+            minimal.append((g, lt_g))
 
     # Reduced: replace each element by its normal form modulo the others.
-    reduced: list[Polynomial] = []
-    for i, g in enumerate(minimal):
-        others = minimal[:i] + minimal[i + 1:]
+    reduced: list[tuple[dict, int]] = []
+    for i, (g, _lt) in enumerate(minimal):
+        others = [(lt, 1, codes) for k, (codes, lt) in enumerate(minimal)
+                  if k != i]
         if others:
-            g = nf_reduce(g, others, order)
-        if not g.is_zero():
-            reduced.append(g.monic(order))
+            g = _reduce_codes(dict(g), others, key, guard)
+        if g:
+            lt = _leading(g, key)
+            reduced.append((_monic_codes(g, lt), lt))
 
-    def lead_key(p: Polynomial):
-        exps, _ = p.leading_term(order)
-        return order.sort_key(p.variables)(exps)
-
-    # Sorting leading-first makes the output deterministic.  Keys from
-    # different variable sets are not directly comparable, so sort on a
-    # common variable frame.
-    frame = tuple(sorted({v for p in reduced for v in p.variables}))
-
-    def framed_key(p: Polynomial):
-        exps, _ = p.leading_term(order)
-        full = {v: e for v, e in zip(p.variables, exps)}
-        framed = tuple(full.get(v, 0) for v in frame)
-        return order.sort_key(frame)(framed)
-
-    reduced.sort(key=framed_key, reverse=True)
-    return reduced
+    # Sorting leading-first makes the output deterministic.
+    sort_key = key or (lambda code: code)
+    reduced.sort(key=lambda item: sort_key(item[1]), reverse=True)
+    return [Polynomial._from_frame(frame, dict(codes)) for codes, _ in reduced]
 
 
 def is_groebner_basis(basis: Sequence[Polynomial],
                       order: TermOrder = GREVLEX) -> bool:
     """Check the Buchberger criterion: all S-polynomials reduce to zero."""
+    from repro.symalg.division import reduce as nf_reduce
     basis = [g for g in basis if not g.is_zero()]
     for i in range(len(basis)):
         for j in range(i):

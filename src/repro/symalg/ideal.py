@@ -22,16 +22,59 @@ rewriting step of the DAC'02 library-mapping algorithm.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Mapping, Sequence
 
-from repro.errors import SymbolicError
+from repro.errors import GroebnerExplosion, SymbolicError
 from repro.symalg.division import reduce as nf_reduce
-from repro.symalg.groebner import groebner_basis
+from repro.symalg.groebner import (DEFAULT_MAX_BASIS,
+                                   DEFAULT_MAX_PAIRS, groebner_basis)
 from repro.symalg.ordering import TermOrder
 from repro.symalg.polynomial import Polynomial
 
 __all__ = ["SideRelation", "simplify_modulo", "ideal_membership",
-           "eliminate", "normal_form"]
+           "eliminate", "normal_form", "clear_ideal_caches"]
+
+
+@lru_cache(maxsize=1024)
+def _basis_or_explosion(generators: tuple[Polynomial, ...],
+                        order: TermOrder,
+                        max_basis: int, max_pairs: int):
+    """Basis tuple, or the explosion message as a plain ``str`` sentinel.
+
+    Explosions are cached too: the mapping search retries the same
+    side-relation ideal across many nodes, and re-running Buchberger to
+    its work limit on every retry would cost the full explosion each
+    time.  (``lru_cache`` cannot memoize raised exceptions directly.)
+    """
+    try:
+        return tuple(groebner_basis(generators, order,
+                                    max_basis=max_basis,
+                                    max_pairs=max_pairs))
+    except GroebnerExplosion as exc:
+        return str(exc)
+
+
+def _cached_groebner_basis(generators: tuple[Polynomial, ...],
+                           order: TermOrder,
+                           max_basis: int, max_pairs: int
+                           ) -> tuple[Polynomial, ...]:
+    """Memoized Groebner basis of an ideal.
+
+    The mapping search reduces against the *same* side-relation ideal at
+    every node of a decomposition path; polynomials are immutable and
+    hashable, so the basis is computed once per (generators, order)
+    pair — and a cached explosion re-raises in O(1).
+    """
+    result = _basis_or_explosion(generators, order, max_basis, max_pairs)
+    if isinstance(result, str):
+        raise GroebnerExplosion(result)
+    return result
+
+
+def clear_ideal_caches() -> None:
+    """Drop the memoized Groebner bases (mainly for benchmarks/tests)."""
+    _basis_or_explosion.cache_clear()
 
 
 @dataclass(frozen=True)
@@ -83,8 +126,8 @@ def simplify_modulo(target: Polynomial,
                     relations: Iterable[SideRelation] | Mapping[str, Polynomial],
                     variable_order: Sequence[str] | None = None,
                     *,
-                    max_basis: int = 200,
-                    max_pairs: int = 5000) -> Polynomial:
+                    max_basis: int = DEFAULT_MAX_BASIS,
+                    max_pairs: int = DEFAULT_MAX_PAIRS) -> Polynomial:
     """Rewrite ``target`` in terms of the side-relation symbols.
 
     Parameters
@@ -114,8 +157,9 @@ def simplify_modulo(target: Polynomial,
     if not rel_list:
         return target
     order = _elimination_order(target, rel_list, variable_order)
-    basis = groebner_basis([rel.generator() for rel in rel_list], order,
-                           max_basis=max_basis, max_pairs=max_pairs)
+    basis = _cached_groebner_basis(
+        tuple(rel.generator() for rel in rel_list), order,
+        max_basis, max_pairs)
     return nf_reduce(target, basis, order)
 
 
@@ -123,9 +167,11 @@ def normal_form(poly: Polynomial, generators: Sequence[Polynomial],
                 order: TermOrder) -> Polynomial:
     """Normal form of ``poly`` modulo the ideal of ``generators``.
 
-    Computes a Groebner basis first so the result is canonical.
+    Computes a Groebner basis first (memoized) so the result is
+    canonical.
     """
-    basis = groebner_basis(generators, order)
+    basis = _cached_groebner_basis(tuple(generators), order,
+                                   DEFAULT_MAX_BASIS, DEFAULT_MAX_PAIRS)
     return nf_reduce(poly, basis, order)
 
 

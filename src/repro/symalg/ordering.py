@@ -16,12 +16,23 @@ An order is attached to a *precedence*: a tuple of variable names from
 most to least significant.  Variables a polynomial uses that are absent
 from the precedence are appended (sorted by name) at the end, so a
 partial precedence like ``("x",)`` is legal.
+
+Performance contract
+--------------------
+Key functions are *memoized*: :meth:`TermOrder.sort_key`,
+:meth:`TermOrder.arrangement` and :meth:`TermOrder.frame` cache per
+``(order, variables)`` pair, and :meth:`TermOrder.code_key` caches the
+packed-code comparators the division layer runs on.  ``TermOrder`` is a
+frozen (hashable) dataclass precisely so these caches can key on it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Sequence
+
+from repro.symalg.monomials import MASK, SHIFT
 
 __all__ = ["TermOrder", "LEX", "GRLEX", "GREVLEX"]
 
@@ -39,6 +50,9 @@ class TermOrder:
     precedence:
         Variable names from most significant to least significant.  May
         be empty, in which case variables compare in sorted-name order.
+
+    >>> TermOrder("lex", ("y",)).frame(("x", "y"))
+    ('y', 'x')
     """
 
     kind: str = "grevlex"
@@ -58,40 +72,38 @@ class TermOrder:
         """Indices that rearrange ``variables`` into precedence order.
 
         Variables named in :attr:`precedence` come first (in that
-        order); remaining variables follow sorted by name.
+        order); remaining variables follow sorted by name.  Memoized.
         """
-        index_of = {name: i for i, name in enumerate(variables)}
-        arranged: list[int] = []
-        seen: set[str] = set()
-        for name in self.precedence:
-            if name in index_of:
-                arranged.append(index_of[name])
-                seen.add(name)
-        for name in sorted(index_of):
-            if name not in seen:
-                arranged.append(index_of[name])
-        return tuple(arranged)
+        return _arrangement(self.precedence, tuple(variables))
+
+    def frame(self, variables: Sequence[str]) -> tuple[str, ...]:
+        """``variables`` rearranged into precedence order (memoized).
+
+        Packing exponents along this frame makes lex comparison under
+        this order plain integer comparison of packed codes.
+        """
+        variables = tuple(variables)
+        return tuple(variables[i] for i in _arrangement(self.precedence, variables))
 
     def sort_key(self, variables: Sequence[str]):
         """Return ``key(exponents) -> sortable`` for monomials over ``variables``.
 
-        Larger key means larger monomial under this order.  The key is
-        built once per polynomial operation and applied to many
-        exponent tuples, so it closes over the precomputed arrangement.
+        Larger key means larger monomial under this order.  The key
+        function is memoized per ``(order, variables)`` — it is built
+        once and applied to many exponent tuples.
         """
-        arranged = self.arrangement(variables)
-        kind = self.kind
+        return _sort_key(self.kind, self.precedence, tuple(variables))
 
-        if kind == "lex":
-            def key(exps: tuple[int, ...]):
-                return tuple(exps[i] for i in arranged)
-        elif kind == "grlex":
-            def key(exps: tuple[int, ...]):
-                return (sum(exps), tuple(exps[i] for i in arranged))
-        else:  # grevlex
-            def key(exps: tuple[int, ...]):
-                return (sum(exps), tuple(-exps[i] for i in reversed(arranged)))
-        return key
+    def code_key(self, n: int):
+        """Comparator for *packed* codes over an ``n``-variable arranged frame.
+
+        The frame must already be in precedence order (see
+        :meth:`frame`).  Returns ``None`` for lex — packed codes then
+        compare correctly as plain ints, so callers can skip the key
+        function entirely — and a ``code -> sortable`` function for the
+        graded orders.  Memoized.
+        """
+        return _code_key(self.kind, n)
 
     def max_monomial(self, exponents: Iterable[tuple[int, ...]],
                      variables: Sequence[str]) -> tuple[int, ...]:
@@ -105,6 +117,69 @@ class TermOrder:
         """Sort exponent tuples; by default descending (leading first)."""
         key = self.sort_key(variables)
         return sorted(exponents, key=key, reverse=reverse)
+
+
+@lru_cache(maxsize=4096)
+def _arrangement(precedence: tuple[str, ...],
+                 variables: tuple[str, ...]) -> tuple[int, ...]:
+    index_of = {name: i for i, name in enumerate(variables)}
+    arranged: list[int] = []
+    seen: set[str] = set()
+    for name in precedence:
+        if name in index_of:
+            arranged.append(index_of[name])
+            seen.add(name)
+    for name in sorted(index_of):
+        if name not in seen:
+            arranged.append(index_of[name])
+    return tuple(arranged)
+
+
+@lru_cache(maxsize=4096)
+def _sort_key(kind: str, precedence: tuple[str, ...],
+              variables: tuple[str, ...]):
+    arranged = _arrangement(precedence, variables)
+
+    if kind == "lex":
+        def key(exps: tuple[int, ...]):
+            return tuple(exps[i] for i in arranged)
+    elif kind == "grlex":
+        def key(exps: tuple[int, ...]):
+            return (sum(exps), tuple(exps[i] for i in arranged))
+    else:  # grevlex
+        def key(exps: tuple[int, ...]):
+            return (sum(exps), tuple(-exps[i] for i in reversed(arranged)))
+    return key
+
+
+@lru_cache(maxsize=256)
+def _code_key(kind: str, n: int):
+    if kind == "lex":
+        return None  # big-endian packing makes raw int order lex order
+
+    if kind == "grlex":
+        def key(code: int):
+            total = 0
+            c = code
+            while c:
+                total += c & MASK
+                c >>= SHIFT
+            return (total, code)
+        return key
+
+    # grevlex: total degree, ties by *smallest* exponent in the *least*
+    # significant variable winning — fields from the LSB end, negated.
+    def key(code: int):
+        total = 0
+        fields = []
+        c = code
+        for _ in range(n):
+            f = c & MASK
+            fields.append(-f)
+            total += f
+            c >>= SHIFT
+        return (total, tuple(fields))
+    return key
 
 
 #: Ready-made orders with empty precedence (sorted-name tie-breaking).

@@ -1,5 +1,6 @@
 """Smoke tests: every example script runs and prints its headline."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,12 +8,18 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+SRC = Path(__file__).resolve().parents[2] / "src"
 
 
 def run_example(name: str, *args: str) -> str:
+    # The subprocess needs src/ on PYTHONPATH explicitly: pytest's
+    # `pythonpath` ini option only patches sys.path in-process.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
-        capture_output=True, text=True, timeout=300)
+        capture_output=True, text=True, timeout=300, env=env)
     assert result.returncode == 0, result.stderr
     return result.stdout
 

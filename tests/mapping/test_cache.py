@@ -1,0 +1,144 @@
+"""Tests for the mapping-layer memoization (repro.mapping.cache)."""
+
+import pytest
+
+from repro.library import Library, LibraryElement
+from repro.mapping import (clear_mapping_caches, decompose,
+                           fingerprint_library, fingerprint_platform,
+                           map_block, mapping_cache_stats)
+from repro.mapping.cache import (LRUCache, fingerprint_element,
+                                 fingerprint_tally)
+from repro.mapping.flow import _imdct_block
+from repro.library.builtin import full_library
+from repro.platform import Badge4, OperationTally
+from repro.symalg import Polynomial, symbols
+
+x, y = symbols("x y")
+PLATFORM = Badge4()
+
+
+def _demo_library(cost_mul=1):
+    i0 = Polynomial.variable("in0")
+    i1 = Polynomial.variable("in1")
+    return Library("demo", [LibraryElement(
+        name="sq2y", library="IH", polynomials=(i0 ** 2 - 2 * i1,),
+        input_format="q", output_format="q", accuracy=1e-9,
+        cost=OperationTally(int_mul=cost_mul, int_alu=1))])
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_mapping_caches()
+    yield
+    clear_mapping_caches()
+
+
+class TestLRUCache:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(maxsize=4, name="t")
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.stats()["hits"] == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(maxsize=2, name="t")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # touch "a": now "b" is the LRU entry
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+
+    def test_clear_resets_counters(self):
+        cache = LRUCache(maxsize=2, name="t")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"size": 0, "maxsize": 2,
+                                 "hits": 0, "misses": 0}
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+
+class TestFingerprints:
+    def test_tally_fingerprint_covers_libm(self):
+        a = OperationTally(int_mul=1)
+        b = OperationTally(int_mul=1)
+        b.libm("pow", 3)
+        assert fingerprint_tally(a) != fingerprint_tally(b)
+        assert fingerprint_tally(a) == fingerprint_tally(OperationTally(int_mul=1))
+
+    def test_element_fingerprint_sees_cost_changes(self):
+        lib_a = _demo_library(cost_mul=1)
+        lib_b = _demo_library(cost_mul=7)
+        fp = lambda lib: fingerprint_element(next(iter(lib)))
+        assert fp(lib_a) != fp(lib_b)
+
+    def test_library_fingerprint_is_order_independent(self):
+        i0 = Polynomial.variable("in0")
+        e1 = LibraryElement(name="a", library="IH", polynomials=(i0 ** 2,),
+                            input_format="q", output_format="q",
+                            accuracy=0.0, cost=OperationTally(int_mul=1))
+        e2 = LibraryElement(name="b", library="IH", polynomials=(i0 ** 3,),
+                            input_format="q", output_format="q",
+                            accuracy=0.0, cost=OperationTally(int_mul=2))
+        assert fingerprint_library(Library("x", [e1, e2])) == \
+            fingerprint_library(Library("y", [e2, e1]))
+
+    def test_platform_fingerprint_stable_across_instances(self):
+        assert fingerprint_platform(Badge4()) == fingerprint_platform(Badge4())
+
+
+class TestDecomposeMemoization:
+    TARGET = x + x ** 3 * y ** 2 - 2 * x * y ** 3
+
+    def test_repeat_is_a_hit_even_with_rebuilt_library(self):
+        first = decompose(self.TARGET, _demo_library(), PLATFORM)
+        second = decompose(self.TARGET, _demo_library(), PLATFORM)
+        assert second is first
+        assert mapping_cache_stats()["decompose"]["hits"] == 1
+
+    def test_different_knobs_miss(self):
+        decompose(self.TARGET, _demo_library(), PLATFORM)
+        decompose(self.TARGET, _demo_library(), PLATFORM, max_depth=2)
+        stats = mapping_cache_stats()["decompose"]
+        assert stats["misses"] == 2
+        assert stats["hits"] == 0
+
+    def test_changed_element_cost_misses(self):
+        a = decompose(self.TARGET, _demo_library(cost_mul=1), PLATFORM)
+        b = decompose(self.TARGET, _demo_library(cost_mul=9), PLATFORM)
+        assert b is not a
+        assert mapping_cache_stats()["decompose"]["misses"] == 2
+
+    def test_clear_forces_recompute(self):
+        first = decompose(self.TARGET, _demo_library(), PLATFORM)
+        clear_mapping_caches()
+        second = decompose(self.TARGET, _demo_library(), PLATFORM)
+        assert second is not first
+        assert second.best.element_names() == first.best.element_names()
+        assert second.best.total_cycles == first.best.total_cycles
+
+
+class TestMapBlockMemoization:
+    def test_block_hit_returns_equal_winner_and_fresh_list(self):
+        block = _imdct_block()
+        library = full_library()
+        w1, m1 = map_block(block, library, PLATFORM)
+        w2, m2 = map_block(block, library, PLATFORM)
+        assert w2 is w1
+        assert m2 == m1
+        assert m2 is not m1     # callers may sort/extend their copy
+        assert mapping_cache_stats()["map_block"]["hits"] == 1
+
+    def test_no_match_is_cached_too(self):
+        block = _imdct_block()
+        empty = Library("empty")
+        assert map_block(block, empty, PLATFORM) == (None, [])
+        assert map_block(block, empty, PLATFORM) == (None, [])
+        assert mapping_cache_stats()["map_block"]["hits"] == 1

@@ -141,3 +141,27 @@ class TestFormatting:
         text = str(factor((x + 1) ** 2 * 3))
         assert "(x + 1)^2" in text
         assert "3" in text
+
+
+class TestHomogeneous:
+    """Homogeneous forms split via dehomogenization (sum of cubes etc.)."""
+
+    def test_sum_of_cubes(self):
+        f = factor(x ** 3 + y ** 3)
+        assert (x + y, 1) in f.factors
+        assert f.expand() == x ** 3 + y ** 3
+
+    def test_difference_of_squares(self):
+        f = factor(x ** 2 - y ** 2)
+        bases = {b for b, _ in f.factors}
+        assert bases == {x + y, x - y}
+
+    def test_monomial_content_then_homogeneous(self):
+        p = x ** 4 * y + x * y ** 4
+        f = factor(p)
+        linear = sum(m for b, m in f.factors if b.total_degree() == 1)
+        assert linear == 3          # x, y and (x + y)
+        assert f.expand() == p
+
+    def test_irreducible_forms_stay_whole(self):
+        assert factor(x ** 2 + y ** 2).factors == [(x ** 2 + y ** 2, 1)]

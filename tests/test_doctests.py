@@ -1,0 +1,28 @@
+"""Run the doctests embedded in the public API docstrings.
+
+The README and docs/architecture.md lean on docstring examples
+(``symbols``, ``Polynomial`` arithmetic, the packed-monomial helpers,
+the mapping cache); this test keeps every example executable.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro.symalg.polynomial",
+    "repro.symalg.monomials",
+    "repro.symalg.ordering",
+    "repro.mapping.cache",
+]
+
+
+@pytest.mark.parametrize("modname", MODULES)
+def test_module_doctests(modname):
+    module = importlib.import_module(modname)
+    # Doctests assume the module's own names (symbols, pack, ...) are
+    # in scope, as they are for a reader of the file.
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{modname} has no doctests to run"
+    assert results.failed == 0
