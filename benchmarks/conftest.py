@@ -1,9 +1,24 @@
-"""Shared fixtures for the benchmark harness."""
+"""Shared fixtures for the benchmark harness.
+
+Environment knobs (so cold numbers are reproducible without editing
+code):
+
+* ``REPRO_NO_CACHE=1`` — disable the persistent disk tier *and* clear
+  every in-process cache (mapping LRUs, Groebner bases, GCDs) before
+  each benchmark test: every measurement starts truly cold.
+* ``REPRO_CACHE_DIR=<dir>`` — point the persistent tier at ``<dir>``
+  to measure warm-process behaviour instead.
+"""
+
+import os
 
 import pytest
 
+from repro.mapping.cache import clear_all
 from repro.mp3 import make_stream
 from repro.platform import Badge4
+from repro.symalg.gcdtools import clear_gcd_caches
+from repro.symalg.ideal import clear_ideal_caches
 
 
 @pytest.fixture(scope="session")
@@ -15,6 +30,16 @@ def platform():
 def stream():
     """The shared workload: a deterministic 3-frame stereo stream."""
     return make_stream(n_frames=3, seed=2002)
+
+
+@pytest.fixture(autouse=True)
+def _cold_run_knob():
+    """Honor REPRO_NO_CACHE: reset every cache tier before each test."""
+    if os.environ.get("REPRO_NO_CACHE"):
+        clear_all()
+        clear_ideal_caches()
+        clear_gcd_caches()
+    yield
 
 
 @pytest.fixture

@@ -14,17 +14,25 @@ implementations to use.  The pipeline here:
    in-house ``fixed_IMDCT`` (the Table 4 -> Table 5 transition).
 
 Run:  python examples/imdct_mapping.py
+
+``REPRO_NO_CACHE=1`` forces a cold run (no disk tier, cleared caches);
+``REPRO_CACHE_DIR=<dir>`` re-runs warm from the persistent tier.
 """
+
+import os
 
 from repro.library import (Library, characterize, full_library,
                            inhouse_library, linux_math_library,
                            reference_library)
 from repro.mapping import map_block
+from repro.mapping.cache import clear_all
 from repro.mapping.flow import _imdct_block
 from repro.platform import Badge4
 
 
 def main() -> None:
+    if os.environ.get("REPRO_NO_CACHE"):
+        clear_all()
     platform = Badge4()
     block = _imdct_block()
     n_coeffs = sum(len(p) for p in block.outputs.values())

@@ -15,15 +15,23 @@ This example shows both ends inside the same framework:
   polynomial collapse into a single call, at a fraction of the cost.
 
 Run:  python examples/mac_decomposition.py
+
+``REPRO_NO_CACHE=1`` forces a cold run (no disk tier, cleared caches);
+``REPRO_CACHE_DIR=<dir>`` re-runs warm from the persistent tier.
 """
+
+import os
 
 from repro.library import Library, full_library
 from repro.mapping import decompose, residual_cost, rewrite
+from repro.mapping.cache import clear_all
 from repro.platform import Badge4
 from repro.symalg import Polynomial, taylor
 
 
 def main() -> None:
+    if os.environ.get("REPRO_NO_CACHE"):
+        clear_all()
     platform = Badge4()
     x = Polynomial.variable("x")
     target = taylor("exp", 4).substitute({"_arg": x})

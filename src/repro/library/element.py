@@ -12,7 +12,8 @@ layer instantiates formals against the target's variables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import pickle
+from dataclasses import dataclass, field, fields
 from typing import Callable, Sequence
 
 from repro.errors import LibraryError
@@ -96,6 +97,31 @@ class LibraryElement:
     @property
     def arity(self) -> int:
         return len(self.formals)
+
+    def __getstate__(self) -> dict:
+        """Serialization contract: everything but an unpicklable kernel.
+
+        The builtin catalogs attach module-level kernels, which pickle
+        by reference; ad-hoc elements may carry lambdas or closures,
+        which cannot cross a process or disk boundary.  Those kernels
+        are replaced by ``None`` — matching and decomposition never
+        execute a kernel (it is excluded from the element fingerprint),
+        so mapping results are identical either way.  Only the
+        characterization harness and the rewriter's simulation path
+        would notice, and they run in the parent process.
+        """
+        state = {f.name: getattr(self, f.name) for f in fields(self)}
+        kernel = state["kernel"]
+        if kernel is not None:
+            try:
+                pickle.dumps(kernel)
+            except Exception:
+                state["kernel"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
     def output_symbol(self, index: int = 0) -> str:
         """The fresh symbol the mapper introduces for output ``index``."""

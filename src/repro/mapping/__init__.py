@@ -6,19 +6,27 @@ generation by symbolic manipulation, block matching for multi-output
 elements, code rewriting, and the full three-step methodology driver.
 
 The entry points (:func:`decompose`, :func:`map_block`) and the
-candidate generators are memoized — see :mod:`repro.mapping.cache` for
-the fingerprinting contract, :func:`mapping_cache_stats` for hit
-rates, and :func:`clear_mapping_caches` for cold-start measurements.
+candidate generators are memoized in two tiers — the in-process LRU
+and an optional persistent disk store — see :mod:`repro.mapping.cache`
+for the fingerprinting and serialization contracts,
+:func:`cache_stats` for hit rates, :func:`clear_mapping_caches` /
+:func:`clear_all` for cold-start measurements, and
+:mod:`repro.mapping.batch` (:func:`run_batch`) for mapping whole
+(block × library × platform) work sets with dedup and process
+fan-out.
 """
 
-from repro.mapping.cache import (clear_mapping_caches, fingerprint_block,
-                                 fingerprint_library, fingerprint_platform,
-                                 mapping_cache_stats)
+from repro.mapping.batch import BatchItem, BatchReport, BatchStats, run_batch
+from repro.mapping.cache import (cache_stats, clear_all,
+                                 clear_mapping_caches, configure,
+                                 fingerprint_block, fingerprint_library,
+                                 fingerprint_platform, mapping_cache_stats)
 from repro.mapping.candidates import (CandidateForm, all_manipulations,
                                       structural_hints)
 from repro.mapping.decompose import (DecomposeResult, MappingSolution,
                                      decompose, map_block, residual_cost)
-from repro.mapping.flow import FlowReport, MappingPass, MethodologyFlow
+from repro.mapping.flow import (FlowReport, MappingPass, MethodologyFlow,
+                                methodology_blocks)
 from repro.mapping.match import (BlockMatch, Instantiation,
                                  enumerate_instantiations, match_block)
 from repro.mapping.rewriter import MappedProgram, rewrite
@@ -29,7 +37,9 @@ __all__ = [
     "decompose", "map_block", "MappingSolution", "DecomposeResult",
     "residual_cost",
     "rewrite", "MappedProgram",
-    "MethodologyFlow", "MappingPass", "FlowReport",
-    "mapping_cache_stats", "clear_mapping_caches",
+    "MethodologyFlow", "MappingPass", "FlowReport", "methodology_blocks",
+    "BatchItem", "BatchReport", "BatchStats", "run_batch",
+    "cache_stats", "mapping_cache_stats",
+    "clear_mapping_caches", "clear_all", "configure",
     "fingerprint_block", "fingerprint_library", "fingerprint_platform",
 ]

@@ -6,15 +6,39 @@ generators are pure functions of their arguments, but their arguments
 are not all hashable: a :class:`~repro.library.catalog.Library` is a
 mutable collection, a :class:`~repro.platform.tally.OperationTally`
 carries a ``dict``, and a :class:`~repro.platform.badge4.Badge4` owns
-live model objects.  This module supplies the two missing pieces:
+live model objects.  This module supplies the missing pieces:
 
 * **Fingerprints** — small hashable tuples that capture exactly the
   inputs the algorithms read (element polynomials, costs, cycle
   prices), so semantically equal libraries/platforms hit the same
   cache line even when they are distinct objects rebuilt per pass.
-* **LRU caches** — bounded, with hit/miss counters, registered
-  centrally so :func:`clear_mapping_caches` and
-  :func:`mapping_cache_stats` see every cache the mapping layer owns.
+* **LRU caches** — bounded, with hit/miss/eviction counters, registered
+  centrally so :func:`clear_mapping_caches` and :func:`cache_stats`
+  see every cache the mapping layer owns.
+* **A persistent disk tier** — an sqlite-backed store under a
+  user-configurable cache directory, keyed by a *stable* digest of the
+  same fingerprints plus :data:`SCHEMA_VERSION`.  The expensive entry
+  points consult it on LRU miss and write through on store, so a
+  second process (a CI re-run, a fresh benchmark) starts warm.
+
+Cache-dir configuration
+-----------------------
+The disk tier is off by default.  It activates when either
+
+* the ``REPRO_CACHE_DIR`` environment variable names a directory
+  (checked dynamically, so exported knobs work without code changes;
+  ``REPRO_NO_CACHE=1`` force-disables it and wins over everything), or
+* :func:`configure` is called with an explicit directory, or
+* a call site passes ``cache_dir=`` to ``decompose``/``map_block``/
+  ``run_batch``.
+
+The directory holds one sqlite file, ``mapping_cache.sqlite``.  Disk
+keys cannot use Python ``hash`` (randomized per process); they are
+sha256 digests of a canonical text encoding of the fingerprint key
+(see :func:`stable_digest`) joined with the schema version, so bumping
+:data:`SCHEMA_VERSION` invalidates every stale entry at once.  A
+corrupted or unreadable store is *ignored* (every lookup misses, every
+write is dropped) — the cache must never break the computation.
 
 Caching contract
 ----------------
@@ -24,10 +48,22 @@ mutable structure that a later hit would observe mutated.  Correctness
 therefore only requires that fingerprints cover every input the
 algorithms depend on — a fingerprint collision between semantically
 different inputs would be a bug in the fingerprint, not in the cache.
+Values that reach the disk tier additionally rely on the serialization
+contract (``Polynomial.__getstate__``, ``LibraryElement.__getstate__``):
+pickles carry only canonical state, and unpicklable kernels are
+dropped because the mapping algorithms never execute them.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import pickle
+import sqlite3
+import weakref
+from fractions import Fraction
+from pathlib import Path
 from typing import Any, Callable, Hashable
 
 from repro.frontend.extract import TargetBlock
@@ -35,8 +71,12 @@ from repro.library.catalog import Library
 from repro.library.element import LibraryElement
 from repro.platform.badge4 import Badge4
 from repro.platform.tally import OperationTally
+from repro.symalg.polynomial import Polynomial
 
-__all__ = ["LRUCache", "mapping_cache_stats", "clear_mapping_caches",
+__all__ = ["LRUCache", "DiskCache", "SCHEMA_VERSION",
+           "cache_stats", "mapping_cache_stats",
+           "clear_mapping_caches", "clear_all",
+           "configure", "disk_tier", "stable_digest",
            "fingerprint_tally", "fingerprint_element", "fingerprint_library",
            "fingerprint_block", "fingerprint_platform"]
 
@@ -44,6 +84,12 @@ _MISS = object()
 
 #: Every cache the mapping layer creates, for stats/clearing.
 _REGISTRY: list["LRUCache"] = []
+
+#: Bump when a change alters what cached mapping results mean: new
+#: fields on DecomposeResult/BlockMatch, fingerprint coverage changes,
+#: algorithm changes that affect outputs.  Entries written under any
+#: other version are treated as absent.
+SCHEMA_VERSION = 1
 
 
 class LRUCache:
@@ -55,8 +101,9 @@ class LRUCache:
     True
     >>> cache.get("c")
     3
-    >>> cache.stats()["hits"], cache.stats()["misses"]
-    (1, 1)
+    >>> stats = cache.stats()
+    >>> stats["hits"], stats["misses"], stats["evictions"]
+    (1, 1, 1)
     """
 
     def __init__(self, maxsize: int = 256, name: str = ""):
@@ -67,6 +114,7 @@ class LRUCache:
         self._data: dict[Hashable, Any] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         _REGISTRY.append(self)
 
     def get(self, key: Hashable, default: Any = None) -> Any:
@@ -86,32 +134,58 @@ class LRUCache:
         if len(self._data) > self.maxsize:
             # dicts iterate in insertion order: first key is the LRU.
             self._data.pop(next(iter(self._data)))
+            self.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
         self._data.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._data)
 
     def stats(self) -> dict[str, int]:
-        """``{"size", "maxsize", "hits", "misses"}`` for this cache."""
+        """``{"size", "maxsize", "hits", "misses", "evictions"}``."""
         return {"size": len(self._data), "maxsize": self.maxsize,
-                "hits": self.hits, "misses": self.misses}
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
 
 
-def mapping_cache_stats() -> dict[str, dict[str, int]]:
-    """Hit/miss/size statistics for every mapping-layer cache, by name."""
-    return {cache.name: cache.stats() for cache in _REGISTRY}
+def cache_stats() -> dict[str, dict]:
+    """Statistics for every mapping-layer cache, plus the disk tier.
+
+    Per in-memory cache: size/maxsize/hits/misses/evictions.  Under the
+    ``"disk"`` key: the active tier's hits/misses/writes/size/hit rate,
+    or ``{"enabled": False}`` when no disk tier is configured.
+    """
+    stats: dict[str, dict] = {cache.name: cache.stats()
+                              for cache in _REGISTRY}
+    tier = disk_tier()
+    stats["disk"] = tier.stats() if tier is not None else {"enabled": False}
+    return stats
+
+
+def mapping_cache_stats() -> dict[str, dict]:
+    """Alias of :func:`cache_stats` (the original PR-1 name)."""
+    return cache_stats()
 
 
 def clear_mapping_caches() -> None:
-    """Empty every mapping-layer cache (benchmarks use this between
-    cold/warm phases; tests use it for isolation)."""
+    """Empty every in-memory mapping cache (benchmarks use this between
+    cold/warm phases; tests use it for isolation).  The disk tier is
+    *not* touched — use :func:`clear_all` for a truly cold start."""
     for cache in _REGISTRY:
         cache.clear()
+
+
+def clear_all() -> None:
+    """Empty the in-memory caches *and* every disk tier opened by this
+    process (the active one and any per-call ``cache_dir`` overrides)."""
+    clear_mapping_caches()
+    for tier in _TIERS.values():
+        tier.clear()
 
 
 # ----------------------------------------------------------------------
@@ -137,14 +211,29 @@ def fingerprint_element(element: LibraryElement) -> tuple:
             element.accuracy, fingerprint_tally(element.cost))
 
 
+#: Per-Library fingerprint memo.  A Library only ever grows (``add``
+#: raises on duplicates, there is no removal), so ``len`` is a sound
+#: staleness guard; weak keys keep dead libraries collectable.
+_LIBRARY_FP_MEMO: "weakref.WeakKeyDictionary[Library, tuple[int, tuple]]" \
+    = weakref.WeakKeyDictionary()
+
+
 def fingerprint_library(library: Library) -> tuple:
     """Order-independent digest of a library's mapped-against content.
 
     Two libraries with the same elements fingerprint identically even
     when assembled by different :meth:`~repro.library.catalog.Library.union`
     calls, so every pass of a benchmark ladder shares cache lines.
+    Memoized per instance (the batch engine keys every work item, and
+    re-fingerprinting a 20-element library per item dominated the warm
+    path).
     """
-    return tuple(sorted(fingerprint_element(e) for e in library))
+    memo = _LIBRARY_FP_MEMO.get(library)
+    if memo is not None and memo[0] == len(library):
+        return memo[1]
+    fp = tuple(sorted(fingerprint_element(e) for e in library))
+    _LIBRARY_FP_MEMO[library] = (len(library), fp)
+    return fp
 
 
 def fingerprint_block(block: TargetBlock) -> tuple:
@@ -166,3 +255,285 @@ def fingerprint_platform(platform: Badge4) -> tuple:
             tuple(sorted(spec.cycle_costs.items())),
             tuple(sorted(spec.libm_costs.items())),
             spec.libm_default)
+
+
+# ----------------------------------------------------------------------
+# Stable digests: process-independent keys for the disk tier
+# ----------------------------------------------------------------------
+def _stable(obj: Any):
+    """A JSON-able canonical form of a fingerprint key component.
+
+    Python ``hash`` is randomized per process (``PYTHONHASHSEED``), so
+    disk keys are built from this encoding instead.  Every type a
+    fingerprint tuple can contain is covered; anything else is a bug in
+    the caller's key, surfaced loudly.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return ["f", repr(obj)]            # repr round-trips exactly
+    if isinstance(obj, Fraction):
+        return ["q", obj.numerator, obj.denominator]
+    if isinstance(obj, Polynomial):
+        # The packed representation is already canonical (variables
+        # sorted, codes unique, coefficients exact); encoding it
+        # directly is ~50x cheaper than rendering str(poly), which
+        # term-order-sorts every polynomial in a library fingerprint.
+        terms = [[code,
+                  coeff.numerator, coeff.denominator]
+                 if isinstance(coeff, Fraction) else [code, coeff, 1]
+                 for code, coeff in sorted(obj._codes.items())]
+        return ["P", list(obj.variables), terms]
+    if isinstance(obj, (tuple, list)):
+        return ["t", [_stable(x) for x in obj]]
+    raise TypeError(
+        f"cannot build a stable disk-cache key from {type(obj).__name__}")
+
+
+#: Encoded-component memo keyed by ``id``.  Only tuples are memoized
+#: (fingerprints are tuples, immutable, and — via the per-library
+#: memo — identity-stable across a batch).  Entries hold a strong
+#: reference to the tuple, so a live entry's id cannot be recycled;
+#: the table is cleared wholesale when it grows past its bound.
+_ENCODED_MEMO: dict[int, tuple[Any, str]] = {}
+_ENCODED_MEMO_BOUND = 256
+
+
+def _encoded(obj: Any) -> str:
+    """Canonical JSON text of one key component (memoized for tuples)."""
+    if isinstance(obj, tuple):
+        entry = _ENCODED_MEMO.get(id(obj))
+        if entry is not None and entry[0] is obj:
+            return entry[1]
+        text = json.dumps(_stable(obj), separators=(",", ":"),
+                          ensure_ascii=True)
+        if len(_ENCODED_MEMO) >= _ENCODED_MEMO_BOUND:
+            _ENCODED_MEMO.clear()
+        _ENCODED_MEMO[id(obj)] = (obj, text)
+        return text
+    return json.dumps(_stable(obj), separators=(",", ":"),
+                      ensure_ascii=True)
+
+
+def stable_digest(key: tuple) -> str:
+    """Hex sha256 of the canonical encoding of ``key`` + schema version.
+
+    Stable across processes and Python sessions; changes whenever the
+    key's semantic content or :data:`SCHEMA_VERSION` changes.  Encoded
+    per top-level component (NUL-separated — JSON text cannot contain a
+    raw NUL, so the framing is unambiguous) so that the large shared
+    components — a 20-element library fingerprint — are encoded once
+    per batch instead of once per work item.
+    """
+    h = hashlib.sha256()
+    h.update(str(SCHEMA_VERSION).encode("ascii"))
+    for component in key:
+        h.update(b"\x00")
+        h.update(_encoded(component).encode("ascii"))
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The persistent tier
+# ----------------------------------------------------------------------
+class DiskCache:
+    """An sqlite-backed pickle store: the mapping layer's warm tier.
+
+    One table of ``(key, schema, payload)`` rows.  Every operation is
+    failure-tolerant by design: a locked database skips the operation,
+    a corrupted file marks the store broken (all lookups miss, all
+    writes drop) without raising, and :meth:`clear` deletes the file —
+    which also repairs a broken store.  Connections are opened lazily
+    and re-opened after a ``fork`` (sqlite connections must not cross
+    process boundaries).
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]"):
+        self.path = Path(path)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self._conn: sqlite3.Connection | None = None
+        self._pid: int | None = None
+        self._broken = False
+
+    # -- connection management -----------------------------------------
+    def _connection(self) -> sqlite3.Connection | None:
+        if self._broken:
+            return None
+        pid = os.getpid()
+        if self._conn is not None and self._pid == pid:
+            return self._conn
+        if self._conn is not None:
+            # Inherited across fork: abandon without closing (closing
+            # would checkpoint the parent's WAL from the child).
+            self._conn = None
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=5.0)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                " key TEXT PRIMARY KEY,"
+                " schema INTEGER NOT NULL,"
+                " payload BLOB NOT NULL)")
+            conn.commit()
+        except (sqlite3.Error, OSError):
+            self._broken = True
+            return None
+        self._conn, self._pid = conn, pid
+        return conn
+
+    # -- the store -------------------------------------------------------
+    def get(self, digest: str) -> Any:
+        """The stored value for ``digest``, or ``None`` on any miss.
+
+        Misses include: no row, a row written under a different
+        :data:`SCHEMA_VERSION`, an unreadable payload, a locked or
+        corrupted database.  None of these raise.
+        """
+        conn = self._connection()
+        if conn is None:
+            self.misses += 1
+            return None
+        try:
+            row = conn.execute(
+                "SELECT schema, payload FROM entries WHERE key = ?",
+                (digest,)).fetchone()
+        except sqlite3.OperationalError:      # locked/busy: just miss
+            self.misses += 1
+            return None
+        except sqlite3.DatabaseError:         # corrupted: stop trying
+            self._broken = True
+            self.misses += 1
+            return None
+        if row is None or row[0] != SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        try:
+            value = pickle.loads(row[1])
+        except Exception:                     # stale/garbled payload
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, digest: str, value: Any) -> None:
+        """Write-through ``digest -> value``; silently drops on failure."""
+        conn = self._connection()
+        if conn is None:
+            return
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:                     # unpicklable value: skip
+            return
+        try:
+            conn.execute(
+                "INSERT OR REPLACE INTO entries (key, schema, payload)"
+                " VALUES (?, ?, ?)",
+                (digest, SCHEMA_VERSION, payload))
+            conn.commit()
+            self.writes += 1
+        except sqlite3.OperationalError:      # locked/busy: drop write
+            pass
+        except sqlite3.DatabaseError:
+            self._broken = True
+
+    def clear(self) -> None:
+        """Delete the store file (also repairs a broken store)."""
+        if self._conn is not None and self._pid == os.getpid():
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+        self._conn = None
+        self._pid = None
+        self._broken = False
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(f"{self.path}{suffix}")
+            except OSError:
+                pass
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def __len__(self) -> int:
+        conn = self._connection()
+        if conn is None:
+            return 0
+        try:
+            return conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+        except sqlite3.Error:
+            return 0
+
+    def stats(self) -> dict:
+        """Disk-tier statistics, including the observed hit rate."""
+        lookups = self.hits + self.misses
+        return {"enabled": True, "path": str(self.path),
+                "size": len(self), "hits": self.hits,
+                "misses": self.misses, "writes": self.writes,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
+                "broken": self._broken}
+
+
+# ----------------------------------------------------------------------
+# Tier configuration
+# ----------------------------------------------------------------------
+#: Filename of the store inside a cache directory.
+_DB_NAME = "mapping_cache.sqlite"
+
+#: One DiskCache per resolved directory, shared by every call site so
+#: stats accumulate and clear_all() can reach them.
+_TIERS: dict[Path, DiskCache] = {}
+
+#: Explicit configure() choice: unset / a directory / disabled (None).
+_UNSET = object()
+_configured: Any = _UNSET
+
+
+def _tier_at(cache_dir: "str | os.PathLike[str]") -> DiskCache:
+    """The (memoized) disk tier rooted at ``cache_dir``."""
+    path = Path(cache_dir).expanduser()
+    tier = _TIERS.get(path)
+    if tier is None:
+        tier = _TIERS[path] = DiskCache(path / _DB_NAME)
+    return tier
+
+
+def configure(cache_dir: "str | os.PathLike[str] | None" = None, *,
+              follow_env: bool = False) -> DiskCache | None:
+    """Choose the process-wide disk tier.
+
+    ``configure(path)`` pins the tier to ``path``;
+    ``configure(None)`` disables it; ``configure(follow_env=True)``
+    reverts to environment-driven resolution (the default behaviour:
+    ``REPRO_CACHE_DIR`` enables, ``REPRO_NO_CACHE`` force-disables).
+    Returns the now-active tier, if any.
+    """
+    global _configured
+    if follow_env:
+        _configured = _UNSET
+    else:
+        _configured = None if cache_dir is None else Path(cache_dir)
+    return disk_tier()
+
+
+def disk_tier() -> DiskCache | None:
+    """The active disk tier, or ``None`` when persistence is off.
+
+    ``REPRO_NO_CACHE`` (any non-empty value) always disables the tier,
+    including one pinned by :func:`configure` — it is the benchmark
+    knob guaranteeing cold numbers without editing code.
+    """
+    if os.environ.get("REPRO_NO_CACHE"):
+        return None
+    if _configured is None:
+        return None
+    if _configured is not _UNSET:
+        return _tier_at(_configured)
+    env_dir = os.environ.get("REPRO_CACHE_DIR")
+    if not env_dir:
+        return None
+    return _tier_at(env_dir)

@@ -26,14 +26,16 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from dataclasses import dataclass, field
 
 from repro.errors import GroebnerExplosion
 from repro.frontend.extract import TargetBlock
 from repro.library.catalog import Library
 from repro.library.element import LibraryElement
-from repro.mapping.cache import (LRUCache, fingerprint_block,
-                                 fingerprint_library, fingerprint_platform)
+from repro.mapping.cache import (DiskCache, LRUCache, _tier_at, disk_tier,
+                                 fingerprint_block, fingerprint_library,
+                                 fingerprint_platform, stable_digest)
 from repro.mapping.candidates import structural_hints
 from repro.mapping.match import (BlockMatch, Instantiation,
                                  enumerate_instantiations, match_block)
@@ -50,6 +52,43 @@ __all__ = ["MappingSolution", "DecomposeResult", "decompose", "map_block",
 _DECOMPOSE_CACHE = LRUCache(maxsize=512, name="decompose")
 #: Block-match results keyed by (block, library, platform, knobs).
 _MAP_BLOCK_CACHE = LRUCache(maxsize=256, name="map_block")
+
+
+def _decompose_key(target: Polynomial, library: Library, platform: Badge4,
+                   tolerance: float, accuracy_budget: float, max_depth: int,
+                   max_nodes: int, use_hints: bool,
+                   use_bounding: bool) -> tuple:
+    """The cache key of one decompose work item.
+
+    Shared between :func:`decompose` and the batch engine so a batch
+    prewarm and a later direct call land on the same cache line — in
+    memory (hashable tuple) and on disk (via
+    :func:`~repro.mapping.cache.stable_digest`).
+    """
+    return ("decompose", target, fingerprint_library(library),
+            fingerprint_platform(platform), tolerance, accuracy_budget,
+            max_depth, max_nodes, use_hints, use_bounding)
+
+
+def _map_block_key(block: TargetBlock, library: Library, platform: Badge4,
+                   tolerance: float, accuracy_budget: float) -> tuple:
+    """The cache key of one block-match work item (see above)."""
+    return ("map_block", fingerprint_block(block),
+            fingerprint_library(library), fingerprint_platform(platform),
+            tolerance, accuracy_budget)
+
+
+def _tier_for(cache_dir) -> DiskCache | None:
+    """The disk tier a call should use: explicit dir > global config.
+
+    ``REPRO_NO_CACHE`` wins even over an explicit per-call directory,
+    matching :func:`~repro.mapping.cache.disk_tier`.
+    """
+    if cache_dir is not None:
+        if os.environ.get("REPRO_NO_CACHE"):
+            return None
+        return _tier_at(cache_dir)
+    return disk_tier()
 
 
 def residual_cost(poly: Polynomial, platform: Badge4) -> float:
@@ -131,7 +170,8 @@ def decompose(target: Polynomial, library: Library,
               max_depth: int = 3,
               max_nodes: int = 500,
               use_hints: bool = True,
-              use_bounding: bool = True) -> DecomposeResult:
+              use_bounding: bool = True,
+              cache_dir: "str | None" = None) -> DecomposeResult:
     """Map ``target`` into ``library`` elements (Table 2's ``Decompose``).
 
     Returns the best-cost solution with sufficient accuracy; if no
@@ -142,19 +182,29 @@ def decompose(target: Polynomial, library: Library,
     the manipulation-guided candidate ordering and the branch-and-bound
     cost pruning respectively (both on in the paper's algorithm).
 
-    Results are memoized: repeating a decomposition of the same target
-    against the same library on the same platform (the inner loop of
-    the methodology's mapping passes) returns the cached result
-    without searching.  See :mod:`repro.mapping.cache` for the
-    fingerprinting contract.
+    Results are memoized in two tiers: the in-process LRU (repeating a
+    decomposition in the inner loop of the methodology's mapping passes
+    returns the cached result without searching) and, when a cache dir
+    is configured, the persistent disk tier — a fresh process re-running
+    the same mapping starts warm.  ``cache_dir`` overrides the global
+    configuration (``REPRO_CACHE_DIR`` / :func:`repro.mapping.cache.configure`)
+    for this call.  See :mod:`repro.mapping.cache` for the
+    fingerprinting and serialization contracts.
     """
     platform = platform or Badge4()
-    key = (target, fingerprint_library(library),
-           fingerprint_platform(platform), tolerance, accuracy_budget,
-           max_depth, max_nodes, use_hints, use_bounding)
+    key = _decompose_key(target, library, platform, tolerance,
+                         accuracy_budget, max_depth, max_nodes,
+                         use_hints, use_bounding)
     cached = _DECOMPOSE_CACHE.get(key)
     if cached is not None:
         return cached
+    tier = _tier_for(cache_dir)
+    digest = stable_digest(key) if tier is not None else None
+    if tier is not None:
+        stored = tier.get(digest)
+        if stored is not None:
+            _DECOMPOSE_CACHE.put(key, stored)
+            return stored
     result = _decompose_uncached(target, library, platform,
                                  tolerance=tolerance,
                                  accuracy_budget=accuracy_budget,
@@ -162,6 +212,8 @@ def decompose(target: Polynomial, library: Library,
                                  use_hints=use_hints,
                                  use_bounding=use_bounding)
     _DECOMPOSE_CACHE.put(key, result)
+    if tier is not None:
+        tier.put(digest, result)
     return result
 
 
@@ -317,7 +369,8 @@ def map_block(block: TargetBlock, library: Library,
               platform: Badge4 | None = None,
               *,
               tolerance: float = 1e-6,
-              accuracy_budget: float = float("inf")
+              accuracy_budget: float = float("inf"),
+              cache_dir: "str | None" = None
               ) -> tuple[BlockMatch | None, list[BlockMatch]]:
     """Map a multi-output block to the cheapest adequate complex element.
 
@@ -326,18 +379,42 @@ def map_block(block: TargetBlock, library: Library,
     the block's polynomials within tolerance is characterized, and the
     cheapest with sufficient accuracy wins.
 
-    Returns ``(winner_or_None, all_matches)``.  Memoized: re-mapping
-    the same block against the same library ladder (every pass of
+    Returns ``(winner_or_None, all_matches)``.  Memoized in the LRU and
+    (when configured — ``cache_dir`` overrides the global knob) the
+    persistent disk tier: re-mapping the same block against the same
+    library ladder (every pass of
     :meth:`~repro.mapping.flow.MethodologyFlow.run_passes`, every
-    benchmark round) is a cache hit.
+    benchmark round, every fresh CI process with a warm cache dir) is a
+    cache hit.
     """
     platform = platform or Badge4()
-    key = (fingerprint_block(block), fingerprint_library(library),
-           fingerprint_platform(platform), tolerance, accuracy_budget)
+    key = _map_block_key(block, library, platform, tolerance,
+                         accuracy_budget)
     cached = _MAP_BLOCK_CACHE.get(key)
     if cached is not None:
         winner, matches = cached
         return winner, list(matches)
+    tier = _tier_for(cache_dir)
+    digest = stable_digest(key) if tier is not None else None
+    if tier is not None:
+        stored = tier.get(digest)
+        if stored is not None:
+            _MAP_BLOCK_CACHE.put(key, stored)
+            winner, matches = stored
+            return winner, list(matches)
+    value = _map_block_uncached(block, library, platform, tolerance,
+                                accuracy_budget)
+    _MAP_BLOCK_CACHE.put(key, value)
+    if tier is not None:
+        tier.put(digest, value)
+    return value[0], list(value[1])
+
+
+def _map_block_uncached(block: TargetBlock, library: Library,
+                        platform: Badge4, tolerance: float,
+                        accuracy_budget: float
+                        ) -> tuple[BlockMatch | None, tuple[BlockMatch, ...]]:
+    """The search behind :func:`map_block`, in LRU-value shape."""
     matches: list[BlockMatch] = []
     # Name-sorted for the same reason as _candidate_instantiations: the
     # cost-sort below must break ties independent of assembly order.
@@ -347,9 +424,5 @@ def map_block(block: TargetBlock, library: Library,
         found = match_block(element, block, tolerance)
         if found is not None and element.accuracy <= accuracy_budget:
             matches.append(found)
-    if not matches:
-        _MAP_BLOCK_CACHE.put(key, (None, ()))
-        return None, []
     matches.sort(key=lambda m: platform.cost_model.cycles(m.element.cost))
-    _MAP_BLOCK_CACHE.put(key, (matches[0], tuple(matches)))
-    return matches[0], matches
+    return (matches[0], tuple(matches)) if matches else (None, ())

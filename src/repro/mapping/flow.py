@@ -27,7 +27,7 @@ from repro.frontend.extract import ArrayInput, TargetBlock, extract_block
 from repro.library.builtin import (inhouse_library, ipp_library,
                                    linux_math_library, reference_library)
 from repro.library.catalog import Library
-from repro.mapping.decompose import map_block
+from repro.mapping.batch import BatchItem, run_batch
 from repro.mp3.compliance import ComplianceReport, check_compliance
 from repro.mp3.decoder import DecoderConfig, Mp3Decoder
 from repro.mp3.synth_stream import EncodedStream
@@ -35,7 +35,8 @@ from repro.mp3.tables import IMDCT_COS_36, POLYPHASE_N
 from repro.platform.badge4 import Badge4
 from repro.platform.profiler import ProfileReport
 
-__all__ = ["MethodologyFlow", "MappingPass", "FlowReport"]
+__all__ = ["MethodologyFlow", "MappingPass", "FlowReport",
+           "methodology_blocks"]
 
 #: Reference kernel for the IMDCT loop nest (Equation 1), in the
 #: frontend's restricted subset.  The cosine table arrives as constants.
@@ -61,6 +62,20 @@ def subband_matrixing(s, n):
         v[i] = acc
     return v
 """
+
+
+def methodology_blocks() -> dict[str, TargetBlock]:
+    """Fresh extractions of the methodology's complex target blocks.
+
+    The public handle on the Table 4/5 work set — the IMDCT loop nest
+    and the polyphase matrixing core — for batch-mapping them outside
+    the flow (README example, benchmarks).  Each call re-runs the
+    frontend, so callers own their copies.
+    """
+    return {
+        "inv_mdctL": _imdct_block(),
+        "SubBandSynthesis": _matrixing_block(),
+    }
 
 
 def _imdct_block() -> TargetBlock:
@@ -125,16 +140,26 @@ class FlowReport:
 
 
 class MethodologyFlow:
-    """Drives characterize -> identify -> map on the MP3 decoder."""
+    """Drives characterize -> identify -> map on the MP3 decoder.
+
+    ``workers`` sets the batch-mapping fan-out: each pass's critical
+    blocks are submitted to :func:`~repro.mapping.batch.run_batch`
+    together, deduplicated against both cache tiers, and the cold
+    remainder mapped in parallel worker processes.  ``None`` (default)
+    keeps everything serial and in-process — results are identical
+    either way.  ``cache_dir`` pins the persistent tier for this flow
+    (otherwise the global ``REPRO_CACHE_DIR`` configuration applies).
+    """
 
     def __init__(self, platform: Badge4 | None = None,
-                 critical_threshold_percent: float = 5.0):
+                 critical_threshold_percent: float = 5.0,
+                 workers: int | None = None,
+                 cache_dir: str | None = None):
         self.platform = platform or Badge4()
         self.threshold = critical_threshold_percent
-        self._blocks = {
-            "inv_mdctL": _imdct_block(),
-            "SubBandSynthesis": _matrixing_block(),
-        }
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self._blocks = methodology_blocks()
 
     # -- step 2: profiling ------------------------------------------------
     def profile(self, config: DecoderConfig,
@@ -178,11 +203,16 @@ class MethodologyFlow:
             chosen["III_stereo"] = "fx_mac(IH)"
             chosen["III_antialias"] = "fx_mac(IH)"
 
-        for name, block in self._blocks.items():
-            if name not in critical and f"{name} " not in critical:
-                continue
-            winner, _all = map_block(block, library, self.platform,
-                                     tolerance=1e-6)
+        # Submit every critical block through the batch engine at once
+        # (instead of mapping them one at a time): the engine dedups
+        # against the cache tiers and fans cold items across workers.
+        blocks = [(name, block) for name, block in self._blocks.items()
+                  if name in critical or f"{name} " in critical]
+        batch = run_batch(
+            [BatchItem.for_block(block, library, self.platform,
+                                 tolerance=1e-6) for _name, block in blocks],
+            workers=self.workers, cache_dir=self.cache_dir)
+        for (name, block), (winner, _all) in zip(blocks, batch.results):
             if winner is None:
                 continue
             element_name = winner.element.name

@@ -728,6 +728,29 @@ class Polynomial:
         return self.max_coefficient_distance(other) <= tolerance
 
     # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> tuple:
+        """Pickle only the canonical core: ``(variables, codes)``.
+
+        The lazy caches (hash, decoded terms, per-order leading terms,
+        degree) are deliberately dropped — they rebuild on demand — so
+        pickles are small, stable across sessions, and never carry
+        per-process artifacts.  This is the serialization contract the
+        batch-mapping engine and the on-disk cache tier rely on.
+        """
+        return (self._variables, self._codes)
+
+    def __setstate__(self, state: tuple) -> None:
+        variables, codes = state
+        self._variables = tuple(variables)
+        self._codes = dict(codes)
+        self._hash = None
+        self._terms_cache = None
+        self._lt_cache = None
+        self._degree_cache = None
+
+    # ------------------------------------------------------------------
     # Dunders
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:

@@ -130,3 +130,33 @@ class TestBuiltinLibraries:
         assert (lib.get("log_double").accuracy
                 < lib.get("logf_float").accuracy
                 < lib.get("fx_log_bitwise").accuracy)
+
+
+class TestElementSerialization:
+    """Elements must cross process/disk boundaries (batch engine)."""
+
+    def test_module_level_kernel_survives_pickle(self):
+        import pickle
+        element = full_library().get("fx_exp")
+        clone = pickle.loads(pickle.dumps(element))
+        assert clone.kernel is element.kernel
+        assert clone.polynomials == element.polynomials
+
+    def test_unpicklable_kernel_is_dropped_not_fatal(self):
+        import pickle
+        element = LibraryElement(
+            name="lam", library="IH",
+            polynomials=(Polynomial.variable("in0") ** 2,),
+            input_format="q", output_format="q", accuracy=0.0,
+            cost=OperationTally(int_mul=1), kernel=lambda v: v * v)
+        clone = pickle.loads(pickle.dumps(element))
+        assert clone.kernel is None
+        assert clone.name == "lam"
+        assert clone.polynomials == element.polynomials
+        assert clone.cost.int_mul == 1
+
+    def test_whole_library_pickles(self):
+        import pickle
+        lib = full_library()
+        elements = pickle.loads(pickle.dumps(tuple(lib)))
+        assert [e.name for e in elements] == [e.name for e in lib]

@@ -58,7 +58,14 @@ class TestLRUCache:
         cache.clear()
         assert len(cache) == 0
         assert cache.stats() == {"size": 0, "maxsize": 2,
-                                 "hits": 0, "misses": 0}
+                                 "hits": 0, "misses": 0, "evictions": 0}
+
+    def test_eviction_counter(self):
+        cache = LRUCache(maxsize=2, name="t")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.stats()["evictions"] == 1
 
     def test_rejects_nonpositive_size(self):
         with pytest.raises(ValueError):

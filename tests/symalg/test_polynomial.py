@@ -286,3 +286,33 @@ class TestFormatting:
 
     def test_repr_roundtrippable_text(self):
         assert repr(x + 1) == "Polynomial('x + 1')"
+
+
+class TestSerialization:
+    """The pickle contract the batch engine and disk tier rely on."""
+
+    def test_pickle_roundtrip_preserves_identity_semantics(self):
+        import pickle
+        p = x ** 3 * y - 2 * y + x / 2
+        q = pickle.loads(pickle.dumps(p))
+        assert q == p
+        assert hash(q) == hash(p)
+        assert str(q) == str(p)
+
+    def test_pickle_drops_lazy_caches(self):
+        import pickle
+        from repro.symalg.ordering import LEX
+        p = x ** 2 + y
+        p.leading_term(LEX)          # populate per-order cache
+        p.total_degree()
+        hash(p)
+        q = pickle.loads(pickle.dumps(p))
+        assert q._hash is None
+        assert q._lt_cache is None
+        assert q._degree_cache is None
+        assert q.leading_term(LEX) == p.leading_term(LEX)
+
+    def test_deepcopy_goes_through_the_contract(self):
+        import copy
+        p = x ** 2 - y
+        assert copy.deepcopy(p) == p
