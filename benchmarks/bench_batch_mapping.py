@@ -27,12 +27,12 @@ controlled environment and reads one JSON line from stdout.
 
 import json
 import os
-import subprocess
 import sys
 import time
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parents[1]
+from _scenarios import REPO_ROOT, spawn_scenarios
+
 OUTPUT = REPO_ROOT / "BENCH_batch_mapping.json"
 
 
@@ -96,26 +96,9 @@ def run_scenario(workers: int) -> dict:
 
 def _spawn(name: str, workers: int, cache_dir: "Path | None",
            runs: int = 1) -> list[dict]:
-    """Run the scenario ``runs`` times, each in a fresh interpreter."""
-    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
-    if cache_dir is None:
-        env["REPRO_NO_CACHE"] = "1"
-        env.pop("REPRO_CACHE_DIR", None)
-    else:
-        env.pop("REPRO_NO_CACHE", None)
-        env["REPRO_CACHE_DIR"] = str(cache_dir)
-    results = []
-    for run in range(runs):
-        proc = subprocess.run(
-            [sys.executable, str(Path(__file__).resolve()),
-             "--workers", str(workers)],
-            env=env, capture_output=True, text=True)
-        assert proc.returncode == 0, f"{name}: {proc.stderr}"
-        measurement = json.loads(proc.stdout.strip().splitlines()[-1])
-        measurement["scenario"] = name
-        measurement["run"] = run
-        results.append(measurement)
-    return results
+    """Run the batch scenario in fresh interpreters (shared protocol)."""
+    return spawn_scenarios(Path(__file__).resolve(), name, workers,
+                           cache_dir, runs)
 
 
 def test_batch_mapping_benchmark(tmp_path, report):

@@ -12,13 +12,16 @@ from repro.library.builtin import (full_library, inhouse_library,
 from repro.library.catalog import Library
 from repro.library.characterize import (CharacterizationTable,
                                         CharacterizedElement, characterize,
-                                        characterize_library)
+                                        characterize_library,
+                                        format_platform_cost_labels,
+                                        platform_cost_labels)
 from repro.library.element import LibraryElement, formal_inputs
 
 __all__ = [
     "LibraryElement", "formal_inputs", "Library",
     "characterize", "characterize_library", "CharacterizedElement",
-    "CharacterizationTable",
+    "CharacterizationTable", "platform_cost_labels",
+    "format_platform_cost_labels",
     "linux_math_library", "inhouse_library", "ipp_library",
     "reference_library", "full_library",
 ]

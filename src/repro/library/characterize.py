@@ -9,13 +9,16 @@ the rows of the paper's Table 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.library.catalog import Library
 from repro.library.element import LibraryElement
 from repro.platform.badge4 import Badge4
+from repro.platform.registry import DEFAULT_REGISTRY
 
 __all__ = ["CharacterizedElement", "characterize", "characterize_library",
-           "CharacterizationTable"]
+           "CharacterizationTable", "platform_cost_labels",
+           "format_platform_cost_labels"]
 
 
 @dataclass(frozen=True)
@@ -52,6 +55,39 @@ def characterize_library(library: Library,
     """Characterize every element; keyed by element name."""
     platform = platform or Badge4()
     return {e.name: characterize(e, platform) for e in library}
+
+
+def platform_cost_labels(library: Library,
+                         platforms: "Sequence[str | Badge4] | None" = None
+                         ) -> dict[str, dict[str, CharacterizedElement]]:
+    """Characterize every element on every platform: the sweep's Table 1.
+
+    The paper labels each element with its performance/energy on *the*
+    target; the multi-platform registry makes that label a row per
+    target instead.  ``platforms`` accepts registry keys and/or live
+    platform objects (default: every registered processor); the result
+    is ``labels[element_name][platform_key]`` →
+    :class:`CharacterizedElement`.
+    """
+    resolved = DEFAULT_REGISTRY.resolve(platforms)
+    labels: dict[str, dict[str, CharacterizedElement]] = {}
+    for element in library:
+        labels[element.name] = {key: characterize(element, platform)
+                                for key, platform in resolved}
+    return labels
+
+
+def format_platform_cost_labels(
+        labels: dict[str, dict[str, CharacterizedElement]]) -> str:
+    """Render per-platform cost labels as one row per (element, platform)."""
+    lines = [f"{'Element':<30} {'Platform':<12} {'Cycles':>14} "
+             f"{'Energy (J)':>12} {'Accuracy':>10}"]
+    for name in sorted(labels):
+        for key, ch in labels[name].items():
+            lines.append(f"{name:<30} {key:<12} {ch.cycles_per_call:>14,.0f} "
+                         f"{ch.energy_per_call_j:>12.3e} "
+                         f"{ch.element.accuracy:>10.1e}")
+    return "\n".join(lines)
 
 
 class CharacterizationTable:

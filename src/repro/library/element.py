@@ -123,6 +123,23 @@ class LibraryElement:
         for name, value in state.items():
             object.__setattr__(self, name, value)
 
+    # The copy module also routes through __getstate__, which would
+    # silently drop closure kernels from plain copies; only *pickles*
+    # must shed them, so copying is implemented directly.
+    def __copy__(self) -> "LibraryElement":
+        return self.__class__(
+            **{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def __deepcopy__(self, memo: dict) -> "LibraryElement":
+        import copy
+        new = object.__new__(self.__class__)
+        memo[id(self)] = new     # registered first: shared refs stay shared
+        for f in fields(self):
+            value = self.kernel if f.name == "kernel" else \
+                copy.deepcopy(getattr(self, f.name), memo)
+            object.__setattr__(new, f.name, value)
+        return new
+
     def output_symbol(self, index: int = 0) -> str:
         """The fresh symbol the mapper introduces for output ``index``."""
         if self.n_outputs == 1:

@@ -24,20 +24,26 @@ from repro.mapping.cache import (cache_stats, clear_all,
 from repro.mapping.candidates import (CandidateForm, all_manipulations,
                                       structural_hints)
 from repro.mapping.decompose import (DecomposeResult, MappingSolution,
-                                     decompose, map_block, residual_cost)
+                                     decompose, map_block, map_block_pareto,
+                                     residual_cost)
 from repro.mapping.flow import (FlowReport, MappingPass, MethodologyFlow,
-                                methodology_blocks)
+                                SweepEntry, SweepReport, methodology_blocks)
 from repro.mapping.match import (BlockMatch, Instantiation,
                                  enumerate_instantiations, match_block)
+from repro.mapping.pareto import (BlockParetoResult, Objectives, ParetoPoint,
+                                  pareto_front, score_element, score_match)
 from repro.mapping.rewriter import MappedProgram, rewrite
 
 __all__ = [
     "Instantiation", "BlockMatch", "enumerate_instantiations", "match_block",
     "CandidateForm", "all_manipulations", "structural_hints",
-    "decompose", "map_block", "MappingSolution", "DecomposeResult",
-    "residual_cost",
+    "decompose", "map_block", "map_block_pareto", "MappingSolution",
+    "DecomposeResult", "residual_cost",
+    "Objectives", "ParetoPoint", "BlockParetoResult", "pareto_front",
+    "score_match", "score_element",
     "rewrite", "MappedProgram",
     "MethodologyFlow", "MappingPass", "FlowReport", "methodology_blocks",
+    "SweepEntry", "SweepReport",
     "BatchItem", "BatchReport", "BatchStats", "run_batch",
     "cache_stats", "mapping_cache_stats",
     "clear_mapping_caches", "clear_all", "configure",

@@ -150,8 +150,7 @@ def _item_key(item: BatchItem, default_platform: Badge4) -> tuple:
                           knobs["use_hints"], knobs["use_bounding"])
 
 
-def _pack_job(item: BatchItem, lib_blobs: dict[int, bytes],
-              cache_dir) -> bytes:
+def _pack_job(item: BatchItem, lib_blobs: dict[int, bytes]) -> bytes:
     """Serialize one work item for a worker process.
 
     Pre-pickling (instead of letting the executor do it) makes
@@ -169,31 +168,31 @@ def _pack_job(item: BatchItem, lib_blobs: dict[int, bytes],
     spec = item.platform.processor if item.platform is not None else None
     return pickle.dumps(
         (item.kind, item.payload, item.library.name, blob, spec,
-         dict(item.knobs), None if cache_dir is None else str(cache_dir)),
+         dict(item.knobs)),
         protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def _execute_job(blob: bytes):
-    """Worker-side execution: rebuild the inputs, run the mapper.
+    """Worker-side execution: rebuild the inputs, run the cold search.
 
-    Runs through the public entry points with the caller's ``cache_dir``
-    override, so workers consult/populate the *same* disk tier the
-    serial path would.  The return value is the LRU-shaped cache value
-    for the item's kind.
+    Goes straight to the uncached internals: the parent only ships
+    items that already missed both cache tiers, so worker-side lookups
+    could only miss too, and the parent merges every returned value
+    into the LRU *and* the disk tier exactly once (a worker-side
+    write-through would store the same payload twice).  The return
+    value is the LRU-shaped cache value for the item's kind.
     """
-    kind, payload, lib_name, lib_blob, spec, knobs, cache_dir = \
-        pickle.loads(blob)
+    kind, payload, lib_name, lib_blob, spec, knobs = pickle.loads(blob)
     library = Library(lib_name, pickle.loads(lib_blob))
     platform = Badge4(processor=spec) if spec is not None else Badge4()
     if kind == "map_block":
-        winner, matches = map_block(payload, library, platform,
-                                    cache_dir=cache_dir, **knobs)
-        return (winner, tuple(matches))
-    return decompose(payload, library, platform, cache_dir=cache_dir,
-                     **knobs)
+        return _map_block_uncached(payload, library, platform,
+                                   knobs["tolerance"],
+                                   knobs["accuracy_budget"])
+    return _decompose_uncached(payload, library, platform, **knobs)
 
 
-def _compute_cold(item: BatchItem, key: tuple, tier,
+def _compute_cold(item: BatchItem, key: tuple, digest, tier,
                   default_platform: Badge4) -> object:
     """In-process cold execution, merging straight into the tiers.
 
@@ -211,16 +210,21 @@ def _compute_cold(item: BatchItem, key: tuple, tier,
     else:
         value = _decompose_uncached(item.payload, item.library, platform,
                                     **knobs)
-    _merge(item.kind, key, value, tier)
+    _merge(item.kind, key, digest, value, tier)
     return value
 
 
-def _merge(kind: str, key: tuple, value, tier) -> None:
-    """Install a worker-computed value into both cache tiers."""
+def _merge(kind: str, key: tuple, digest, value, tier) -> None:
+    """Install a computed value into both cache tiers.
+
+    ``digest`` is the key's :func:`~repro.mapping.cache.stable_digest`,
+    computed once during cold detection and threaded through so the
+    store never re-canonicalizes the key.
+    """
     cache = _MAP_BLOCK_CACHE if kind == "map_block" else _DECOMPOSE_CACHE
     cache.put(key, value)
     if tier is not None:
-        tier.put(stable_digest(key), value)
+        tier.put(digest, value)
 
 
 def _present(kind: str, value):
@@ -261,7 +265,7 @@ def run_batch(items: Iterable[BatchItem], *,
 
     keys = [_item_key(item, default_platform) for item in items]
     resolved: dict[tuple, object] = {}
-    cold: list[tuple[tuple, BatchItem]] = []
+    cold: list[tuple[tuple, object, BatchItem]] = []
     seen: set[tuple] = set()
     for key, item in zip(keys, items):
         if key in seen:
@@ -275,24 +279,24 @@ def run_batch(items: Iterable[BatchItem], *,
             stats.memory_hits += 1
             resolved[key] = value
             continue
+        digest = stable_digest(key) if tier is not None else None
         if tier is not None:
-            stored = tier.get(stable_digest(key))
+            stored = tier.get(digest)
             if stored is not None:
                 stats.disk_hits += 1
                 cache.put(key, stored)
                 resolved[key] = stored
                 continue
-        cold.append((key, item))
+        cold.append((key, digest, item))
 
     stats.computed = len(cold)
     stats.workers = min(effective, len(cold)) if cold else 1
 
     if cold and effective > 1 and len(cold) > 1:
-        _run_parallel(cold, resolved, stats, tier, cache_dir,
-                      default_platform)
+        _run_parallel(cold, resolved, stats, tier, default_platform)
     else:
-        for key, item in cold:
-            resolved[key] = _compute_cold(item, key, tier,
+        for key, digest, item in cold:
+            resolved[key] = _compute_cold(item, key, digest, tier,
                                           default_platform)
             stats.serial_jobs += 1
 
@@ -302,51 +306,53 @@ def run_batch(items: Iterable[BatchItem], *,
     return report
 
 
-def _run_parallel(cold: Sequence[tuple[tuple, BatchItem]],
+def _run_parallel(cold: "Sequence[tuple[tuple, object, BatchItem]]",
                   resolved: dict, stats: BatchStats, tier,
-                  cache_dir, default_platform: Badge4) -> None:
+                  default_platform: Badge4) -> None:
     """Fan the cold items out, falling back serially where needed."""
-    jobs: list[tuple[tuple, BatchItem, bytes]] = []
+    jobs: list[tuple[tuple, object, BatchItem, bytes]] = []
     lib_blobs: dict[int, bytes] = {}
-    for key, item in cold:
+    for key, digest, item in cold:
         try:
-            jobs.append((key, item, _pack_job(item, lib_blobs, cache_dir)))
+            jobs.append((key, digest, item, _pack_job(item, lib_blobs)))
         except Exception:
             stats.pickle_fallbacks += 1
-            resolved[key] = _compute_cold(item, key, tier,
+            resolved[key] = _compute_cold(item, key, digest, tier,
                                           default_platform)
             stats.serial_jobs += 1
 
     if not jobs:
         return
     if len(jobs) == 1:
-        key, item, _ = jobs[0]
-        resolved[key] = _compute_cold(item, key, tier, default_platform)
+        key, digest, item, _ = jobs[0]
+        resolved[key] = _compute_cold(item, key, digest, tier,
+                                      default_platform)
         stats.serial_jobs += 1
         return
 
-    retry: list[tuple[tuple, BatchItem]] = []
+    retry: list[tuple[tuple, object, BatchItem]] = []
     try:
         with ProcessPoolExecutor(max_workers=min(stats.workers,
                                                  len(jobs))) as pool:
-            futures = [(key, item, pool.submit(_execute_job, blob))
-                       for key, item, blob in jobs]
-            for key, item, future in futures:
+            futures = [(key, digest, item, pool.submit(_execute_job, blob))
+                       for key, digest, item, blob in jobs]
+            for key, digest, item, future in futures:
                 try:
                     value = future.result()
                 except Exception:
-                    retry.append((key, item))
+                    retry.append((key, digest, item))
                     continue
-                _merge(item.kind, key, value, tier)
+                _merge(item.kind, key, digest, value, tier)
                 resolved[key] = value
                 stats.parallel_jobs += 1
     except Exception:
         # The pool itself failed (e.g. fork refused): everything not
         # yet resolved runs serially.
-        retry = [(key, item) for key, item, _ in jobs
+        retry = [(key, digest, item) for key, digest, item, _ in jobs
                  if key not in resolved]
 
-    for key, item in retry:
+    for key, digest, item in retry:
         stats.worker_retries += 1
-        resolved[key] = _compute_cold(item, key, tier, default_platform)
+        resolved[key] = _compute_cold(item, key, digest, tier,
+                                      default_platform)
         stats.serial_jobs += 1

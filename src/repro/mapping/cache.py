@@ -89,7 +89,13 @@ _REGISTRY: list["LRUCache"] = []
 #: fields on DecomposeResult/BlockMatch, fingerprint coverage changes,
 #: algorithm changes that affect outputs.  Entries written under any
 #: other version are treated as absent.
-SCHEMA_VERSION = 1
+#:
+#: History: 1 — the PR-2 disk tier; 2 — the multi-platform sweep era
+#: (pluggable processor registry + Pareto fronts derived from cached
+#: match lists; platform identity has keyed every entry since v1, but
+#: v1 entries predate the registry's non-SA-1110 specs and the
+#: derived-front contract, so they are retired wholesale).
+SCHEMA_VERSION = 2
 
 
 class LRUCache:
@@ -246,9 +252,15 @@ def fingerprint_block(block: TargetBlock) -> tuple:
 def fingerprint_platform(platform: Badge4) -> tuple:
     """Digest of the cost-model inputs of a platform.
 
-    Only what prices a tally matters to the mapper: the processor's
-    cycle costs and libm prices.  Energy and DVFS state are not read on
-    the mapping path and are excluded.
+    This is the *platform identity* that keys every mapping cache
+    entry: the processor's name, clock, and full cycle/libm price
+    tables — two registry entries with different cost tables can never
+    share a cache line, and editing a spec's table retires its old
+    entries.  The energy model and DVFS state are deliberately
+    excluded: cached values (match lists, decompose results) are priced
+    in cycles only, and the Pareto layer derives energy scores fresh in
+    the calling process (see :mod:`repro.mapping.pareto`), so they can
+    never be served stale.
     """
     spec = platform.cost_model.spec
     return (spec.name, spec.clock_hz, spec.has_fpu,

@@ -46,7 +46,7 @@ from repro.symalg.ideal import simplify_modulo
 from repro.symalg.polynomial import Polynomial
 
 __all__ = ["MappingSolution", "DecomposeResult", "decompose", "map_block",
-           "residual_cost"]
+           "map_block_pareto", "residual_cost"]
 
 #: Full-search results keyed by (target, library, platform, knobs).
 _DECOMPOSE_CACHE = LRUCache(maxsize=512, name="decompose")
@@ -408,6 +408,36 @@ def map_block(block: TargetBlock, library: Library,
     if tier is not None:
         tier.put(digest, value)
     return value[0], list(value[1])
+
+
+def map_block_pareto(block: TargetBlock, library: Library,
+                     platform: Badge4 | None = None,
+                     *,
+                     tolerance: float = 1e-6,
+                     accuracy_budget: float = float("inf"),
+                     cache_dir: "str | None" = None) -> "BlockParetoResult":
+    """Multi-objective :func:`map_block`: the Pareto front over
+    (cycles, energy, accuracy) instead of a single scalar winner.
+
+    Every adequate match is scored on ``platform`` — cycles by the
+    processor model, Joules by the board's energy model, accuracy from
+    the element label — and the non-dominated set is returned as a
+    :class:`~repro.mapping.pareto.BlockParetoResult`.  The scalar API
+    is the cycles-only projection: ``result.cycles_winner`` equals
+    ``map_block(...)[0]`` by construction.
+
+    The match list is shared with :func:`map_block` through both cache
+    tiers (same key, same value); only the energy scoring happens per
+    call, in-process, so fronts can never be served stale across
+    energy-model changes.
+    """
+    from repro.mapping.pareto import BlockParetoResult
+    platform = platform or Badge4()
+    _winner, matches = map_block(block, library, platform,
+                                 tolerance=tolerance,
+                                 accuracy_budget=accuracy_budget,
+                                 cache_dir=cache_dir)
+    return BlockParetoResult.from_matches(block.name, platform, matches)
 
 
 def _map_block_uncached(block: TargetBlock, library: Library,

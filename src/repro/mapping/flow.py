@@ -18,7 +18,9 @@ LM+IH+IPP) regenerates Tables 4, 5 and 6 mechanically.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -27,16 +29,18 @@ from repro.frontend.extract import ArrayInput, TargetBlock, extract_block
 from repro.library.builtin import (inhouse_library, ipp_library,
                                    linux_math_library, reference_library)
 from repro.library.catalog import Library
-from repro.mapping.batch import BatchItem, run_batch
+from repro.mapping.batch import BatchItem, BatchStats, run_batch
+from repro.mapping.pareto import BlockParetoResult, ParetoPoint
 from repro.mp3.compliance import ComplianceReport, check_compliance
 from repro.mp3.decoder import DecoderConfig, Mp3Decoder
 from repro.mp3.synth_stream import EncodedStream
 from repro.mp3.tables import IMDCT_COS_36, POLYPHASE_N
 from repro.platform.badge4 import Badge4
 from repro.platform.profiler import ProfileReport
+from repro.platform.registry import DEFAULT_REGISTRY, duplicate_labels
 
 __all__ = ["MethodologyFlow", "MappingPass", "FlowReport",
-           "methodology_blocks"]
+           "SweepEntry", "SweepReport", "methodology_blocks"]
 
 #: Reference kernel for the IMDCT loop nest (Equation 1), in the
 #: frontend's restricted subset.  The cosine table arrives as constants.
@@ -139,6 +143,135 @@ class FlowReport:
                  base.energy_j / p.energy_j) for p in self.passes]
 
 
+@dataclass(frozen=True)
+class SweepEntry:
+    """One (platform × library × block) cell of a sweep."""
+
+    platform: str               # registry key (or the processor name)
+    library: str
+    block: str
+    result: BlockParetoResult
+
+    @property
+    def winner_name(self) -> str | None:
+        """The cycles-projection winner's element name (scalar API)."""
+        winner = self.result.cycles_winner
+        return winner.element.name if winner is not None else None
+
+
+@dataclass
+class SweepReport:
+    """Everything a multi-platform sweep produced.
+
+    Entries are ordered (platform, library, block) — the submission
+    order — and every front inside obeys the canonical Pareto ordering,
+    so two sweeps over the same inputs are comparable byte-for-byte via
+    :meth:`to_json` regardless of worker count or cache temperature.
+    """
+
+    platforms: tuple[str, ...]
+    libraries: tuple[str, ...]
+    blocks: tuple[str, ...]
+    entries: list[SweepEntry]
+    stats: BatchStats
+
+    def entry(self, platform: str, block: str, library: str) -> SweepEntry:
+        """The cell for one (platform, block, library) coordinate."""
+        for e in self.entries:
+            if (e.platform, e.block, e.library) == (platform, block, library):
+                return e
+        raise KeyError((platform, block, library))
+
+    def front(self, platform: str, block: str,
+              library: str) -> tuple[ParetoPoint, ...]:
+        """The Pareto front at one coordinate."""
+        return self.entry(platform, block, library).result.front
+
+    def winners(self, platform: str) -> dict[tuple[str, str], str | None]:
+        """Cycles-projection winners on one platform, keyed (block, library)."""
+        if platform not in self.platforms:
+            raise KeyError(
+                f"platform {platform!r} not in this sweep; "
+                f"swept: {list(self.platforms)}")
+        return {(e.block, e.library): e.winner_name
+                for e in self.entries if e.platform == platform}
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering (the byte-parity comparison form).
+
+        Sorted keys, no whitespace, ``repr``-exact floats; deliberately
+        free of timings, worker counts and cache statistics so that
+        serial/parallel and cold/warm runs of the same sweep serialize
+        identically.
+        """
+        payload = {
+            "platforms": list(self.platforms),
+            "libraries": list(self.libraries),
+            "blocks": list(self.blocks),
+            "entries": [{
+                "platform": e.platform,
+                "library": e.library,
+                "block": e.block,
+                "processor": e.result.platform_name,
+                "winner": e.winner_name,
+                "front": [{
+                    "element": p.element_name,
+                    "element_library": p.library,
+                    "cycles": p.objectives.cycles,
+                    "energy_j": p.objectives.energy_j,
+                    "accuracy": p.objectives.accuracy,
+                } for p in e.result.front],
+            } for e in self.entries],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def format_report(self) -> str:
+        """Per-platform mapping report: every cell's front, readably."""
+        lines: list[str] = []
+        for platform in self.platforms:
+            lines.append(f"== {platform} ==")
+            for e in self.entries:
+                if e.platform != platform:
+                    continue
+                lines.append(f"  {e.block} vs {e.library}: "
+                             f"winner={e.winner_name or '<unmapped>'}")
+                for p in e.result.front:
+                    o = p.objectives
+                    lines.append(f"    - {p.element_name:<28} "
+                                 f"{o.cycles:>12,.0f} cyc  "
+                                 f"{o.energy_j:>10.3e} J  "
+                                 f"err {o.accuracy:.1e}")
+        return "\n".join(lines)
+
+
+def _mapping_ladder() -> list[tuple[str, Library]]:
+    """The paper's mapping passes: (pass name, library) rungs.
+
+    The single construction point for the evaluation ladder —
+    ``run_passes`` prepends the Original (REF-only) rung, the sweep
+    takes the libraries as its defaults — so the two flows cannot
+    drift apart.
+    """
+    return [
+        ("LM + IH mapping",
+         Library.union(reference_library(), linux_math_library(),
+                       inhouse_library())),
+        ("LM + IH + IPP mapping",
+         Library.union(reference_library(), linux_math_library(),
+                       inhouse_library(), ipp_library())),
+    ]
+
+
+def _sweep_library_ladder() -> list[Library]:
+    """The default sweep libraries: the paper's two mapping passes."""
+    return [library for _name, library in _mapping_ladder()]
+
+
+#: Explicit "not passed" marker for sweep knobs that default to the
+#: flow's own configuration (``None`` is a meaningful value for both).
+_UNSET = object()
+
+
 class MethodologyFlow:
     """Drives characterize -> identify -> map on the MP3 decoder.
 
@@ -230,6 +363,74 @@ class MethodologyFlow:
                                **fields)
         return config, chosen
 
+    # -- multi-platform sweep ---------------------------------------------
+    def sweep(self,
+              platforms: "Sequence[str | Badge4] | None" = None,
+              libraries: "Iterable[Library] | None" = None,
+              blocks: "Mapping[str, TargetBlock] | None" = None,
+              *,
+              tolerance: float = 1e-6,
+              accuracy_budget: float = float("inf"),
+              workers=_UNSET,
+              cache_dir=_UNSET) -> SweepReport:
+        """Map every block against every library on every platform.
+
+        The full (block × library × platform) cross-product goes
+        through the batch engine in one submission — deduplicated
+        against both cache tiers, cold remainder fanned across worker
+        processes — and each cell comes back as a Pareto front over
+        (cycles, energy, accuracy), with the scalar cycles winner as
+        its projection.
+
+        ``platforms`` accepts registry keys (strings) and/or live
+        platform objects; the default is every registered processor
+        (SA-1110 first).  ``libraries`` defaults to the paper's ladder
+        (LM+IH, then LM+IH+IPP, both over REF); ``blocks`` to the
+        methodology's complex blocks.  ``workers``/``cache_dir``
+        default to the flow's own configuration.
+        """
+        resolved = DEFAULT_REGISTRY.resolve(platforms)
+        libs = list(libraries) if libraries is not None \
+            else _sweep_library_ladder()
+        duplicates = duplicate_labels(lib.name for lib in libs)
+        if duplicates:
+            # Reports index cells by library name too; a shared name
+            # would silently shadow one library's results (same reason
+            # the registry rejects duplicate platform labels).
+            raise MappingError(
+                f"sweep libraries must have unique names; "
+                f"duplicates: {duplicates}")
+        block_map = dict(blocks if blocks is not None else self._blocks)
+
+        coords: list[tuple[str, Badge4, str, str]] = []
+        items: list[BatchItem] = []
+        for label, platform in resolved:
+            for library in libs:
+                for block_name, block in block_map.items():
+                    coords.append((label, platform, library.name, block_name))
+                    items.append(BatchItem.for_block(
+                        block, library, platform, tolerance=tolerance,
+                        accuracy_budget=accuracy_budget))
+
+        batch = run_batch(
+            items,
+            workers=self.workers if workers is _UNSET else workers,
+            cache_dir=self.cache_dir if cache_dir is _UNSET else cache_dir)
+
+        entries: list[SweepEntry] = []
+        for (label, platform, lib_name, block_name), (_winner, matches) in \
+                zip(coords, batch.results):
+            entries.append(SweepEntry(
+                platform=label, library=lib_name, block=block_name,
+                result=BlockParetoResult.from_matches(block_name, platform,
+                                                      matches)))
+        return SweepReport(
+            platforms=tuple(label for label, _ in resolved),
+            libraries=tuple(lib.name for lib in libs),
+            blocks=tuple(block_map),
+            entries=entries,
+            stats=batch.stats)
+
     def _variant_cycles(self, stage_field: str, variant: str) -> float:
         from repro.library.builtin import _imdct_cost, _synthesis_cost
         if stage_field == "imdct":
@@ -245,16 +446,8 @@ class MethodologyFlow:
         report = FlowReport()
         reference_pcm: np.ndarray | None = None
 
-        ladder = [
-            ("Original", Library.union(reference_library())),
-            ("LM + IH mapping", Library.union(reference_library(),
-                                              linux_math_library(),
-                                              inhouse_library())),
-            ("LM + IH + IPP mapping", Library.union(reference_library(),
-                                                    linux_math_library(),
-                                                    inhouse_library(),
-                                                    ipp_library())),
-        ]
+        ladder = [("Original", Library.union(reference_library()))]
+        ladder += _mapping_ladder()
 
         config = DecoderConfig("Original")
         for pass_name, library in ladder:

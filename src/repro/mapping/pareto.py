@@ -1,0 +1,175 @@
+"""Multi-objective candidate scoring: Pareto fronts over
+(cycles, energy, accuracy).
+
+The paper's ``map_block`` picks one winner — the cheapest-in-cycles
+adequate element.  Across many processors and objectives there is no
+single winner: a hand-optimized fixed-point element may cost the
+fewest cycles while the double-precision reference element is three
+orders of magnitude more accurate, and on a memory-hungry platform a
+third element may burn the least energy.  This module keeps *every*
+non-dominated candidate:
+
+* :class:`Objectives` — one candidate's (cycles, energy_j, accuracy)
+  vector, all minimized, with the standard dominance relation;
+* :func:`score_match` — price a block match on a platform: cycles via
+  the cycle model, Joules via the board's energy model, accuracy from
+  the element's characterized error label;
+* :func:`pareto_front` — the non-dominated subset, deterministically
+  ordered (ascending cycles, ties by energy, accuracy, element name),
+  so serial and parallel sweeps emit byte-identical fronts.
+
+Fronts are *derived*, never cached: the cached ``map_block`` value is
+the platform-priced match list, which depends only on the processor
+spec; energy scoring happens in the calling process on demand, so a
+changed energy model can never be served stale.
+
+>>> a = Objectives(cycles=100.0, energy_j=1e-6, accuracy=1e-3)
+>>> b = Objectives(cycles=200.0, energy_j=2e-6, accuracy=1e-3)
+>>> c = Objectives(cycles=300.0, energy_j=3e-6, accuracy=1e-9)
+>>> a.dominates(b), a.dominates(c), c.dominates(a)
+(True, False, False)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.library.element import LibraryElement
+from repro.mapping.match import BlockMatch
+from repro.platform.badge4 import Badge4
+
+__all__ = ["Objectives", "ParetoPoint", "BlockParetoResult",
+           "score_match", "score_element", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class Objectives:
+    """One candidate's objective vector; every component is minimized.
+
+    ``accuracy`` is the element's characterized maximum absolute error,
+    so *smaller is better* there too — the vector is uniformly
+    minimizing and dominance needs no per-axis direction flags.
+    """
+
+    cycles: float
+    energy_j: float
+    accuracy: float
+
+    def dominates(self, other: "Objectives") -> bool:
+        """Weak dominance with at least one strict improvement."""
+        return (self.cycles <= other.cycles
+                and self.energy_j <= other.energy_j
+                and self.accuracy <= other.accuracy
+                and (self.cycles < other.cycles
+                     or self.energy_j < other.energy_j
+                     or self.accuracy < other.accuracy))
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.cycles, self.energy_j, self.accuracy)
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """A non-dominated candidate: the match plus its scored objectives."""
+
+    match: BlockMatch
+    objectives: Objectives
+
+    @property
+    def element_name(self) -> str:
+        return self.match.element.name
+
+    @property
+    def library(self) -> str:
+        return self.match.element.library
+
+    def __str__(self) -> str:
+        o = self.objectives
+        return (f"{self.element_name}: {o.cycles:.0f} cyc, "
+                f"{o.energy_j:.3g} J, err {o.accuracy:.2g}")
+
+
+@dataclass(frozen=True)
+class BlockParetoResult:
+    """A block's full multi-objective mapping outcome on one platform.
+
+    ``front`` holds the non-dominated points (see :func:`pareto_front`
+    for the ordering guarantee); ``matches`` every adequate match in
+    ``map_block``'s cycles-ascending order, so :attr:`cycles_winner` —
+    the projection the paper's flow uses — reproduces ``map_block``'s
+    scalar winner exactly, tie-breaks included.
+    """
+
+    block_name: str
+    platform_name: str
+    front: tuple[ParetoPoint, ...]
+    matches: tuple[BlockMatch, ...]
+
+    @classmethod
+    def from_matches(cls, block_name: str, platform: Badge4,
+                     matches: Sequence[BlockMatch]) -> "BlockParetoResult":
+        """Derive the front from a platform-priced match list.
+
+        The single construction point for the derived-front contract:
+        both ``map_block_pareto`` and ``MethodologyFlow.sweep`` build
+        their results here, so their fronts cannot drift apart.
+        """
+        scored = [ParetoPoint(m, score_match(m, platform)) for m in matches]
+        return cls(block_name=block_name,
+                   platform_name=platform.processor.name,
+                   front=pareto_front(scored),
+                   matches=tuple(matches))
+
+    @property
+    def cycles_winner(self) -> BlockMatch | None:
+        """The scalar (cycles-only) winner, identical to ``map_block``'s."""
+        return self.matches[0] if self.matches else None
+
+    def point_for(self, element_name: str) -> ParetoPoint:
+        """The front point of ``element_name`` (raises if dominated/absent)."""
+        for point in self.front:
+            if point.element_name == element_name:
+                return point
+        raise KeyError(element_name)
+
+
+def score_element(element: LibraryElement, platform: Badge4) -> Objectives:
+    """Price one element's per-call cost as an objective vector.
+
+    Delegates to the characterization harness — the one pricing
+    convention in the codebase — so Pareto scores can never drift from
+    the tables :func:`repro.library.platform_cost_labels` reports.
+    """
+    from repro.library.characterize import characterize
+    ch = characterize(element, platform)
+    return Objectives(cycles=ch.cycles_per_call,
+                      energy_j=ch.energy_per_call_j,
+                      accuracy=element.accuracy)
+
+
+def score_match(match: BlockMatch, platform: Badge4) -> Objectives:
+    """Objective vector of a block match (the matched element's prices)."""
+    return score_element(match.element, platform)
+
+
+def pareto_front(scored: Iterable[ParetoPoint]) -> tuple[ParetoPoint, ...]:
+    """The non-dominated subset of ``scored``, canonically ordered.
+
+    Duplicated objective vectors are both kept (neither strictly
+    dominates); ordering is ascending (cycles, energy, accuracy,
+    element name), so the front's first entry is the fewest-cycles
+    *non-dominated* candidate and the whole tuple is independent of
+    input order — the byte-parity guarantee the sweep tests pin down.
+    Note the scalar projection is a separate contract: on an exact
+    (cycles, energy) tie the scalar winner — map_block's name-tiebreak
+    choice — can itself be dominated by a more accurate twin and drop
+    off the front; :attr:`BlockParetoResult.cycles_winner` preserves
+    the scalar answer regardless.
+    """
+    points = sorted(scored, key=lambda p: (*p.objectives.as_tuple(),
+                                           p.element_name))
+    front = [p for p in points
+             if not any(q.objectives.dominates(p.objectives)
+                        for q in points if q is not p)]
+    return tuple(front)

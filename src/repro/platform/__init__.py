@@ -1,24 +1,43 @@
-"""``repro.platform`` — the Badge4 hardware substitute.
+"""``repro.platform`` — the target-hardware substitute.
 
 Deterministic cycle/energy cost models of the StrongARM SA-1110 (no
 FPU), the Badge4 energy chain (core + memory + DC-DC), DVFS operating
 points, and a function-level profiler that renders the paper's profile
-tables.
+tables — plus a pluggable processor registry (:mod:`repro.platform.registry`)
+carrying ARM7TDMI-class, ARM926-class and generic-DSP targets for the
+multi-platform mapping sweep.
 """
 
-from repro.platform.badge4 import BADGE4_COMPONENTS, Badge4, Component
+from repro.platform.badge4 import (BADGE4_COMPONENTS, Badge4, Component,
+                                   Platform)
 from repro.platform.dvfs import (SA1110_OPERATING_POINTS, DvfsDecision,
-                                 DvfsGovernor, OperatingPoint)
-from repro.platform.energy import BADGE4_ENERGY, EnergyModel
-from repro.platform.processor import SA1110, SA1110_COSTS, CostModel, ProcessorSpec
+                                 DvfsGovernor, OperatingPoint, scaled_ladder)
+from repro.platform.energy import (ARM7TDMI_ENERGY, ARM926_ENERGY,
+                                   BADGE4_ENERGY, GENERIC_DSP_ENERGY,
+                                   EnergyModel)
+from repro.platform.processor import (ARM7TDMI, ARM7TDMI_COSTS, ARM926,
+                                      ARM926_COSTS, GENERIC_DSP,
+                                      GENERIC_DSP_COSTS, SA1110,
+                                      SA1110_COSTS, CostModel, ProcessorSpec)
 from repro.platform.profiler import ProfileReport, ProfileRow, Profiler
+from repro.platform.registry import (DEFAULT_REGISTRY, PlatformEntry,
+                                     ProcessorRegistry, get_processor,
+                                     platform_named, register_processor,
+                                     registered_processors)
 from repro.platform.tally import OperationTally
 
 __all__ = [
     "OperationTally",
-    "ProcessorSpec", "CostModel", "SA1110", "SA1110_COSTS",
-    "EnergyModel", "BADGE4_ENERGY",
+    "ProcessorSpec", "CostModel",
+    "SA1110", "SA1110_COSTS", "ARM7TDMI", "ARM7TDMI_COSTS",
+    "ARM926", "ARM926_COSTS", "GENERIC_DSP", "GENERIC_DSP_COSTS",
+    "EnergyModel", "BADGE4_ENERGY", "ARM7TDMI_ENERGY", "ARM926_ENERGY",
+    "GENERIC_DSP_ENERGY",
     "OperatingPoint", "SA1110_OPERATING_POINTS", "DvfsGovernor", "DvfsDecision",
+    "scaled_ladder",
     "Profiler", "ProfileRow", "ProfileReport",
-    "Badge4", "Component", "BADGE4_COMPONENTS",
+    "Badge4", "Platform", "Component", "BADGE4_COMPONENTS",
+    "ProcessorRegistry", "PlatformEntry", "DEFAULT_REGISTRY",
+    "register_processor", "get_processor", "platform_named",
+    "registered_processors",
 ]

@@ -13,12 +13,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.platform.dvfs import SA1110_OPERATING_POINTS, DvfsGovernor
+from repro.platform.dvfs import (SA1110_OPERATING_POINTS, DvfsGovernor,
+                                 scaled_ladder)
 from repro.platform.energy import BADGE4_ENERGY, EnergyModel
 from repro.platform.processor import SA1110, CostModel, ProcessorSpec
 from repro.platform.profiler import Profiler
 
-__all__ = ["Component", "Badge4", "BADGE4_COMPONENTS"]
+__all__ = ["Component", "Badge4", "Platform", "BADGE4_COMPONENTS"]
 
 
 @dataclass(frozen=True)
@@ -59,21 +60,46 @@ class Badge4:
 
     def __post_init__(self) -> None:
         self.cost_model = CostModel(self.processor)
-        self.governor = DvfsGovernor(self.cost_model, self.energy)
+        if self.processor == SA1110:     # value-equal: unpickled SA-1110
+            self._ladder = SA1110_OPERATING_POINTS   # specs qualify too
+        else:
+            # Registry targets: same first-order DVFS shape, scaled to
+            # this core's clock and this board's nominal voltage.
+            self._ladder = scaled_ladder(self.processor.clock_hz,
+                                         self.energy.nominal_voltage)
+            if self.components is BADGE4_COMPONENTS:
+                # The default inventory names the SA-1110 as its CPU
+                # block; keep the board, swap the processor entry so
+                # describe() cannot contradict the spec.
+                self.components = tuple(
+                    Component(self.processor.name, "processor",
+                              self.processor.description
+                              or f"{self.processor.clock_hz / 1e6:.1f} MHz core")
+                    if comp.kind == "processor" else comp
+                    for comp in BADGE4_COMPONENTS)
+        self.governor = DvfsGovernor(self.cost_model, self.energy,
+                                     self._ladder)
 
     def profiler(self) -> Profiler:
         """A fresh profiler wired to this platform's models."""
         return Profiler(self.cost_model, self.energy)
 
     def operating_points(self):
-        """The DVFS ladder (slowest first)."""
-        return SA1110_OPERATING_POINTS
+        """This platform's DVFS ladder (slowest first)."""
+        return self._ladder
 
     def describe(self) -> str:
         """Render the Figure-1 block inventory as text."""
-        lines = ["Badge4 (SmartBadge IV) architecture — Figure 1",
+        lines = [f"{self.processor.name} platform — Figure-1 style inventory",
                  f"  CPU: {self.processor.name} @ {self.processor.clock_hz / 1e6:.1f} MHz"
                  f" (FPU: {'yes' if self.processor.has_fpu else 'no — soft float'})"]
         for comp in self.components:
             lines.append(f"  [{comp.kind:>9}] {comp.name}: {comp.detail}")
         return "\n".join(lines)
+
+
+#: The generic name for the platform container.  ``Badge4`` predates
+#: the processor registry; with pluggable specs the same class carries
+#: any registered target (``Badge4(processor=ARM926, energy=...)``), so
+#: multi-platform code reads better against this alias.
+Platform = Badge4

@@ -23,7 +23,7 @@ from repro.platform.processor import CostModel
 from repro.platform.tally import OperationTally
 
 __all__ = ["OperatingPoint", "SA1110_OPERATING_POINTS", "DvfsGovernor",
-           "DvfsDecision"]
+           "DvfsDecision", "scaled_ladder"]
 
 
 @dataclass(frozen=True)
@@ -52,6 +52,27 @@ def _sa1110_ladder() -> tuple[OperatingPoint, ...]:
 
 #: SA-1110 operating points, slowest first.
 SA1110_OPERATING_POINTS = _sa1110_ladder()
+
+
+def scaled_ladder(clock_hz: float, v_max: float) -> tuple[OperatingPoint, ...]:
+    """An SA-1110-shaped DVFS ladder scaled to another core.
+
+    Registry targets other than the SA-1110 have no published CCF
+    table; the standard first-order model still applies, so their
+    ladder reuses the SA-1110's relative frequency steps scaled to the
+    core's clock, with the same ~0.65 minimum-voltage fraction of
+    ``v_max`` (the board's nominal voltage) linearly interpolated.
+    """
+    ref = SA1110_OPERATING_POINTS
+    f_min_ref, f_max_ref = ref[0].clock_hz, ref[-1].clock_hz
+    v_min = v_max * (ref[0].voltage / ref[-1].voltage)
+    points = []
+    for point in ref:
+        frac = (point.clock_hz - f_min_ref) / (f_max_ref - f_min_ref)
+        points.append(OperatingPoint(
+            clock_hz * point.clock_hz / f_max_ref,
+            round(v_min + (v_max - v_min) * frac, 3)))
+    return tuple(points)
 
 
 @dataclass(frozen=True)

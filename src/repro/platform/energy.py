@@ -26,7 +26,8 @@ from repro.errors import PlatformError
 from repro.platform.processor import CostModel, ProcessorSpec, SA1110
 from repro.platform.tally import OperationTally
 
-__all__ = ["EnergyModel", "BADGE4_ENERGY"]
+__all__ = ["EnergyModel", "BADGE4_ENERGY", "ARM7TDMI_ENERGY",
+           "ARM926_ENERGY", "GENERIC_DSP_ENERGY"]
 
 
 @dataclass(frozen=True)
@@ -70,8 +71,15 @@ class EnergyModel:
     def energy(self, tally: OperationTally, cost_model: CostModel,
                voltage: float | None = None,
                clock_hz: float | None = None) -> float:
-        """Energy in Joules to execute ``tally`` at an operating point."""
-        f = clock_hz if clock_hz is not None else self.nominal_clock_hz
+        """Energy in Joules to execute ``tally`` at an operating point.
+
+        The clock defaults to the *processor's* clock, not this model's
+        nominal point: a board may pair an energy model quoted at one
+        frequency with a spec that runs at another (the registry's
+        fallback board does exactly that), and the work is executed at
+        the spec's clock — ``core_power`` scales the quoted power to it.
+        """
+        f = clock_hz if clock_hz is not None else cost_model.spec.clock_hz
         seconds = cost_model.seconds(tally, clock_hz=f)
         compute = (self.core_power(voltage, f) + self.static_power_w) * seconds
         memory = (tally.load + tally.store) * self.mem_energy_per_access_j
@@ -91,3 +99,38 @@ class EnergyModel:
 
 #: Default Badge4 energy model.
 BADGE4_ENERGY = EnergyModel()
+
+#: ARM7TDMI-class board: an older, higher-voltage process, so the core
+#: burns more per cycle than its clock suggests; uncached external
+#: memory makes each access pricier.
+ARM7TDMI_ENERGY = EnergyModel(
+    core_power_max_w=0.045,
+    nominal_voltage=1.8,
+    nominal_clock_hz=66.0e6,
+    static_power_w=0.020,
+    mem_energy_per_access_j=2.2e-9,
+    dcdc_efficiency=0.85,
+)
+
+#: ARM926EJ-S-class board: a newer low-voltage process with cached
+#: memory — cheaper per cycle and per access than the SA-1110.
+ARM926_ENERGY = EnergyModel(
+    core_power_max_w=0.090,
+    nominal_voltage=1.2,
+    nominal_clock_hz=200.0e6,
+    static_power_w=0.030,
+    mem_energy_per_access_j=1.2e-9,
+    dcdc_efficiency=0.88,
+)
+
+#: Generic fixed-point DSP board: frugal datapaths and on-chip RAM —
+#: by far the cheapest per access — but the whole advantage evaporates
+#: if the code leaves doubles in the hot loop.
+GENERIC_DSP_ENERGY = EnergyModel(
+    core_power_max_w=0.120,
+    nominal_voltage=1.5,
+    nominal_clock_hz=160.0e6,
+    static_power_w=0.012,
+    mem_energy_per_access_j=0.8e-9,
+    dcdc_efficiency=0.90,
+)

@@ -26,7 +26,9 @@ from typing import Mapping
 from repro.errors import PlatformError
 from repro.platform.tally import OperationTally
 
-__all__ = ["ProcessorSpec", "CostModel", "SA1110", "SA1110_COSTS"]
+__all__ = ["ProcessorSpec", "CostModel", "SA1110", "SA1110_COSTS",
+           "ARM7TDMI", "ARM7TDMI_COSTS", "ARM926", "ARM926_COSTS",
+           "GENERIC_DSP", "GENERIC_DSP_COSTS"]
 
 
 @dataclass(frozen=True)
@@ -111,6 +113,113 @@ SA1110 = ProcessorSpec(
         "single-issue integer core, early-terminating multiplier, "
         "no FPU (soft-float), no hardware divide."
     ),
+)
+
+
+def _scaled_libm(base: Mapping[str, float], factor: float) -> dict[str, float]:
+    """A libm price table scaled from a reference one.
+
+    The transcendental routines are the same soft-float code on every
+    FPU-less core; what changes between processors is how fast that
+    code's multiply/shift mix runs, which a single factor captures to
+    the fidelity this model needs.
+    """
+    return {name: round(cost * factor) for name, cost in base.items()}
+
+
+#: ARM7TDMI-class per-operation cycle costs.  Three-stage pipeline, a
+#: 32x8 Booth multiplier (2-5 cycles; we use 4, MAC 5), no cache
+#: assumption beyond slow single-port memory, no FPU, no divider.
+ARM7TDMI_COSTS: dict[str, float] = {
+    "int_alu": 1.0,
+    "int_mul": 4.0,      # 32x8 Booth steps, early termination averaged
+    "int_mac": 5.0,      # MLA adds a cycle over MUL
+    "int_div": 90.0,     # software divide, no CLZ to speed normalization
+    "shift": 1.0,        # barrel shifter folded into the ALU path
+    "fp_add": 480.0,     # soft-double add (slower multiplier tax)
+    "fp_mul": 700.0,     # soft-double multiply leans hard on the 8-bit Booth
+    "fp_div": 2900.0,
+    "load": 3.0,         # non-sequential memory access
+    "store": 2.0,
+    "branch": 3.0,       # 3-stage refill
+    "call": 10.0,
+}
+
+#: ARM7TDMI-class embedded core (the pre-StrongARM generation).
+ARM7TDMI = ProcessorSpec(
+    name="ARM7TDMI",
+    clock_hz=66.0e6,
+    has_fpu=False,
+    cycle_costs=ARM7TDMI_COSTS,
+    libm_costs=_scaled_libm(_SA1110_LIBM, 1.3),
+    libm_default=10000.0,
+    description=(
+        "ARM7TDMI-class core @ 66 MHz: 3-stage pipeline, 32x8 Booth "
+        "multiplier, no cache, no FPU, no hardware divide."),
+)
+
+#: ARM926EJ-S-class per-operation cycle costs.  Five-stage pipeline,
+#: Harvard caches, single-cycle 32x16 DSP-extension MAC, CLZ-assisted
+#: software division; still no FPU.
+ARM926_COSTS: dict[str, float] = {
+    "int_alu": 1.0,
+    "int_mul": 2.0,      # 32x16 pipelined multiplier
+    "int_mac": 1.0,      # single-cycle MAC (the ARM9E DSP extension)
+    "int_div": 35.0,     # software divide with CLZ normalization
+    "shift": 1.0,
+    "fp_add": 400.0,
+    "fp_mul": 460.0,     # faster multiplier narrows the soft-float gap
+    "fp_div": 2200.0,
+    "load": 1.0,         # Harvard I/D caches hide most latency
+    "store": 1.0,
+    "branch": 3.0,       # 5-stage mispredict refill
+    "call": 6.0,
+}
+
+#: ARM926EJ-S-class applications core (the post-StrongARM generation).
+ARM926 = ProcessorSpec(
+    name="ARM926EJ-S",
+    clock_hz=200.0e6,
+    has_fpu=False,
+    cycle_costs=ARM926_COSTS,
+    libm_costs=_scaled_libm(_SA1110_LIBM, 0.85),
+    libm_default=7000.0,
+    description=(
+        "ARM926EJ-S-class core @ 200 MHz: 5-stage pipeline, Harvard "
+        "caches, single-cycle DSP MAC, CLZ divide assist, no FPU."),
+)
+
+#: Generic fixed-point DSP per-operation cycle costs.  Dual MAC-capable
+#: datapaths and dual data buses make integer/fixed-point work nearly
+#: free; IEEE doubles are emulated miserably; control flow pays a deep
+#: exposed pipeline.
+GENERIC_DSP_COSTS: dict[str, float] = {
+    "int_alu": 0.5,      # dual ALUs: two ops per cycle sustained
+    "int_mul": 1.0,
+    "int_mac": 0.5,      # dual single-cycle MAC units
+    "int_div": 18.0,     # iterative divide step instruction
+    "shift": 0.5,
+    "fp_add": 700.0,     # IEEE soft-double on a 16/32-bit datapath
+    "fp_mul": 950.0,
+    "fp_div": 4200.0,
+    "load": 0.5,         # dual data buses, on-chip RAM
+    "store": 0.5,
+    "branch": 5.0,       # deep exposed pipeline, no predictor
+    "call": 12.0,
+}
+
+#: A generic fixed-point DSP of the SmartBadge era (C55x/Blackfin-ish).
+GENERIC_DSP = ProcessorSpec(
+    name="Generic fixed-point DSP",
+    clock_hz=160.0e6,
+    has_fpu=False,
+    cycle_costs=GENERIC_DSP_COSTS,
+    libm_costs=_scaled_libm(_SA1110_LIBM, 1.8),
+    libm_default=15000.0,
+    description=(
+        "Generic fixed-point DSP @ 160 MHz: dual MAC/ALU datapaths and "
+        "dual data buses, iterative divide, deep pipeline, no FPU — "
+        "IEEE doubles are punitively emulated."),
 )
 
 

@@ -160,3 +160,21 @@ class TestElementSerialization:
         lib = full_library()
         elements = pickle.loads(pickle.dumps(tuple(lib)))
         assert [e.name for e in elements] == [e.name for e in lib]
+
+    def test_copies_keep_closure_kernels_only_pickles_shed_them(self):
+        """__getstate__'s kernel-drop is a *pickle* contract; plain
+        copies must keep the callable (the copy module also routes
+        through __getstate__ unless copying is implemented directly)."""
+        import copy
+        element = LibraryElement(
+            name="lam", library="IH",
+            polynomials=(Polynomial.variable("in0") ** 2,),
+            input_format="q", output_format="q", accuracy=0.0,
+            cost=OperationTally(int_mul=1), kernel=lambda v: v * v)
+        assert copy.copy(element).kernel(3) == 9
+        deep = copy.deepcopy(element)
+        assert deep.kernel(4) == 16
+        assert deep.cost is not element.cost   # still a deep copy
+        # Shared references stay shared (memo protocol respected).
+        pair = copy.deepcopy({"a": element, "b": element})
+        assert pair["a"] is pair["b"]

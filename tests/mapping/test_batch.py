@@ -3,27 +3,20 @@
 import pytest
 
 import repro.mapping.batch as batch_mod
-import repro.mapping.cache as cache_mod
-from repro.library import Library, LibraryElement, full_library
+from repro.library import Library, full_library
 from repro.library.builtin import (inhouse_library, linux_math_library,
                                    reference_library)
 from repro.mapping import (BatchItem, clear_mapping_caches, decompose,
                            map_block, mapping_cache_stats, run_batch)
 from repro.mapping.flow import _imdct_block, _matrixing_block
-from repro.platform import Badge4, OperationTally
-from repro.symalg import Polynomial, symbols
+from repro.platform import Badge4
+from repro.symalg import symbols
 
 x, y = symbols("x y")
 PLATFORM = Badge4()
 
 
-def _demo_library():
-    i0 = Polynomial.variable("in0")
-    i1 = Polynomial.variable("in1")
-    return Library("demo", [LibraryElement(
-        name="sq2y", library="IH", polynomials=(i0 ** 2 - 2 * i1,),
-        input_format="q", output_format="q", accuracy=1e-9,
-        cost=OperationTally(int_mul=1, int_alu=1))])
+from .conftest import demo_mapping_library as _demo_library
 
 
 def _work_items():
@@ -55,15 +48,8 @@ def _comparable(result):
 
 
 @pytest.fixture(autouse=True)
-def _isolated_caches(monkeypatch):
-    """Cold in-memory caches, disk tier off, regardless of the host env."""
-    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
-    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
-    cache_mod.configure(None)
-    clear_mapping_caches()
+def _isolated_caches(isolated_cache_env):
     yield
-    clear_mapping_caches()
-    cache_mod.configure(follow_env=True)
 
 
 class TestSerialBatch:
@@ -128,10 +114,11 @@ class TestParallelBatch:
         assert report.stats.serial_jobs == 1
         assert report.stats.parallel_jobs == 0
 
-    def test_workers_use_the_callers_cache_dir(self, tmp_path,
-                                               monkeypatch):
-        """Per-call cache_dir reaches the workers, not just the parent:
-        parallel and serial runs must populate the same disk tier."""
+    def test_parallel_results_land_in_the_callers_cache_dir(
+            self, tmp_path, monkeypatch):
+        """Worker-computed values are merged into the caller's tier by
+        the parent (exactly once — workers never write disk), and the
+        env-configured tier is not touched when cache_dir overrides."""
         override = tmp_path / "override-tier"
         decoy = tmp_path / "decoy-tier"
         monkeypatch.setenv("REPRO_CACHE_DIR", str(decoy))
@@ -144,9 +131,11 @@ class TestParallelBatch:
         assert report.stats.parallel_jobs == 2
         assert (override / "mapping_cache.sqlite").exists()
         assert not decoy.exists()
+        from repro.mapping.cache import _tier_at
+        assert _tier_at(str(override)).writes == len(items)  # once each
 
     def test_unpicklable_item_falls_back_to_serial(self, monkeypatch):
-        def refuse(item, lib_blobs, cache_dir):
+        def refuse(item, lib_blobs):
             raise TypeError("cannot pickle this work item")
         monkeypatch.setattr(batch_mod, "_pack_job", refuse)
         items = [

@@ -15,11 +15,12 @@ import pytest
 
 import repro
 import repro.mapping.cache as cache_mod
+from repro.frontend.extract import TargetBlock
 from repro.library import Library, LibraryElement
 from repro.mapping import (cache_stats, clear_all, clear_mapping_caches,
-                           decompose)
+                           decompose, map_block)
 from repro.mapping.cache import DiskCache, stable_digest
-from repro.platform import Badge4, OperationTally
+from repro.platform import Badge4, OperationTally, ProcessorSpec
 from repro.symalg import Polynomial, symbols
 
 x, y = symbols("x y")
@@ -29,24 +30,12 @@ TARGET = x + x ** 3 * y ** 2 - 2 * x * y ** 3
 _SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
 
 
-def _demo_library():
-    i0 = Polynomial.variable("in0")
-    i1 = Polynomial.variable("in1")
-    return Library("demo", [LibraryElement(
-        name="sq2y", library="IH", polynomials=(i0 ** 2 - 2 * i1,),
-        input_format="q", output_format="q", accuracy=1e-9,
-        cost=OperationTally(int_mul=1, int_alu=1))])
+from .conftest import demo_mapping_library as _demo_library
 
 
 @pytest.fixture(autouse=True)
-def _isolated(monkeypatch):
-    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
-    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
-    cache_mod.configure(None)
-    clear_mapping_caches()
+def _isolated(isolated_cache_env):
     yield
-    clear_mapping_caches()
-    cache_mod.configure(follow_env=True)
 
 
 class TestStableDigest:
@@ -179,6 +168,84 @@ class TestDecomposeThroughTheTier:
         clear_mapping_caches()
         decompose(TARGET, _demo_library(), PLATFORM)
         assert tier.hits == 0                  # truly cold again
+
+
+def _mac_block() -> TargetBlock:
+    """A one-output block (a*b + c) both rival elements match exactly."""
+    a, b, c = symbols("a b c")
+    return TargetBlock(name="mini", outputs={"out": a * b + c},
+                       input_variables=("a", "b", "c"))
+
+
+def _rival_library() -> Library:
+    """Two elements computing the same polynomial with opposite cost
+    profiles, so the winner depends entirely on the platform's table."""
+    i0, i1, i2 = (Polynomial.variable(n) for n in ("in0", "in1", "in2"))
+    poly = i0 * i1 + i2
+    return Library("rivals", [
+        LibraryElement(name="mac_style", library="IH", polynomials=(poly,),
+                       input_format="q", output_format="q", accuracy=1e-9,
+                       cost=OperationTally(int_mac=1)),
+        LibraryElement(name="fp_style", library="REF", polynomials=(poly,),
+                       input_format="double", output_format="double",
+                       accuracy=1e-9, cost=OperationTally(fp_add=1)),
+    ])
+
+
+def _spec(name: str, **overrides) -> ProcessorSpec:
+    costs = {"int_alu": 1.0, "int_mul": 2.0, "int_mac": 3.0,
+             "int_div": 70.0, "shift": 1.0, "fp_add": 420.0,
+             "fp_mul": 560.0, "fp_div": 2400.0, "load": 2.0,
+             "store": 1.0, "branch": 2.0, "call": 8.0}
+    costs.update(overrides)
+    return ProcessorSpec(name=name, clock_hz=100e6, has_fpu=False,
+                         cycle_costs=costs, libm_costs={})
+
+
+class TestPlatformIdentityInvalidation:
+    """The fingerprint must cover platform identity: a changed cost
+    table (or a schema bump) can never serve a stale cached winner."""
+
+    def test_changed_cost_table_never_serves_stale_winner(self, tmp_path):
+        tier = cache_mod.configure(tmp_path)
+        block, library = _mac_block(), _rival_library()
+
+        cheap_mac = Badge4(processor=_spec("core-v1"))
+        winner, _ = map_block(block, library, cheap_mac)
+        assert winner.element.name == "mac_style"
+        assert tier.writes == 1
+
+        # Same processor name, edited table: the MAC is now punitive.
+        # A platform fingerprint that ignored the table would hit the
+        # stale entry and keep the mac_style winner.
+        clear_mapping_caches()
+        dear_mac = Badge4(processor=_spec("core-v1", int_mac=10000.0,
+                                          fp_add=1.0))
+        winner2, _ = map_block(block, library, dear_mac)
+        assert winner2.element.name == "fp_style"
+        assert tier.writes == 2                # recomputed, not served
+
+        # Both entries now coexist; each table still gets its own.
+        clear_mapping_caches()
+        again, _ = map_block(block, library, cheap_mac)
+        assert again.element.name == "mac_style"
+        assert tier.writes == 2                # served from disk this time
+
+    def test_schema_bump_never_serves_stale_winner(self, tmp_path,
+                                                   monkeypatch):
+        tier = cache_mod.configure(tmp_path)
+        block, library = _mac_block(), _rival_library()
+        platform = Badge4(processor=_spec("core-v1"))
+
+        map_block(block, library, platform)
+        assert tier.writes == 1
+        clear_mapping_caches()
+        monkeypatch.setattr(cache_mod, "SCHEMA_VERSION",
+                            cache_mod.SCHEMA_VERSION + 1)
+        winner, _ = map_block(block, library, platform)
+        assert winner.element.name == "mac_style"
+        assert tier.hits == 0                  # old-world entry invisible
+        assert tier.writes == 2                # recomputed and re-stored
 
 
 #: Runs the demo decomposition in a fresh interpreter.  When EXPECT_WARM

@@ -1,0 +1,169 @@
+"""Tests for the pluggable processor registry."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform import (ARM7TDMI, ARM7TDMI_ENERGY, ARM926, GENERIC_DSP,
+                            SA1110, Badge4, EnergyModel, OperationTally,
+                            ProcessorRegistry, ProcessorSpec, get_processor,
+                            platform_named, registered_processors)
+from repro.platform.registry import DEFAULT_REGISTRY
+
+
+class TestDefaultRegistry:
+    def test_ships_at_least_four_targets(self):
+        assert len(DEFAULT_REGISTRY) >= 4
+
+    def test_sa1110_is_first_and_default(self):
+        assert registered_processors()[0] == "SA-1110"
+        assert get_processor("SA-1110").spec is SA1110
+        # The default platform object is still the paper's target.
+        assert Badge4().processor is SA1110
+
+    def test_builtin_specs_have_distinct_cost_tables(self):
+        specs = [SA1110, ARM7TDMI, ARM926, GENERIC_DSP]
+        tables = {tuple(sorted(s.cycle_costs.items())) for s in specs}
+        assert len(tables) == len(specs)
+        libms = {tuple(sorted(s.libm_costs.items())) for s in specs}
+        assert len(libms) == len(specs)
+
+    def test_every_entry_instantiates_a_working_platform(self):
+        tally = OperationTally(int_mac=10, fp_mul=3, load=5)
+        tally.libm("pow", 2)
+        cycles = {}
+        energy = {}
+        for key in registered_processors():
+            platform = platform_named(key)
+            cycles[key] = platform.cost_model.cycles(tally)
+            energy[key] = platform.energy.energy(tally,
+                                                 platform.cost_model)
+            assert cycles[key] > 0
+            assert energy[key] > 0
+        # Distinct tables produce distinct prices for the same tally.
+        assert len(set(cycles.values())) == len(cycles)
+        assert len(set(energy.values())) == len(energy)
+
+    def test_platform_named_wires_the_registered_energy_model(self):
+        entry = get_processor("ARM926")
+        platform = platform_named("ARM926")
+        assert platform.processor is entry.spec
+        assert platform.energy is entry.energy
+        assert platform.energy is not Badge4().energy
+
+    def test_unknown_key_raises_with_known_keys_listed(self):
+        with pytest.raises(PlatformError, match="SA-1110"):
+            platform_named("Z80")
+
+    def test_relative_order_dsp_mac_cheapest_arm7_mul_dearest(self):
+        mac = OperationTally(int_mac=1000)
+        prices = {key: platform_named(key).cost_model.cycles(mac)
+                  for key in ("SA-1110", "ARM7TDMI", "ARM926", "DSP")}
+        assert prices["DSP"] < prices["ARM926"] < prices["SA-1110"] \
+            < prices["ARM7TDMI"]
+
+
+class TestCustomRegistration:
+    def _spec(self, name="custom-core"):
+        return ProcessorSpec(
+            name=name, clock_hz=100e6, has_fpu=True,
+            cycle_costs={k: 1.0 for k in
+                         ("int_alu", "int_mul", "int_mac", "int_div",
+                          "shift", "fp_add", "fp_mul", "fp_div", "load",
+                          "store", "branch", "call")},
+            libm_costs={"pow": 50.0})
+
+    def test_register_get_platform_roundtrip(self):
+        registry = ProcessorRegistry()
+        registry.register("custom", self._spec(),
+                          EnergyModel(core_power_max_w=0.2))
+        assert "custom" in registry
+        platform = registry.platform("custom")
+        assert platform.processor.name == "custom-core"
+        assert platform.energy.core_power_max_w == 0.2
+
+    def test_duplicate_key_raises_unless_replace(self):
+        registry = ProcessorRegistry()
+        registry.register("c", self._spec())
+        with pytest.raises(PlatformError, match="already registered"):
+            registry.register("c", self._spec("other"))
+        registry.register("c", self._spec("other"), replace=True)
+        assert registry.get("c").spec.name == "other"
+
+    def test_registration_order_is_iteration_order(self):
+        registry = ProcessorRegistry()
+        for key in ("b", "a", "c"):
+            registry.register(key, self._spec(key))
+        assert registry.names() == ["b", "a", "c"]
+        assert [e.key for e in registry] == ["b", "a", "c"]
+
+    def test_default_energy_is_the_badge_board(self):
+        from repro.platform import BADGE4_ENERGY
+        registry = ProcessorRegistry()
+        entry = registry.register("bare", self._spec())
+        assert entry.energy is BADGE4_ENERGY
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(PlatformError):
+            ProcessorRegistry().register("", self._spec())
+
+    def test_resolve_mixes_keys_and_objects_consistently(self):
+        resolved = DEFAULT_REGISTRY.resolve(["ARM926", Badge4()])
+        assert [label for label, _ in resolved] == ["ARM926", "SA-1110"]
+        resolved_all = DEFAULT_REGISTRY.resolve(None)
+        assert [label for label, _ in resolved_all] == \
+            registered_processors()
+
+    def test_label_for_unregistered_spec_falls_back_to_name(self):
+        platform = Badge4(processor=self._spec("one-off"))
+        assert DEFAULT_REGISTRY.label_for(platform) == "one-off"
+
+    def test_resolve_rejects_duplicate_labels(self):
+        """Two boards resolving to one label would silently conflate
+        their results in every label-indexed report."""
+        from repro.platform import ARM926, ARM926_ENERGY, GENERIC_DSP_ENERGY
+        board_a = Badge4(processor=ARM926, energy=GENERIC_DSP_ENERGY)
+        board_b = Badge4(processor=ARM926, energy=ARM7TDMI_ENERGY)
+        with pytest.raises(PlatformError, match="duplicate"):
+            DEFAULT_REGISTRY.resolve([board_a, board_b])
+        with pytest.raises(PlatformError, match="duplicate"):
+            DEFAULT_REGISTRY.resolve(["SA-1110", Badge4()])
+
+    def test_label_for_customized_energy_never_borrows_the_key(self):
+        """A registered spec on a different board prices differently,
+        so it must not be reported under the registry entry's key."""
+        from repro.platform import GENERIC_DSP_ENERGY
+        hybrid = Badge4(energy=GENERIC_DSP_ENERGY)
+        assert DEFAULT_REGISTRY.label_for(hybrid) == "StrongARM SA-1110"
+        assert DEFAULT_REGISTRY.label_for(Badge4()) == "SA-1110"
+
+    def test_registry_platforms_are_self_consistent(self):
+        """A non-SA-1110 platform's ladder tops out at its own clock
+        and its inventory names its own processor — no SA-1110 leakage."""
+        for key in ("ARM7TDMI", "ARM926", "DSP"):
+            platform = platform_named(key)
+            points = platform.operating_points()
+            assert points[-1].clock_hz == platform.processor.clock_hz
+            assert points[-1].voltage == platform.energy.nominal_voltage
+            assert platform.governor.points == points
+            text = platform.describe()
+            assert "StrongARM" not in text
+            assert platform.processor.name in text
+
+    def test_sa1110_platform_keeps_the_published_ladder(self):
+        from repro.platform import SA1110_OPERATING_POINTS
+        assert Badge4().operating_points() is SA1110_OPERATING_POINTS
+
+    def test_energy_priced_at_the_spec_clock_not_the_board_nominal(self):
+        """A registered spec paired with the fallback board model must
+        burn energy at the spec's clock: same work, 300 MHz vs 206.4
+        MHz nominal, means less time under static power."""
+        from repro.platform import BADGE4_ENERGY, CostModel
+        spec = self._spec()                      # 100 MHz, fallback board
+        tally = OperationTally(int_alu=10**6)
+        energy = BADGE4_ENERGY.energy(tally, CostModel(spec))
+        explicit = BADGE4_ENERGY.energy(tally, CostModel(spec),
+                                        clock_hz=spec.clock_hz)
+        assert energy == explicit
+        nominal = BADGE4_ENERGY.energy(tally, CostModel(spec),
+                                       clock_hz=BADGE4_ENERGY.nominal_clock_hz)
+        assert energy != nominal

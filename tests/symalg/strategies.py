@@ -43,6 +43,27 @@ def nonzero_polynomials(draw, max_terms: int = 6):
     return poly
 
 
+#: Exponents for Groebner-sized inputs: total degree stays <= 6, which
+#: keeps Buchberger well inside the work limits on random ideals.
+small_exponent_tuples = st.tuples(
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=2),
+)
+
+
+@st.composite
+def ideal_polynomials(draw, max_terms: int = 3):
+    """A small random polynomial sized for Groebner-basis ideals."""
+    n_terms = draw(st.integers(min_value=1, max_value=max_terms))
+    terms = {}
+    for _ in range(n_terms):
+        exps = draw(small_exponent_tuples)
+        coeff = draw(coefficients)
+        terms[exps] = terms.get(exps, Fraction(0)) + coeff
+    return Polynomial(VARIABLES, terms)
+
+
 evaluation_points = st.fixed_dictionaries({
     "x": st.fractions(min_value=Fraction(-5), max_value=Fraction(5), max_denominator=4),
     "y": st.fractions(min_value=Fraction(-5), max_value=Fraction(5), max_denominator=4),

@@ -1,15 +1,102 @@
-"""Hypothesis property tests: the polynomial ring axioms and friends."""
+"""Hypothesis property tests: the polynomial ring axioms, the packed
+monomial encoding, and friends."""
 
 from fractions import Fraction
 
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.symalg import Polynomial, symbols
+from repro.symalg.monomials import (coprime, degree, divides, guard_mask,
+                                    lcm, pack, remap, remap_table, unpack)
 
 from .strategies import evaluation_points, polynomials
 
 settings.register_profile("symalg", max_examples=60, deadline=None)
 settings.load_profile("symalg")
+
+#: Random exponent vectors for the packed-monomial suite.  Exponents
+#: range far beyond anything polynomials produce but stay below the
+#: per-field guard bit at 2**(SHIFT-1), the encoding's stated domain.
+exponents = st.integers(min_value=0, max_value=1 << 20)
+frame_sizes = st.integers(min_value=1, max_value=6)
+
+
+@st.composite
+def exponent_vector_pairs(draw):
+    """Two exponent vectors over one shared frame."""
+    n = draw(frame_sizes)
+    vec = st.lists(exponents, min_size=n, max_size=n)
+    return tuple(draw(vec)), tuple(draw(vec))
+
+
+class TestPackedMonomials:
+    """The packed encoding agrees with a naive tuple reference."""
+
+    @given(st.lists(exponents, min_size=1, max_size=6))
+    def test_pack_unpack_roundtrip(self, exps):
+        assert unpack(pack(exps), len(exps)) == tuple(exps)
+
+    @given(st.lists(exponents, min_size=1, max_size=6))
+    def test_degree_is_sum_of_exponents(self, exps):
+        assert degree(pack(exps)) == sum(exps)
+
+    @given(exponent_vector_pairs())
+    def test_guard_bit_divisibility_matches_naive(self, pair):
+        a, b = pair
+        naive = all(ea <= eb for ea, eb in zip(a, b))
+        assert divides(pack(a), pack(b), guard_mask(len(a))) == naive
+
+    @given(exponent_vector_pairs())
+    def test_exact_divide_is_code_subtraction(self, pair):
+        """Construct a divisible pair (b = a * q fieldwise) directly so
+        every frame width exercises the subtraction, rather than
+        filtering random pairs (almost never divisible on wide frames)."""
+        a, q = pair
+        b = tuple(ea + eq for ea, eq in zip(a, q))
+        assert divides(pack(a), pack(b), guard_mask(len(a)))
+        assert unpack(pack(b) - pack(a), len(a)) == q
+
+    @given(exponent_vector_pairs())
+    def test_multiply_is_code_addition(self, pair):
+        a, b = pair
+        assert unpack(pack(a) + pack(b), len(a)) == \
+            tuple(ea + eb for ea, eb in zip(a, b))
+
+    @given(exponent_vector_pairs())
+    def test_lcm_matches_fieldwise_max(self, pair):
+        a, b = pair
+        assert unpack(lcm(pack(a), pack(b)), len(a)) == \
+            tuple(max(ea, eb) for ea, eb in zip(a, b))
+
+    @given(exponent_vector_pairs())
+    def test_lcm_is_commutative_and_divisible_by_both(self, pair):
+        a, b = pair
+        guard = guard_mask(len(a))
+        code = lcm(pack(a), pack(b))
+        assert code == lcm(pack(b), pack(a))
+        assert divides(pack(a), code, guard)
+        assert divides(pack(b), code, guard)
+
+    @given(exponent_vector_pairs())
+    def test_coprime_matches_naive(self, pair):
+        a, b = pair
+        naive = not any(ea and eb for ea, eb in zip(a, b))
+        assert coprime(pack(a), pack(b)) == naive
+
+    @given(st.data())
+    def test_remap_preserves_exponents_across_frames(self, data):
+        n = data.draw(frame_sizes)
+        src = tuple(f"v{i}" for i in range(n))
+        exps = data.draw(st.lists(exponents, min_size=n, max_size=n))
+        extra = data.draw(st.integers(min_value=0, max_value=3))
+        dst = list(src) + [f"w{i}" for i in range(extra)]
+        data.draw(st.randoms(use_true_random=False)).shuffle(dst)
+        dst = tuple(dst)
+        moved = remap(pack(exps), remap_table(src, dst))
+        by_name = dict(zip(src, exps))
+        assert unpack(moved, len(dst)) == \
+            tuple(by_name.get(name, 0) for name in dst)
 
 
 class TestRingAxioms:

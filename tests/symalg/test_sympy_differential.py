@@ -9,14 +9,17 @@ independent implementation on randomized inputs.
 from fractions import Fraction
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 
 sympy = pytest.importorskip("sympy")
 
+from repro.errors import GroebnerExplosion
 from repro.symalg import GREVLEX, LEX, Polynomial, factor, groebner_basis, symbols
+from repro.symalg.division import divide
+from repro.symalg.monomials import guard_mask
 from repro.symalg.ordering import TermOrder
 
-from .strategies import polynomials, nonzero_polynomials
+from .strategies import ideal_polynomials, nonzero_polynomials, polynomials
 
 x, y, z = symbols("x y z")
 sx, sy, sz = sympy.symbols("x y z")
@@ -113,3 +116,77 @@ class TestGroebnerAgainstSympy:
                              for e in theirs.polys)
         ours_strs = sorted(str(g) for g in ours)
         assert ours_strs == theirs_strs
+
+
+def _sympy_grevlex_gb(gens):
+    """Sympy's reduced monic grevlex basis, as sorted strings."""
+    theirs = sympy.groebner([to_sympy(g) for g in gens], sx, sy, sz,
+                            order="grevlex")
+    return sorted(str(from_sympy(e.as_expr() / sympy.LC(e, order="grevlex")))
+                  for e in theirs.polys)
+
+
+class TestRandomGroebnerDifferential:
+    """Randomized GB differential: both selection strategies vs sympy.
+
+    The reduced monic basis is canonical for the order, so "normal" and
+    "sugar" selection must agree with each other exactly *and* with an
+    independent implementation — on ideals nobody hand-picked.
+    """
+
+    @given(ideal_polynomials(), ideal_polynomials())
+    def test_random_ideal_gb_matches_sympy_both_selections(self, f, g):
+        gens = [p for p in (f, g) if not p.is_zero()]
+        assume(gens)
+        try:
+            normal = groebner_basis(gens, GREVLEX, selection="normal")
+            sugar = groebner_basis(gens, GREVLEX, selection="sugar")
+        except GroebnerExplosion:
+            assume(False)
+        assert [str(p) for p in normal] == [str(p) for p in sugar]
+        assert sorted(str(p) for p in normal) == _sympy_grevlex_gb(gens)
+
+    @given(ideal_polynomials(), ideal_polynomials(), ideal_polynomials())
+    def test_random_three_generator_ideal(self, f, g, h):
+        gens = [p for p in (f, g, h) if not p.is_zero()]
+        assume(gens)
+        try:
+            ours = groebner_basis(gens, GREVLEX, selection="sugar")
+        except GroebnerExplosion:
+            assume(False)
+        assert sorted(str(p) for p in ours) == _sympy_grevlex_gb(gens)
+
+
+class TestDivisionAgainstSympy:
+    """Randomized differential of multivariate division with remainder.
+
+    Sympy's ``reduced`` implements the same Cox-Little-O'Shea ordered
+    division, so quotient conventions and all, the remainders must be
+    equal — and our result must satisfy the division identity plus the
+    remainder-irreducibility invariant on its own.
+    """
+
+    @given(polynomials(max_terms=4), ideal_polynomials(),
+           ideal_polynomials())
+    def test_remainder_matches_sympy_reduced(self, f, g1, g2):
+        divisors = [g for g in (g1, g2) if not g.is_zero()]
+        assume(divisors)
+        ours = divide(f, divisors, GREVLEX)
+        assert ours.reconstruct(divisors) == f
+        _quotients, r = sympy.reduced(
+            to_sympy(f), [to_sympy(g) for g in divisors], sx, sy, sz,
+            order="grevlex")
+        assert ours.remainder == from_sympy(r)
+
+    @given(polynomials(max_terms=4), ideal_polynomials())
+    def test_no_remainder_term_is_divisible_by_a_leading_term(self, f, g):
+        assume(not g.is_zero())
+        remainder = divide(f, [g], GREVLEX).remainder
+        frame = GREVLEX.frame(tuple(sorted({*f.variables, *g.variables})))
+        guard = guard_mask(len(frame))
+        key = GREVLEX.code_key(len(frame))
+        g_codes = g._codes_on(frame)
+        g_lt = max(g_codes) if key is None else max(g_codes, key=key)
+        from repro.symalg.monomials import divides
+        for code in remainder._codes_on(frame):
+            assert not divides(g_lt, code, guard)

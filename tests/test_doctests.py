@@ -15,6 +15,8 @@ MODULES = [
     "repro.symalg.monomials",
     "repro.symalg.ordering",
     "repro.mapping.cache",
+    "repro.mapping.pareto",
+    "repro.platform.registry",
 ]
 
 
