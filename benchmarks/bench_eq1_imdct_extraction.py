@@ -10,7 +10,6 @@ import pytest
 
 from repro.frontend import ArrayInput, extract_block
 from repro.mp3.tables import IMDCT_COS_36
-from repro.symalg import Polynomial
 
 _KERNEL = """
 def inv_mdct_long(y, c):

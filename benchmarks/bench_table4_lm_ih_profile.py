@@ -8,9 +8,7 @@ dominate, and IMDCT now leads (the fixed subband synthesis gained more
 than the fixed IMDCT).
 """
 
-import pytest
-
-from paper_data import TABLE3_TOTAL, TABLE4, TABLE4_TOTAL
+from paper_data import TABLE4, TABLE4_TOTAL
 from repro.mp3 import IH_LIBRARY, ORIGINAL, Mp3Decoder
 
 

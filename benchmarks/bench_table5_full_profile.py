@@ -7,8 +7,6 @@ longer critical (paper: 9.4%), and the frame total is near the paper's
 4.99 ms.
 """
 
-import pytest
-
 from paper_data import TABLE5, TABLE5_TOTAL
 from repro.mp3 import IH_IPP_FULL, Mp3Decoder
 

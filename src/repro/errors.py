@@ -53,6 +53,21 @@ class FixedPointError(ReproError):
     """Fixed-point format violations (overflow in saturating mode, etc.)."""
 
 
+class ServiceError(ReproError):
+    """A mapping-service request that cannot be served.
+
+    Carries the HTTP status the service front-end should answer with
+    (400 for malformed requests, 404 for unknown resources, ...), so
+    validation code raises one exception type and the transport layer
+    owns the wire encoding.
+    """
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
 class Mp3Error(ReproError):
     """MP3 decoder substrate errors (bad bitstream, bad frame, ...)."""
 

@@ -39,7 +39,7 @@ import inspect
 import textwrap
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Callable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.errors import FrontendError
 from repro.symalg.expression import (Add, Call, Const, Expression, Mul, Pow,

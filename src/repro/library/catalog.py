@@ -6,7 +6,6 @@ from typing import Callable, Iterable, Iterator
 
 from repro.errors import LibraryError
 from repro.library.element import LibraryElement
-from repro.symalg.polynomial import Polynomial
 
 __all__ = ["Library"]
 

@@ -13,8 +13,8 @@ layer instantiates formals against the target's variables.
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass, field, fields
-from typing import Callable, Sequence
+from dataclasses import dataclass, fields
+from typing import Callable
 
 from repro.errors import LibraryError
 from repro.platform.tally import OperationTally

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import inspect
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -237,7 +237,8 @@ def _present(kind: str, value):
 
 def run_batch(items: Iterable[BatchItem], *,
               workers: int | None = None,
-              cache_dir: "str | None" = None) -> BatchReport:
+              cache_dir: "str | None" = None,
+              executor: "Executor | None" = None) -> BatchReport:
     """Resolve a batch of mapping work items, fanning cold ones out.
 
     Parameters
@@ -251,6 +252,14 @@ def run_batch(items: Iterable[BatchItem], *,
     cache_dir:
         Per-call override of the persistent tier directory (same
         semantics as ``decompose``/``map_block``).
+    executor:
+        An injectable :class:`concurrent.futures.Executor` for the
+        cold fan-out.  When given, it is used instead of forking a
+        fresh ``ProcessPoolExecutor`` per call and is *never* shut
+        down here — the owner (a long-running service, a test
+        harness) controls its lifetime.  Jobs still cross the
+        executor boundary pre-pickled, so process and thread pools
+        behave identically.
 
     Returns a :class:`BatchReport` whose ``results`` align with the
     submission order.  Every computed value is merged back into the
@@ -260,6 +269,11 @@ def run_batch(items: Iterable[BatchItem], *,
     items = list(items)
     stats = BatchStats(submitted=len(items))
     effective = max(1, int(workers or 1))
+    if executor is not None:
+        # An injected pool parallelizes regardless of `workers`; its
+        # own max_workers governs the real fan-out width.
+        effective = max(effective,
+                        getattr(executor, "_max_workers", None) or 2)
     default_platform = Badge4()
     tier = _tier_for(cache_dir)
 
@@ -293,7 +307,8 @@ def run_batch(items: Iterable[BatchItem], *,
     stats.workers = min(effective, len(cold)) if cold else 1
 
     if cold and effective > 1 and len(cold) > 1:
-        _run_parallel(cold, resolved, stats, tier, default_platform)
+        _run_parallel(cold, resolved, stats, tier, default_platform,
+                      executor)
     else:
         for key, digest, item in cold:
             resolved[key] = _compute_cold(item, key, digest, tier,
@@ -308,7 +323,8 @@ def run_batch(items: Iterable[BatchItem], *,
 
 def _run_parallel(cold: "Sequence[tuple[tuple, object, BatchItem]]",
                   resolved: dict, stats: BatchStats, tier,
-                  default_platform: Badge4) -> None:
+                  default_platform: Badge4,
+                  executor: "Executor | None" = None) -> None:
     """Fan the cold items out, falling back serially where needed."""
     jobs: list[tuple[tuple, object, BatchItem, bytes]] = []
     lib_blobs: dict[int, bytes] = {}
@@ -332,19 +348,15 @@ def _run_parallel(cold: "Sequence[tuple[tuple, object, BatchItem]]",
 
     retry: list[tuple[tuple, object, BatchItem]] = []
     try:
-        with ProcessPoolExecutor(max_workers=min(stats.workers,
-                                                 len(jobs))) as pool:
-            futures = [(key, digest, item, pool.submit(_execute_job, blob))
-                       for key, digest, item, blob in jobs]
-            for key, digest, item, future in futures:
-                try:
-                    value = future.result()
-                except Exception:
-                    retry.append((key, digest, item))
-                    continue
-                _merge(item.kind, key, digest, value, tier)
-                resolved[key] = value
-                stats.parallel_jobs += 1
+        if executor is not None:
+            # Caller-owned pool: submit straight into it, never shut
+            # it down — a broken injected pool degrades serially like
+            # a broken private one.
+            retry = _collect_jobs(executor, jobs, resolved, stats, tier)
+        else:
+            with ProcessPoolExecutor(max_workers=min(stats.workers,
+                                                     len(jobs))) as pool:
+                retry = _collect_jobs(pool, jobs, resolved, stats, tier)
     except Exception:
         # The pool itself failed (e.g. fork refused): everything not
         # yet resolved runs serially.
@@ -356,3 +368,23 @@ def _run_parallel(cold: "Sequence[tuple[tuple, object, BatchItem]]",
         resolved[key] = _compute_cold(item, key, digest, tier,
                                       default_platform)
         stats.serial_jobs += 1
+
+
+def _collect_jobs(pool: Executor,
+                  jobs: "Sequence[tuple[tuple, object, BatchItem, bytes]]",
+                  resolved: dict, stats: BatchStats, tier
+                  ) -> "list[tuple[tuple, object, BatchItem]]":
+    """Submit packed jobs to ``pool``; return the items needing retry."""
+    retry: list[tuple[tuple, object, BatchItem]] = []
+    futures = [(key, digest, item, pool.submit(_execute_job, blob))
+               for key, digest, item, blob in jobs]
+    for key, digest, item, future in futures:
+        try:
+            value = future.result()
+        except Exception:
+            retry.append((key, digest, item))
+            continue
+        _merge(item.kind, key, digest, value, tier)
+        resolved[key] = value
+        stats.parallel_jobs += 1
+    return retry

@@ -61,10 +61,11 @@ import json
 import os
 import pickle
 import sqlite3
+import threading
 import weakref
 from fractions import Fraction
 from pathlib import Path
-from typing import Any, Callable, Hashable
+from typing import Any, Hashable
 
 from repro.frontend.extract import TargetBlock
 from repro.library.catalog import Library
@@ -101,6 +102,11 @@ SCHEMA_VERSION = 2
 class LRUCache:
     """A bounded mapping-layer cache with least-recently-used eviction.
 
+    Thread-safe: the service front-end resolves requests on a worker
+    thread pool, so ``get``'s pop-and-reinsert recency update and
+    ``put``'s eviction must be atomic across threads, not just across
+    bytecodes.
+
     >>> cache = LRUCache(maxsize=2, name="doc")
     >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
     >>> cache.get("a") is None          # evicted: capacity 2
@@ -118,6 +124,7 @@ class LRUCache:
         self.maxsize = maxsize
         self.name = name
         self._data: dict[Hashable, Any] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -125,38 +132,43 @@ class LRUCache:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """The cached value for ``key`` (marking it recently used)."""
-        value = self._data.pop(key, _MISS)
-        if value is _MISS:
-            self.misses += 1
-            return default
-        self._data[key] = value    # re-insert: now most recently used
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._data.pop(key, _MISS)
+            if value is _MISS:
+                self.misses += 1
+                return default
+            self._data[key] = value    # re-insert: now most recently used
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Store ``key -> value``, evicting the LRU entry when full."""
-        self._data.pop(key, None)
-        self._data[key] = value
-        if len(self._data) > self.maxsize:
-            # dicts iterate in insertion order: first key is the LRU.
-            self._data.pop(next(iter(self._data)))
-            self.evictions += 1
+        with self._lock:
+            self._data.pop(key, None)
+            self._data[key] = value
+            if len(self._data) > self.maxsize:
+                # dicts iterate in insertion order: first key is the LRU.
+                self._data.pop(next(iter(self._data)))
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def stats(self) -> dict[str, int]:
         """``{"size", "maxsize", "hits", "misses", "evictions"}``."""
-        return {"size": len(self._data), "maxsize": self.maxsize,
-                "hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions}
+        with self._lock:
+            return {"size": len(self._data), "maxsize": self.maxsize,
+                    "hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions}
 
 
 def cache_stats() -> dict[str, dict]:
@@ -358,6 +370,12 @@ class DiskCache:
     which also repairs a broken store.  Connections are opened lazily
     and re-opened after a ``fork`` (sqlite connections must not cross
     process boundaries).
+
+    Thread-safe: one connection is shared under an instance lock
+    (``check_same_thread=False``), because the service front-end's
+    worker threads all consult the same tier — sqlite would otherwise
+    raise ``ProgrammingError`` (a ``DatabaseError`` subclass) from any
+    non-opening thread and permanently mark the store broken.
     """
 
     def __init__(self, path: "str | os.PathLike[str]"):
@@ -368,6 +386,7 @@ class DiskCache:
         self._conn: sqlite3.Connection | None = None
         self._pid: int | None = None
         self._broken = False
+        self._lock = threading.RLock()
 
     # -- connection management -----------------------------------------
     def _connection(self) -> sqlite3.Connection | None:
@@ -382,7 +401,8 @@ class DiskCache:
             self._conn = None
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            conn = sqlite3.connect(self.path, timeout=5.0)
+            conn = sqlite3.connect(self.path, timeout=5.0,
+                                   check_same_thread=False)
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
             conn.execute(
@@ -405,80 +425,86 @@ class DiskCache:
         :data:`SCHEMA_VERSION`, an unreadable payload, a locked or
         corrupted database.  None of these raise.
         """
-        conn = self._connection()
-        if conn is None:
-            self.misses += 1
-            return None
-        try:
-            row = conn.execute(
-                "SELECT schema, payload FROM entries WHERE key = ?",
-                (digest,)).fetchone()
-        except sqlite3.OperationalError:      # locked/busy: just miss
-            self.misses += 1
-            return None
-        except sqlite3.DatabaseError:         # corrupted: stop trying
-            self._broken = True
-            self.misses += 1
-            return None
-        if row is None or row[0] != SCHEMA_VERSION:
-            self.misses += 1
-            return None
-        try:
-            value = pickle.loads(row[1])
-        except Exception:                     # stale/garbled payload
-            self.misses += 1
-            return None
-        self.hits += 1
-        return value
+        with self._lock:
+            conn = self._connection()
+            if conn is None:
+                self.misses += 1
+                return None
+            try:
+                row = conn.execute(
+                    "SELECT schema, payload FROM entries WHERE key = ?",
+                    (digest,)).fetchone()
+            except sqlite3.OperationalError:  # locked/busy: just miss
+                self.misses += 1
+                return None
+            except sqlite3.DatabaseError:     # corrupted: stop trying
+                self._broken = True
+                self.misses += 1
+                return None
+            if row is None or row[0] != SCHEMA_VERSION:
+                self.misses += 1
+                return None
+            try:
+                value = pickle.loads(row[1])
+            except Exception:                 # stale/garbled payload
+                self.misses += 1
+                return None
+            self.hits += 1
+            return value
 
     def put(self, digest: str, value: Any) -> None:
         """Write-through ``digest -> value``; silently drops on failure."""
-        conn = self._connection()
-        if conn is None:
-            return
-        try:
-            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception:                     # unpicklable value: skip
-            return
-        try:
-            conn.execute(
-                "INSERT OR REPLACE INTO entries (key, schema, payload)"
-                " VALUES (?, ?, ?)",
-                (digest, SCHEMA_VERSION, payload))
-            conn.commit()
-            self.writes += 1
-        except sqlite3.OperationalError:      # locked/busy: drop write
-            pass
-        except sqlite3.DatabaseError:
-            self._broken = True
+        with self._lock:
+            conn = self._connection()
+            if conn is None:
+                return
+            try:
+                payload = pickle.dumps(value,
+                                       protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:                 # unpicklable value: skip
+                return
+            try:
+                conn.execute(
+                    "INSERT OR REPLACE INTO entries (key, schema, payload)"
+                    " VALUES (?, ?, ?)",
+                    (digest, SCHEMA_VERSION, payload))
+                conn.commit()
+                self.writes += 1
+            except sqlite3.OperationalError:  # locked/busy: drop write
+                pass
+            except sqlite3.DatabaseError:
+                self._broken = True
 
     def clear(self) -> None:
         """Delete the store file (also repairs a broken store)."""
-        if self._conn is not None and self._pid == os.getpid():
-            try:
-                self._conn.close()
-            except sqlite3.Error:
-                pass
-        self._conn = None
-        self._pid = None
-        self._broken = False
-        for suffix in ("", "-wal", "-shm"):
-            try:
-                os.unlink(f"{self.path}{suffix}")
-            except OSError:
-                pass
-        self.hits = 0
-        self.misses = 0
-        self.writes = 0
+        with self._lock:
+            if self._conn is not None and self._pid == os.getpid():
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+            self._conn = None
+            self._pid = None
+            self._broken = False
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    os.unlink(f"{self.path}{suffix}")
+                except OSError:
+                    pass
+            self.hits = 0
+            self.misses = 0
+            self.writes = 0
 
     def __len__(self) -> int:
-        conn = self._connection()
-        if conn is None:
-            return 0
-        try:
-            return conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
-        except sqlite3.Error:
-            return 0
+        with self._lock:
+            conn = self._connection()
+            if conn is None:
+                return 0
+            try:
+                return conn.execute(
+                    "SELECT COUNT(*) FROM entries").fetchone()[0]
+            except sqlite3.Error:
+                return 0
 
     def stats(self) -> dict:
         """Disk-tier statistics, including the observed hit rate."""

@@ -32,7 +32,6 @@ from dataclasses import dataclass, field
 from repro.errors import GroebnerExplosion
 from repro.frontend.extract import TargetBlock
 from repro.library.catalog import Library
-from repro.library.element import LibraryElement
 from repro.mapping.cache import (DiskCache, LRUCache, _tier_at, disk_tier,
                                  fingerprint_block, fingerprint_library,
                                  fingerprint_platform, stable_digest)

@@ -282,17 +282,30 @@ class MethodologyFlow:
     keeps everything serial and in-process — results are identical
     either way.  ``cache_dir`` pins the persistent tier for this flow
     (otherwise the global ``REPRO_CACHE_DIR`` configuration applies).
+
+    ``executor`` injects a caller-owned
+    :class:`concurrent.futures.Executor` into every batch submission
+    (see :func:`~repro.mapping.batch.run_batch`): a long-running
+    front-end — the mapping service — keeps one warm pool across
+    requests instead of forking per call.  ``blocks`` overrides the
+    extracted complex target blocks; the service injects its shared
+    catalog so frontend extraction happens once per process, not once
+    per flow.
     """
 
     def __init__(self, platform: Badge4 | None = None,
                  critical_threshold_percent: float = 5.0,
                  workers: int | None = None,
-                 cache_dir: str | None = None):
+                 cache_dir: str | None = None,
+                 executor=None,
+                 blocks: "Mapping[str, TargetBlock] | None" = None):
         self.platform = platform or Badge4()
         self.threshold = critical_threshold_percent
         self.workers = workers
         self.cache_dir = cache_dir
-        self._blocks = methodology_blocks()
+        self.executor = executor
+        self._blocks = dict(blocks) if blocks is not None \
+            else methodology_blocks()
 
     # -- step 2: profiling ------------------------------------------------
     def profile(self, config: DecoderConfig,
@@ -344,7 +357,8 @@ class MethodologyFlow:
         batch = run_batch(
             [BatchItem.for_block(block, library, self.platform,
                                  tolerance=1e-6) for _name, block in blocks],
-            workers=self.workers, cache_dir=self.cache_dir)
+            workers=self.workers, cache_dir=self.cache_dir,
+            executor=self.executor)
         for (name, block), (winner, _all) in zip(blocks, batch.results):
             if winner is None:
                 continue
@@ -372,7 +386,8 @@ class MethodologyFlow:
               tolerance: float = 1e-6,
               accuracy_budget: float = float("inf"),
               workers=_UNSET,
-              cache_dir=_UNSET) -> SweepReport:
+              cache_dir=_UNSET,
+              executor=_UNSET) -> SweepReport:
         """Map every block against every library on every platform.
 
         The full (block × library × platform) cross-product goes
@@ -386,8 +401,8 @@ class MethodologyFlow:
         platform objects; the default is every registered processor
         (SA-1110 first).  ``libraries`` defaults to the paper's ladder
         (LM+IH, then LM+IH+IPP, both over REF); ``blocks`` to the
-        methodology's complex blocks.  ``workers``/``cache_dir``
-        default to the flow's own configuration.
+        methodology's complex blocks.  ``workers``/``cache_dir``/
+        ``executor`` default to the flow's own configuration.
         """
         resolved = DEFAULT_REGISTRY.resolve(platforms)
         libs = list(libraries) if libraries is not None \
@@ -415,7 +430,8 @@ class MethodologyFlow:
         batch = run_batch(
             items,
             workers=self.workers if workers is _UNSET else workers,
-            cache_dir=self.cache_dir if cache_dir is _UNSET else cache_dir)
+            cache_dir=self.cache_dir if cache_dir is _UNSET else cache_dir,
+            executor=self.executor if executor is _UNSET else executor)
 
         entries: list[SweepEntry] = []
         for (label, platform, lib_name, block_name), (_winner, matches) in \

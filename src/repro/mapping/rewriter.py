@@ -19,7 +19,6 @@ from repro.mapping.decompose import MappingSolution
 from repro.platform.tally import OperationTally
 from repro.symalg.expression import to_source
 from repro.symalg.horner import horner
-from repro.symalg.polynomial import Polynomial
 
 __all__ = ["MappedProgram", "rewrite"]
 

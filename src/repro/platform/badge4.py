@@ -11,7 +11,7 @@ Figure-1 benchmark prints.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.platform.dvfs import (SA1110_OPERATING_POINTS, DvfsGovernor,
                                  scaled_ladder)

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import PlatformError
-from repro.platform.processor import CostModel, ProcessorSpec, SA1110
+from repro.platform.processor import CostModel
 from repro.platform.tally import OperationTally
 
 __all__ = ["EnergyModel", "BADGE4_ENERGY", "ARM7TDMI_ENERGY",

@@ -1,0 +1,25 @@
+"""``repro.service`` — mapping-as-a-service.
+
+The long-running front-end over the memoized mapping flow: a
+stdlib-only asyncio HTTP/JSON server (`python -m repro.service`)
+exposing scalar mapping, Pareto fronts and the multi-platform sweep,
+with single-flight request coalescing and write-through into the
+LRU/disk cache tiers.  See :mod:`repro.service.server` for the
+request lifecycle and ``docs/architecture.md`` ("Service layer") for
+how it sits on the batch engine.
+"""
+
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.protocol import (DEFAULT_LIBRARY, DEFAULT_PLATFORM,
+                                    MapRequest, ServiceCatalog,
+                                    SweepRequest, canonical_json)
+from repro.service.server import DEFAULT_PORT, MappingService, ServiceThread
+from repro.service.singleflight import SingleFlight
+
+__all__ = [
+    "MappingService", "ServiceThread", "ServiceClient", "SingleFlight",
+    "MapRequest", "SweepRequest", "ServiceCatalog", "ServiceError",
+    "canonical_json", "DEFAULT_PORT", "DEFAULT_LIBRARY",
+    "DEFAULT_PLATFORM",
+]

@@ -1,0 +1,76 @@
+"""``python -m repro.service`` — run the mapping service.
+
+Binds the asyncio HTTP front-end and serves until SIGINT/SIGTERM, then
+shuts down gracefully (in-flight requests finish, executors drain).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+import signal
+
+from repro.service.server import DEFAULT_PORT, MappingService
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve the symbolic library-mapping flow over "
+                    "HTTP/JSON (see docs/architecture.md, 'Service "
+                    "layer').")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: %(default)s)")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help="bind port; 0 picks an ephemeral one "
+                             "(default: %(default)s)")
+    parser.add_argument("--map-workers", type=int, default=None,
+                        help="share one process pool of N workers "
+                             "across all batch submissions (default: "
+                             "in-thread serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="pin the persistent mapping cache tier "
+                             "to this directory")
+    parser.add_argument("--request-timeout", type=float, default=300.0,
+                        help="per-request wall-clock bound, seconds "
+                             "(default: %(default)s)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="debug-level logging")
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    service = MappingService(
+        host=args.host, port=args.port, map_workers=args.map_workers,
+        cache_dir=args.cache_dir, request_timeout=args.request_timeout)
+    await service.start()
+    print(f"repro.service listening on "
+          f"http://{service.host}:{service.port}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:      # platforms without signal fds
+            pass
+    try:
+        await stop.wait()
+    finally:
+        await service.shutdown()
+
+
+def main(argv=None) -> None:
+    args = _parser().parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""A thin blocking client for the mapping service (stdlib ``urllib``).
+
+One class, no dependencies: CI smoke steps, benchmarks and examples
+talk to a running :class:`~repro.service.server.MappingService`
+through it.  Payloads are built by the request dataclasses in
+:mod:`repro.service.protocol`, so a client request and the server's
+validation can never drift apart.
+
+>>> client = ServiceClient("http://127.0.0.1:8357")   # doctest: +SKIP
+>>> client.map_block("inv_mdctL")["winner"]           # doctest: +SKIP
+'IppsMDCTInv_MP3_32s'
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ServiceError
+from repro.service.protocol import (DEFAULT_LIBRARY, DEFAULT_PLATFORM,
+                                    MapRequest, SweepRequest,
+                                    canonical_json)
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Blocking HTTP/JSON access to one service instance.
+
+    The high-level methods (:meth:`map_block`, :meth:`pareto`,
+    :meth:`sweep`, ...) return the parsed response payload and raise
+    :class:`~repro.errors.ServiceError` on any non-200 answer;
+    :meth:`request` and :meth:`request_bytes` expose the raw
+    ``(status, payload)`` layer for tests and smoke checks that assert
+    on status codes and exact bytes.
+    """
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8357",
+                 timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+    def request_bytes(self, method: str, path: str,
+                      payload=None) -> "tuple[int, bytes]":
+        """``(status, raw body bytes)`` of one request."""
+        data = canonical_json(payload) if payload is not None else None
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as err:
+            with err:
+                return err.code, err.read()
+
+    def request(self, method: str, path: str,
+                payload=None) -> "tuple[int, object]":
+        """``(status, parsed JSON)``; malformed response JSON raises."""
+        status, body = self.request_bytes(method, path, payload)
+        return status, json.loads(body)
+
+    def _call(self, method: str, path: str, payload=None):
+        status, parsed = self.request(method, path, payload)
+        if status != 200:
+            message = parsed.get("error", str(parsed)) \
+                if isinstance(parsed, dict) else str(parsed)
+            raise ServiceError(status, f"{path} -> {status}: {message}")
+        return parsed
+
+    # -- endpoints -------------------------------------------------------
+    def health(self) -> dict:
+        return self._call("GET", "/healthz")
+
+    def platforms(self) -> dict:
+        return self._call("GET", "/v1/platforms")
+
+    def stats(self) -> dict:
+        return self._call("GET", "/v1/stats")
+
+    def map_block(self, block: str, library=DEFAULT_LIBRARY,
+                  platform: str = DEFAULT_PLATFORM, *,
+                  tolerance: float = 1e-6,
+                  accuracy_budget: float = float("inf")) -> dict:
+        """Scalar mapping of ``block``: the ``/v1/map`` round trip."""
+        request = MapRequest(block=block, library=tuple(library),
+                             platform=platform, tolerance=tolerance,
+                             accuracy_budget=accuracy_budget)
+        return self._call("POST", "/v1/map", request.to_payload())
+
+    def pareto(self, block: str, library=DEFAULT_LIBRARY,
+               platform: str = DEFAULT_PLATFORM, *,
+               tolerance: float = 1e-6,
+               accuracy_budget: float = float("inf")) -> dict:
+        """The (cycles, energy, accuracy) front: ``/v1/pareto``."""
+        request = MapRequest(block=block, library=tuple(library),
+                             platform=platform, tolerance=tolerance,
+                             accuracy_budget=accuracy_budget)
+        return self._call("POST", "/v1/pareto", request.to_payload())
+
+    def sweep(self, platforms=None, libraries=None, blocks=None, *,
+              tolerance: float = 1e-6,
+              accuracy_budget: float = float("inf")) -> dict:
+        """The multi-platform sweep: ``/v1/sweep`` (canonical JSON)."""
+        request = SweepRequest(
+            platforms=tuple(platforms) if platforms is not None else None,
+            libraries=tuple(libraries) if libraries is not None else None,
+            blocks=tuple(blocks) if blocks is not None else None,
+            tolerance=tolerance, accuracy_budget=accuracy_budget)
+        return self._call("POST", "/v1/sweep", request.to_payload())
+
+    # -- readiness -------------------------------------------------------
+    def wait_healthy(self, deadline: float = 30.0,
+                     interval: float = 0.1) -> dict:
+        """Poll ``/healthz`` until it answers, for up to ``deadline``
+        seconds (the CI smoke step's startup gate)."""
+        end = time.monotonic() + deadline
+        while True:
+            try:
+                return self.health()
+            except (urllib.error.URLError, ConnectionError, OSError):
+                if time.monotonic() >= end:
+                    raise
+                time.sleep(interval)

@@ -1,0 +1,465 @@
+"""Mapping-as-a-service: the asyncio HTTP/JSON front-end.
+
+``MappingService`` turns the in-process mapping flow into a
+long-running engine (GiNaC-style: a symbolic system embedded behind a
+stable interface rather than an interactive script).  One process
+serves:
+
+====================  ======  =========================================
+``/healthz``          GET     liveness probe
+``/v1/platforms``     GET     the processor registry, as JSON
+``/v1/stats``         GET     cache tiers + single-flight counters
+``/v1/map``           POST    scalar block mapping (cycles winner)
+``/v1/pareto``        POST    the (cycles, energy, accuracy) front
+``/v1/sweep``         POST    the multi-platform sweep, canonical JSON
+====================  ======  =========================================
+
+Request lifecycle, stated once (and documented in
+``docs/architecture.md``):
+
+1. **parse** — strict JSON validation into request dataclasses
+   (:mod:`repro.service.protocol`); malformed input answers 400,
+   unknown resources 404, nothing heavy has run yet;
+2. **fingerprint** — the request resolves to the *same* cache key a
+   direct ``map_block`` call builds, digested with
+   :func:`~repro.mapping.cache.stable_digest`;
+3. **single-flight** — concurrent identical requests coalesce onto one
+   in-flight computation (:mod:`repro.service.singleflight`);
+4. **batch engine** — the flight leader dispatches the work off the
+   event loop onto a worker-thread executor, where it runs through
+   :func:`~repro.mapping.batch.run_batch` (optionally fanning cold
+   items across a shared, service-owned process pool);
+5. **cache write-through** — the engine merges results into the LRU
+   and disk tiers, so the next identical request — this process or the
+   next — is a cache hit, not a computation;
+6. **canonical JSON** — responses are rendered byte-stably, so cold,
+   warm and coalesced answers are byte-identical.
+
+The server is stdlib-only by design (asyncio streams + a minimal
+HTTP/1.1 reader): the repo's no-new-dependencies rule applies to the
+service tier too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.errors import ServiceError
+from repro.mapping.batch import BatchItem, run_batch
+from repro.mapping.cache import (SCHEMA_VERSION, cache_stats,
+                                 fingerprint_block, fingerprint_library,
+                                 stable_digest)
+from repro.mapping.decompose import _map_block_key
+from repro.mapping.flow import MethodologyFlow
+from repro.mapping.pareto import BlockParetoResult
+from repro.platform.registry import DEFAULT_REGISTRY
+from repro.service.protocol import (DEFAULT_PLATFORM, MapRequest,
+                                    ServiceCatalog, SweepRequest,
+                                    canonical_json, map_response,
+                                    pareto_response, parse_json_body,
+                                    sweep_response)
+from repro.service.singleflight import SingleFlight
+
+__all__ = ["MappingService", "ServiceThread", "DEFAULT_PORT"]
+
+logger = logging.getLogger("repro.service")
+
+#: The service's conventional port (CI smoke and examples use it).
+DEFAULT_PORT = 8357
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error"}
+
+
+class MappingService:
+    """The long-running mapping engine behind an HTTP/JSON interface.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=0`` picks an ephemeral port; the bound
+        one is readable as :attr:`port` after :meth:`start`.
+    executor:
+        Injectable request executor (any
+        :class:`concurrent.futures.Executor`) that heavy work is
+        dispatched onto, keeping the event loop free.  Defaults to a
+        service-owned :class:`~concurrent.futures.ThreadPoolExecutor`
+        of ``request_threads`` workers.  Injection is the test/bench
+        seam: a gated executor makes coalescing deterministic.
+    map_workers:
+        When > 1, the service owns one shared
+        :class:`~concurrent.futures.ProcessPoolExecutor` that every
+        batch submission fans cold work across
+        (``run_batch(executor=...)``) — one warm pool for the process
+        lifetime instead of a fork per request.
+    cache_dir:
+        Pins the persistent disk tier for all service work (otherwise
+        the global ``REPRO_CACHE_DIR`` configuration applies).
+    request_timeout:
+        Per-request wall-clock bound, seconds.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 *, executor=None, map_workers: "int | None" = None,
+                 cache_dir: "str | None" = None,
+                 request_threads: int = 4,
+                 request_timeout: float = 300.0,
+                 max_request_bytes: int = 1 << 20):
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self.max_request_bytes = max_request_bytes
+        self.requests = 0
+        self.errors = 0
+        self._cache_dir = cache_dir
+        self._map_workers = map_workers
+        self._request_threads = request_threads
+        self._request_executor = executor
+        self._owns_request_executor = executor is None
+        self._map_executor: "ProcessPoolExecutor | None" = None
+        self._server: "asyncio.base_events.Server | None" = None
+        self._handlers: "set[asyncio.Task]" = set()
+        self._flow: "MethodologyFlow | None" = None
+        self.catalog = ServiceCatalog()
+        self.flight = SingleFlight()
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        """Stand the executors up, warm the catalog, bind the socket.
+
+        Frontend block extraction (the expensive part of a cold start,
+        ~1.5s) runs on the request executor *before* the socket binds:
+        an open port means ready, and the event loop never stalls on
+        extraction under the first live request.
+        """
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        if self._request_executor is None:
+            self._request_executor = ThreadPoolExecutor(
+                max_workers=self._request_threads,
+                thread_name_prefix="repro-map")
+        if self._map_workers and self._map_workers > 1:
+            self._map_executor = ProcessPoolExecutor(
+                max_workers=self._map_workers)
+        # Deliberately not via _offload: the injectable request
+        # executor is a test seam (it may gate request work), and
+        # warming must not depend on it.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.catalog.blocks)
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("serving on http://%s:%s", self.host, self.port)
+
+    async def shutdown(self) -> None:
+        """Graceful stop: refuse new connections, drain, tear down.
+
+        In-flight requests finish (bounded by ``request_timeout``);
+        service-owned executors are shut down afterwards.  Idempotent.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._handlers:
+            await asyncio.gather(*list(self._handlers),
+                                 return_exceptions=True)
+        if self._map_executor is not None:
+            self._map_executor.shutdown(wait=True)
+            self._map_executor = None
+        if self._owns_request_executor and self._request_executor is not None:
+            self._request_executor.shutdown(wait=True)
+            self._request_executor = None
+        logger.info("service stopped")
+
+    # -- connection handling ---------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            await self._handle_one(reader, writer)
+        except Exception:
+            logger.exception("connection handler failed")
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _handle_one(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        # The timeout wraps reading and dispatch separately and never
+        # the response write: a timed-out stage turns into exactly one
+        # clean error response, instead of a second response racing a
+        # partially-written one onto the wire.
+        try:
+            parsed = await asyncio.wait_for(self._read_request(reader),
+                                            self.request_timeout)
+        except asyncio.TimeoutError:
+            self.errors += 1
+            await self._respond(writer, 400,
+                                {"error": "timed out reading request"})
+            return
+        except ServiceError as err:
+            self.errors += 1
+            await self._respond(writer, err.status, {"error": err.message})
+            return
+        if parsed is None:       # peer connected and went away: no reply
+            return
+        method, path, body = parsed
+        self.requests += 1
+        try:
+            status, payload = await asyncio.wait_for(
+                self._dispatch(method, path, body), self.request_timeout)
+        except asyncio.TimeoutError:
+            status, payload = 500, {"error": "request timed out"}
+        except ServiceError as err:
+            status, payload = err.status, {"error": err.message}
+        except Exception as exc:
+            logger.exception("request %s %s failed", method, path)
+            status = 500
+            payload = {"error": f"internal error: {type(exc).__name__}"}
+        if status >= 400:
+            self.errors += 1
+        await self._respond(writer, status, payload)
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """``(method, path, body)`` of one request, or ``None`` on a
+        silently-closed connection; malformed input raises 400."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as err:
+            if not err.partial:
+                return None
+            raise ServiceError(400, "malformed HTTP request") from None
+        except asyncio.LimitOverrunError:
+            raise ServiceError(400, "request head too large") from None
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        parts = request_line.split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise ServiceError(400, f"malformed request line "
+                                    f"{request_line!r}")
+        method, target, _version = parts
+        path = target.split("?", 1)[0]
+        headers = {}
+        for line in header_lines:
+            if ":" in line:
+                name, _sep, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise ServiceError(400, "malformed Content-Length") from None
+        if length < 0 or length > self.max_request_bytes:
+            raise ServiceError(413, "request body too large")
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise ServiceError(400, "truncated request body") from None
+        return method.upper(), path, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload) -> None:
+        try:
+            body = canonical_json(payload)
+        except ValueError:
+            status, body = 500, canonical_json(
+                {"error": "non-finite value in response"})
+        reason = _REASONS.get(status, "Error")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass                 # peer vanished mid-reply: nothing to do
+
+    # -- routing ---------------------------------------------------------
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        routes = {"/healthz": ("GET", self._get_health),
+                  "/v1/platforms": ("GET", self._get_platforms),
+                  "/v1/stats": ("GET", self._get_stats),
+                  "/v1/map": ("POST", self._post_map),
+                  "/v1/pareto": ("POST", self._post_pareto),
+                  "/v1/sweep": ("POST", self._post_sweep)}
+        route = routes.get(path)
+        if route is None:
+            raise ServiceError(404, f"no such endpoint {path!r}")
+        expected, handler = route
+        if method != expected:
+            raise ServiceError(405, f"{path} expects {expected}")
+        if expected == "GET":
+            return 200, handler()
+        return 200, await handler(parse_json_body(body))
+
+    # -- GET endpoints ----------------------------------------------------
+    def _get_health(self) -> dict:
+        return {"ok": True, "service": "repro.service",
+                "schema_version": SCHEMA_VERSION}
+
+    def _get_platforms(self) -> dict:
+        return {"default": DEFAULT_PLATFORM,
+                "platforms": [{
+                    "key": entry.key,
+                    "processor": entry.spec.name,
+                    "clock_hz": entry.spec.clock_hz,
+                    "has_fpu": entry.spec.has_fpu,
+                } for entry in DEFAULT_REGISTRY]}
+
+    def _get_stats(self) -> dict:
+        return {"service": {"host": self.host, "port": self.port,
+                            "requests": self.requests,
+                            "errors": self.errors,
+                            "map_workers": self._map_workers or 1,
+                            "schema_version": SCHEMA_VERSION,
+                            "singleflight": self.flight.stats()},
+                "caches": cache_stats()}
+
+    # -- POST endpoints ---------------------------------------------------
+    async def _post_map(self, payload) -> dict:
+        request = MapRequest.from_payload(payload)
+        winner, matches, platform = await self._resolve_map(request)
+        return map_response(request, platform, winner, matches)
+
+    async def _post_pareto(self, payload) -> dict:
+        request = MapRequest.from_payload(payload)
+        _winner, matches, platform = await self._resolve_map(request)
+        # Fronts are derived in-process from the shared match list —
+        # the same derived-front contract the sweep obeys — so energy
+        # models are never baked into coalesced/cached values.
+        result = BlockParetoResult.from_matches(request.block, platform,
+                                                matches)
+        return pareto_response(request, result)
+
+    async def _resolve_map(self, request: MapRequest):
+        """Steps 2–5 of the request lifecycle for one block mapping."""
+        block = self.catalog.block(request.block)
+        library = self.catalog.library(request.library)
+        platform = self.catalog.platform(request.platform)
+        key = _map_block_key(block, library, platform,
+                             request.tolerance, request.accuracy_budget)
+        winner, matches = await self.flight.run(
+            stable_digest(key),
+            lambda: self._offload(self._map_work, request, block,
+                                  library, platform))
+        return winner, matches, platform
+
+    def _map_work(self, request: MapRequest, block, library, platform):
+        report = run_batch(
+            [BatchItem.for_block(block, library, platform,
+                                 tolerance=request.tolerance,
+                                 accuracy_budget=request.accuracy_budget)],
+            cache_dir=self._cache_dir, executor=self._map_executor)
+        return report.results[0]
+
+    async def _post_sweep(self, payload) -> dict:
+        request = SweepRequest.from_payload(payload)
+        platform_keys = self.catalog.platform_keys(request.platforms)
+        libraries = None
+        if request.libraries is not None:
+            libraries = [self.catalog.library_combo(combo)
+                         for combo in request.libraries]
+        blocks = self.catalog.block_subset(request.blocks)
+        key = ("service_sweep", platform_keys,
+               tuple(fingerprint_library(lib) for lib in libraries or ()),
+               request.libraries is None,
+               tuple(fingerprint_block(b) for b in blocks.values()),
+               request.tolerance, request.accuracy_budget)
+        report = await self.flight.run(
+            stable_digest(key),
+            lambda: self._offload(self._sweep_work, request,
+                                  platform_keys, libraries, blocks))
+        return sweep_response(report)
+
+    def _sweep_work(self, request: SweepRequest, platform_keys,
+                    libraries, blocks):
+        return self._sweep_flow().sweep(
+            platforms=list(platform_keys), libraries=libraries,
+            blocks=blocks, tolerance=request.tolerance,
+            accuracy_budget=request.accuracy_budget,
+            executor=self._map_executor)
+
+    def _sweep_flow(self) -> MethodologyFlow:
+        """The service's one flow (blocks injected from the catalog)."""
+        if self._flow is None:
+            self._flow = MethodologyFlow(
+                workers=None, cache_dir=self._cache_dir,
+                blocks=self.catalog.blocks())
+        return self._flow
+
+    def _offload(self, fn, *args):
+        """Run ``fn`` on the request executor; awaitable result."""
+        loop = asyncio.get_running_loop()
+        return loop.run_in_executor(self._request_executor, fn, *args)
+
+
+class ServiceThread:
+    """A :class:`MappingService` on a background event loop.
+
+    The in-process harness tests, benchmarks and examples share: enter
+    the context manager and the service is listening (``base_url``);
+    exit and it has shut down gracefully.  The hosting thread owns a
+    private event loop, so the caller's thread stays free for blocking
+    clients.
+    """
+
+    def __init__(self, service: "MappingService | None" = None):
+        self.service = service or MappingService(port=0)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-service", daemon=True)
+        self._started = threading.Event()
+        self._startup_error: "BaseException | None" = None
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.service.host}:{self.service.port}"
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.service.start())
+        except BaseException as exc:       # startup failed: report it
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    def __enter__(self) -> "ServiceThread":
+        self._thread.start()
+        if not self._started.wait(timeout=60):
+            raise TimeoutError("service failed to start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        future = asyncio.run_coroutine_threadsafe(self.service.shutdown(),
+                                                  self._loop)
+        try:
+            future.result(timeout=60)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=60)
+
+    def run_coroutine(self, coro):
+        """Run ``coro`` on the service loop; blocks for the result."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(
+            timeout=60)

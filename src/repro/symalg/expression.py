@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Mapping, Sequence, Union
+from typing import Callable, Mapping, Union
 
 from repro.errors import SymbolicError
 from repro.symalg.polynomial import Polynomial, Scalar

@@ -297,7 +297,6 @@ def _find_rational_root(poly: Polynomial, var: str) -> Fraction | None:
     """A rational root via the rational-root theorem, or None."""
     coeffs = _coeff_list(poly, var)
     degree = max(coeffs)
-    lead = coeffs[degree]
     low_power = min(coeffs)
     if low_power > 0:
         return Fraction(0)

@@ -24,7 +24,7 @@ from math import lcm as int_lcm
 
 from repro.errors import SymbolicError
 from repro.symalg.division import exact_divide
-from repro.symalg.ordering import GREVLEX, TermOrder
+from repro.symalg.ordering import TermOrder
 from repro.symalg.polynomial import Polynomial
 
 __all__ = ["polynomial_gcd", "polynomial_lcm", "content_in", "primitive_in",

@@ -122,7 +122,6 @@ class _Parser:
         base = self.atom()
         if self.peek()[1] in ("^", "**"):
             self.advance()
-            negative = False
             if self.peek()[1] == "-":
                 raise ParseError(f"negative exponents are not polynomial in {self.text!r}")
             kind, text = self.advance()

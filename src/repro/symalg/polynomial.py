@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 from numbers import Rational
-from typing import Callable, Iterable, Iterator, Mapping, Sequence, Union
+from typing import Callable, Iterator, Mapping, Sequence, Union
 
 from repro.errors import SymbolicError
 from repro.symalg.monomials import (MASK, MAX_EXPONENT, SHIFT, pack, remap,

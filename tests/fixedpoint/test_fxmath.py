@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import FixedPointError
-from repro.fixedpoint import (Fixed, Q16_15, QFormat, build_pow43_table,
+from repro.fixedpoint import (Fixed, Q16_15, build_pow43_table,
                               cost_fx_exp, cost_fx_log2_bitwise,
                               cost_fx_log_poly, cost_fx_pow43, cost_fx_sin,
                               cost_fx_sqrt, fx_cos, fx_exp, fx_log2_bitwise,

@@ -49,6 +49,12 @@ class TestExamples:
         assert "DVFS sweep" in out
         assert "energy saving" in out
 
+    def test_service_client(self):
+        out = run_example("service_client.py")
+        assert "winner: IppsMDCTInv_MP3_32s" in out
+        assert "identical answer" in out
+        assert "service shut down cleanly" in out
+
     def test_mac_decomposition(self):
         out = run_example("mac_decomposition.py")
         assert "fx_exp_out = fx_exp(x)" in out

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.library import (CharacterizationTable, characterize,
+from repro.library import (CharacterizationTable,
                            characterize_library, full_library)
 from repro.platform import Badge4
 

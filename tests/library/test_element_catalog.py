@@ -4,8 +4,7 @@ import pytest
 
 from repro.errors import LibraryError
 from repro.library import (Library, LibraryElement, formal_inputs,
-                           full_library, inhouse_library, ipp_library,
-                           linux_math_library, reference_library)
+                           full_library, ipp_library, reference_library)
 from repro.platform import OperationTally
 from repro.symalg import Polynomial
 

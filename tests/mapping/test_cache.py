@@ -83,7 +83,8 @@ class TestFingerprints:
     def test_element_fingerprint_sees_cost_changes(self):
         lib_a = _demo_library(cost_mul=1)
         lib_b = _demo_library(cost_mul=7)
-        fp = lambda lib: fingerprint_element(next(iter(lib)))
+        def fp(lib):
+            return fingerprint_element(next(iter(lib)))
         assert fp(lib_a) != fp(lib_b)
 
     def test_library_fingerprint_is_order_independent(self):

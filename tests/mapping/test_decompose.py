@@ -1,10 +1,8 @@
 """Tests for the branch-and-bound Decompose algorithm (Table 2)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.frontend import ArrayInput, extract_block
 from repro.library import Library, LibraryElement, full_library
 from repro.mapping import (all_manipulations, decompose, map_block,
                            residual_cost, structural_hints)

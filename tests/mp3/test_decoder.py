@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.mp3 import (CONFIGURATIONS, IH_IPP_FULL, IH_IPP_SUBBAND,
-                       IH_LIBRARY, IPP_MP3, IPP_SUBBAND, IPP_SUBBAND_IMDCT,
-                       ORIGINAL, ComplianceLevel, DecoderConfig, Mp3Decoder,
+from repro.mp3 import (CONFIGURATIONS, IH_IPP_FULL, IH_LIBRARY, ORIGINAL,
+                       ComplianceLevel, DecoderConfig, Mp3Decoder,
                        check_compliance, make_stream)
 from repro.mp3.tables import FRAME_SAMPLES
 

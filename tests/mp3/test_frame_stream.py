@@ -6,7 +6,7 @@ import pytest
 from repro.errors import Mp3Error
 from repro.mp3.bitstream import BitReader, BitWriter
 from repro.mp3.frame import Frame, FrameHeader, GranuleChannel
-from repro.mp3.synth_stream import EncodedStream, SyntheticEncoder, make_stream
+from repro.mp3.synth_stream import SyntheticEncoder, make_stream
 from repro.mp3.tables import FRAME_SAMPLES, GRANULE_SAMPLES
 
 

@@ -1,7 +1,6 @@
 """Tests for the vectorized Q-format helpers and the cost recipes."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays

@@ -120,7 +120,7 @@ class TestCustomRegistration:
     def test_resolve_rejects_duplicate_labels(self):
         """Two boards resolving to one label would silently conflate
         their results in every label-indexed report."""
-        from repro.platform import ARM926, ARM926_ENERGY, GENERIC_DSP_ENERGY
+        from repro.platform import ARM926, GENERIC_DSP_ENERGY
         board_a = Badge4(processor=ARM926, energy=GENERIC_DSP_ENERGY)
         board_b = Badge4(processor=ARM926, energy=ARM7TDMI_ENERGY)
         with pytest.raises(PlatformError, match="duplicate"):

@@ -1,0 +1,57 @@
+"""Shared fixtures for the service-layer test suite."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro.mapping.cache as cache_mod
+from repro.mapping import clear_mapping_caches
+from repro.service import MappingService, ServiceClient, ServiceThread
+
+
+@pytest.fixture
+def cold_caches(monkeypatch):
+    """Cold in-memory caches, disk tier off, regardless of host env.
+
+    The service-suite twin of the mapping suite's
+    ``isolated_cache_env``: coalescing tests count cache misses, so
+    they must start from a known-cold, disk-free state.
+    """
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    cache_mod.configure(None)
+    clear_mapping_caches()
+    yield
+    clear_mapping_caches()
+    cache_mod.configure(follow_env=True)
+
+
+class GatedExecutor(ThreadPoolExecutor):
+    """A request executor whose jobs wait for an event before running.
+
+    Injected into :class:`MappingService` to make coalescing
+    deterministic: the first request's computation blocks on the gate
+    until the test has piled N identical requests onto the flight,
+    then the gate opens and exactly one computation serves them all.
+    """
+
+    def __init__(self, gate: threading.Event, max_workers: int = 2):
+        super().__init__(max_workers=max_workers,
+                         thread_name_prefix="repro-gated")
+        self._gate = gate
+
+    def submit(self, fn, *args, **kwargs):
+        def gated():
+            assert self._gate.wait(timeout=60), "gate never opened"
+            return fn(*args, **kwargs)
+        return super().submit(gated)
+
+
+@pytest.fixture(scope="module")
+def live_service():
+    """One service instance shared by a module's round-trip tests."""
+    with ServiceThread(MappingService(port=0)) as thread:
+        client = ServiceClient(thread.base_url)
+        client.wait_healthy()
+        yield thread.service, client

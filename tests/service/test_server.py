@@ -1,0 +1,220 @@
+"""End-to-end service tests: endpoint round-trips, error paths,
+byte parity, graceful shutdown."""
+
+import http.client
+import json
+import threading
+import time
+import urllib.error
+
+import pytest
+
+from repro.mapping import MethodologyFlow, map_block, map_block_pareto
+from repro.platform.registry import DEFAULT_REGISTRY
+from repro.service import MappingService, ServiceClient, ServiceThread
+
+from .conftest import GatedExecutor
+
+
+def _raw_post(service, path: str, body: bytes,
+              content_type: str = "application/json"):
+    """POST arbitrary bytes (the client only sends well-formed JSON)."""
+    conn = http.client.HTTPConnection(service.host, service.port,
+                                      timeout=30)
+    try:
+        conn.request("POST", path, body=body,
+                     headers={"Content-Type": content_type})
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+class TestRoundTrips:
+    def test_healthz(self, live_service):
+        _service, client = live_service
+        health = client.health()
+        assert health["ok"] is True
+        assert health["service"] == "repro.service"
+
+    def test_platforms_mirror_registry(self, live_service):
+        _service, client = live_service
+        payload = client.platforms()
+        assert payload["default"] == "SA-1110"
+        assert [p["key"] for p in payload["platforms"]] == \
+            DEFAULT_REGISTRY.names()
+
+    def test_map_matches_direct_call(self, live_service):
+        service, client = live_service
+        response = client.map_block("inv_mdctL")
+        assert response["mapped"] is True
+        assert response["winner"] == "IppsMDCTInv_MP3_32s"
+
+        block = service.catalog.block("inv_mdctL")
+        library = service.catalog.library(("REF", "LM", "IH", "IPP"))
+        platform = service.catalog.platform("SA-1110")
+        winner, matches = map_block(block, library, platform,
+                                    tolerance=1e-6)
+        assert response["winner"] == winner.element.name
+        assert [m["element"] for m in response["matches"]] == \
+            [m.element.name for m in matches]
+        # matches arrive in map_block's cycles-ascending order
+        cycles = [m["cycles"] for m in response["matches"]]
+        assert cycles == sorted(cycles)
+
+    def test_pareto_matches_direct_call(self, live_service):
+        service, client = live_service
+        response = client.pareto("SubBandSynthesis", platform="DSP")
+        block = service.catalog.block("SubBandSynthesis")
+        library = service.catalog.library(("REF", "LM", "IH", "IPP"))
+        result = map_block_pareto(block, library,
+                                  service.catalog.platform("DSP"),
+                                  tolerance=1e-6)
+        assert [p["element"] for p in response["front"]] == \
+            [p.element_name for p in result.front]
+        assert response["winner"] == result.cycles_winner.element.name
+
+    def test_sweep_is_the_canonical_sweep_json(self, live_service):
+        service, client = live_service
+        status, body = client.request_bytes(
+            "POST", "/v1/sweep", {"platforms": ["SA-1110", "DSP"]})
+        assert status == 200
+        flow = MethodologyFlow(blocks=service.catalog.blocks())
+        report = flow.sweep(platforms=["SA-1110", "DSP"])
+        assert body == report.to_json().encode("ascii")
+
+    def test_stats_shape(self, live_service):
+        _service, client = live_service
+        stats = client.stats()
+        assert {"started", "coalesced", "in_flight"} <= \
+            set(stats["service"]["singleflight"])
+        assert "map_block" in stats["caches"]
+        assert "disk" in stats["caches"]
+
+    def test_warm_response_byte_identical_to_cold(self, live_service):
+        _service, client = live_service
+        payload = {"block": "SubBandSynthesis", "platform": "ARM926"}
+        first = client.request_bytes("POST", "/v1/map", payload)
+        second = client.request_bytes("POST", "/v1/map", payload)
+        assert first == second
+        assert first[0] == 200
+
+
+class TestErrorPaths:
+    def test_malformed_json_is_400(self, live_service):
+        service, _client = live_service
+        status, body = _raw_post(service, "/v1/map", b"{not json")
+        assert status == 400
+        assert "malformed JSON" in json.loads(body)["error"]
+
+    def test_empty_body_is_400(self, live_service):
+        service, _client = live_service
+        status, _body = _raw_post(service, "/v1/map", b"")
+        assert status == 400
+
+    def test_non_object_body_is_400(self, live_service):
+        service, _client = live_service
+        status, _body = _raw_post(service, "/v1/map", b"[1,2]")
+        assert status == 400
+
+    def test_unknown_platform_is_404(self, live_service):
+        _service, client = live_service
+        status, body = client.request(
+            "POST", "/v1/map", {"block": "inv_mdctL", "platform": "Z80"})
+        assert status == 404
+        assert "Z80" in body["error"]
+
+    def test_unknown_block_is_404(self, live_service):
+        _service, client = live_service
+        status, _body = client.request("POST", "/v1/map",
+                                       {"block": "fft_radix2"})
+        assert status == 404
+
+    def test_unknown_library_tag_is_404(self, live_service):
+        _service, client = live_service
+        status, _body = client.request(
+            "POST", "/v1/map",
+            {"block": "inv_mdctL", "library": ["REF", "MKL"]})
+        assert status == 404
+
+    def test_unknown_sweep_platform_is_404(self, live_service):
+        _service, client = live_service
+        status, _body = client.request("POST", "/v1/sweep",
+                                       {"platforms": ["Z80"]})
+        assert status == 404
+
+    def test_duplicate_sweep_platforms_is_400(self, live_service):
+        _service, client = live_service
+        status, body = client.request(
+            "POST", "/v1/sweep", {"platforms": ["SA-1110", "SA-1110"]})
+        assert status == 400
+        assert "duplicate" in body["error"]
+
+    def test_unknown_endpoint_is_404(self, live_service):
+        _service, client = live_service
+        status, _body = client.request("GET", "/v2/map")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, live_service):
+        _service, client = live_service
+        assert client.request("GET", "/v1/map")[0] == 405
+        assert client.request("POST", "/healthz", {})[0] == 405
+
+    def test_unknown_request_field_is_400(self, live_service):
+        _service, client = live_service
+        status, body = client.request(
+            "POST", "/v1/map", {"block": "inv_mdctL", "workers": 4})
+        assert status == 400
+        assert "workers" in body["error"]
+
+    def test_errors_are_counted(self, live_service):
+        service, client = live_service
+        before = service.errors
+        client.request("GET", "/no/such/path")
+        assert service.errors == before + 1
+
+
+class TestGracefulShutdown:
+    def test_shutdown_refuses_new_connections(self, cold_caches):
+        with ServiceThread(MappingService(port=0)) as thread:
+            client = ServiceClient(thread.base_url, timeout=10)
+            client.wait_healthy()
+        with pytest.raises((urllib.error.URLError, ConnectionError)):
+            client.health()
+
+    def test_shutdown_drains_inflight_requests(self, cold_caches):
+        gate = threading.Event()
+        thread = ServiceThread(
+            MappingService(port=0, executor=GatedExecutor(gate)))
+        thread.__enter__()
+        try:
+            client = ServiceClient(thread.base_url)
+            client.wait_healthy()
+            outcome = {}
+
+            def issue():
+                outcome["reply"] = client.request_bytes(
+                    "POST", "/v1/map", {"block": "inv_mdctL"})
+
+            requester = threading.Thread(target=issue)
+            requester.start()
+            deadline = time.monotonic() + 30
+            while thread.service.flight.in_flight < 1:
+                assert time.monotonic() < deadline, "request never started"
+                time.sleep(0.01)
+
+            closer = threading.Thread(
+                target=thread.__exit__, args=(None, None, None))
+            closer.start()
+            time.sleep(0.2)
+            # shutdown is draining, not killing: the request still runs
+            assert closer.is_alive()
+            gate.set()
+            closer.join(timeout=60)
+            requester.join(timeout=60)
+            assert not closer.is_alive()
+            status, body = outcome["reply"]
+            assert status == 200
+            assert json.loads(body)["winner"] == "IppsMDCTInv_MP3_32s"
+        finally:
+            gate.set()

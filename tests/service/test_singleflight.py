@@ -1,0 +1,105 @@
+"""Single-flight semantics, pinned at the asyncio level."""
+
+import asyncio
+
+import pytest
+
+from repro.service.singleflight import SingleFlight
+
+
+async def _drain_until(flight, predicate, rounds: int = 500):
+    for _ in range(rounds):
+        if predicate(flight):
+            return
+        await asyncio.sleep(0)
+    raise AssertionError(f"never reached state; stats={flight.stats()}")
+
+
+def test_identical_keys_compute_once():
+    async def scenario():
+        flight = SingleFlight()
+        gate = asyncio.Event()
+        calls = 0
+
+        async def compute():
+            nonlocal calls
+            calls += 1
+            await gate.wait()
+            return {"answer": 42}
+
+        tasks = [asyncio.create_task(flight.run("k", compute))
+                 for _ in range(8)]
+        await _drain_until(flight, lambda f: f.coalesced == 7)
+        assert flight.in_flight == 1
+        gate.set()
+        results = await asyncio.gather(*tasks)
+        assert calls == 1
+        # every waiter sees the same shared result object
+        assert all(r is results[0] for r in results)
+        assert flight.stats() == {"started": 1, "coalesced": 7,
+                                  "in_flight": 0}
+    asyncio.run(scenario())
+
+
+def test_distinct_keys_run_independently():
+    async def scenario():
+        flight = SingleFlight()
+
+        async def compute(value):
+            await asyncio.sleep(0)
+            return value
+
+        a, b = await asyncio.gather(
+            flight.run("a", lambda: compute(1)),
+            flight.run("b", lambda: compute(2)))
+        assert (a, b) == (1, 2)
+        assert flight.stats()["started"] == 2
+        assert flight.stats()["coalesced"] == 0
+    asyncio.run(scenario())
+
+
+def test_failure_propagates_then_forgets():
+    async def scenario():
+        flight = SingleFlight()
+        gate = asyncio.Event()
+
+        async def explode():
+            await gate.wait()
+            raise ValueError("boom")
+
+        tasks = [asyncio.create_task(flight.run("k", explode))
+                 for _ in range(3)]
+        await _drain_until(flight, lambda f: f.coalesced == 2)
+        gate.set()
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        assert all(isinstance(r, ValueError) for r in results)
+        # the failed flight is forgotten: a retry computes afresh
+        assert flight.in_flight == 0
+
+        async def recover():
+            return "ok"
+
+        assert await flight.run("k", recover) == "ok"
+        assert flight.started == 2
+    asyncio.run(scenario())
+
+
+def test_cancelled_waiter_does_not_kill_the_flight():
+    async def scenario():
+        flight = SingleFlight()
+        gate = asyncio.Event()
+
+        async def compute():
+            await gate.wait()
+            return "shared"
+
+        leader = asyncio.create_task(flight.run("k", compute))
+        follower = asyncio.create_task(flight.run("k", compute))
+        await _drain_until(flight, lambda f: f.coalesced == 1)
+        leader.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await leader
+        gate.set()
+        # the shared computation survived the leader's cancellation
+        assert await follower == "shared"
+    asyncio.run(scenario())

@@ -6,7 +6,7 @@ from fractions import Fraction
 import pytest
 
 from repro.errors import SymbolicError
-from repro.symalg import (Add, Call, Const, Mul, OpCount, Polynomial, Pow,
+from repro.symalg import (Add, Call, Const, Mul, OpCount, Pow,
                           Var, const, flatten, symbols, taylor, to_source, var)
 
 x_p, y_p = symbols("x y")

@@ -1,8 +1,5 @@
 """Tests for factorization and square-free decomposition."""
 
-from fractions import Fraction
-
-import pytest
 from hypothesis import given, settings
 
 from repro.symalg import (Polynomial, factor, parse_polynomial,

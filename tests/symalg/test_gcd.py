@@ -1,8 +1,5 @@
 """Tests for polynomial GCD/LCM."""
 
-from fractions import Fraction
-
-import pytest
 from hypothesis import given, settings
 
 from repro.symalg import Polynomial, polynomial_gcd, polynomial_lcm, symbols

@@ -1,7 +1,5 @@
 """Tests for the Horner (nested form) transform."""
 
-from fractions import Fraction
-
 from hypothesis import given, settings
 
 from repro.symalg import Polynomial, horner, horner_op_count, parse_polynomial, symbols

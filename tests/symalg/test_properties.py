@@ -1,12 +1,10 @@
 """Hypothesis property tests: the polynomial ring axioms, the packed
 monomial encoding, and friends."""
 
-from fractions import Fraction
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.symalg import Polynomial, symbols
+from repro.symalg import Polynomial
 from repro.symalg.monomials import (coprime, degree, divides, guard_mask,
                                     lcm, pack, remap, remap_table, unpack)
 

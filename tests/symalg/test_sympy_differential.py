@@ -13,13 +13,14 @@ from hypothesis import assume, given, settings
 
 sympy = pytest.importorskip("sympy")
 
-from repro.errors import GroebnerExplosion
-from repro.symalg import GREVLEX, LEX, Polynomial, factor, groebner_basis, symbols
-from repro.symalg.division import divide
-from repro.symalg.monomials import guard_mask
-from repro.symalg.ordering import TermOrder
+from repro.errors import GroebnerExplosion  # noqa: E402
+from repro.symalg import (GREVLEX, LEX, Polynomial, factor,  # noqa: E402
+                          groebner_basis, symbols)
+from repro.symalg.division import divide  # noqa: E402
+from repro.symalg.monomials import guard_mask  # noqa: E402
 
-from .strategies import ideal_polynomials, nonzero_polynomials, polynomials
+from .strategies import (ideal_polynomials, nonzero_polynomials,  # noqa: E402
+                         polynomials)
 
 x, y, z = symbols("x y z")
 sx, sy, sz = sympy.symbols("x y z")

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 
 from repro.symalg import parse_expression, reduce_tree_height
-from repro.symalg.expression import Add, Call, Mul, Pow, var
+from repro.symalg.expression import Call, Pow, var
 
 from .strategies import evaluation_points, nonzero_polynomials
 
