@@ -1,0 +1,73 @@
+"""Session-facade overhead: `MappingSession.map` vs the legacy path.
+
+The api redesign routes every frontend through `MappingSession`; this
+bench pins down what the facade costs on the warm path (LRU hit +
+typed-result construction + canonical rendering) relative to the
+deprecated module-level ``map_block`` it replaces, and re-asserts the
+redesign's core guarantee — byte parity between the session's
+``to_json()`` and the payload built from the legacy call.
+
+Results land in ``BENCH_api_facade.json`` at the repo root.
+"""
+
+import json
+import time
+import warnings
+from pathlib import Path
+
+from repro.api import MappingSession, MapResult, SessionConfig
+from repro.mapping import map_block
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_api_facade.json"
+
+_ROUNDS = 200
+
+
+def _time_per_call(fn, rounds=_ROUNDS) -> float:
+    start = time.perf_counter()
+    for _ in range(rounds):
+        fn()
+    return (time.perf_counter() - start) / rounds
+
+
+def test_facade_overhead_and_parity(report):
+    session = MappingSession(SessionConfig())
+    block = session.catalog.block("inv_mdctL")
+    library = session.catalog.library(("REF", "LM", "IH"))
+    platform = session.catalog.platform("SA-1110")
+
+    # Warm both cache pools (session-private and the default tiers).
+    result = session.map(block, library)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        winner, matches = map_block(block, library, platform, tolerance=1e-6)
+
+    legacy_bytes = MapResult(
+        request=result.request, platform=platform,
+        winner=winner, matches=tuple(matches)).to_json()
+    assert legacy_bytes == result.to_json()   # the parity guarantee
+
+    session_us = _time_per_call(lambda: session.map(block, library)) * 1e6
+
+    def _legacy():
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            map_block(block, library, platform, tolerance=1e-6)
+
+    legacy_us = _time_per_call(_legacy) * 1e6
+    render_us = _time_per_call(result.to_json) * 1e6
+
+    payload = {
+        "rounds": _ROUNDS,
+        "warm_session_map_us": round(session_us, 2),
+        "warm_legacy_map_block_us": round(legacy_us, 2),
+        "render_to_json_us": round(render_us, 2),
+        "byte_parity": True,
+        "note": "warm-path cost per call; session path includes typed "
+                "MapResult construction, legacy path includes the "
+                "DeprecationWarning machinery",
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    report(f"\napi facade warm map: session {session_us:.1f}us vs legacy "
+           f"{legacy_us:.1f}us; to_json {render_us:.1f}us "
+           f"(byte parity asserted) -> {OUTPUT.name}")

@@ -14,7 +14,7 @@ import os
 
 import pytest
 
-from repro.mapping.cache import clear_all
+from repro.mapping.cache import DEFAULT_TIERS, clear_mapping_caches
 from repro.mp3 import make_stream
 from repro.platform import Badge4
 from repro.symalg.gcdtools import clear_gcd_caches
@@ -36,7 +36,8 @@ def stream():
 def _cold_run_knob():
     """Honor REPRO_NO_CACHE: reset every cache tier before each test."""
     if os.environ.get("REPRO_NO_CACHE"):
-        clear_all()
+        clear_mapping_caches()
+        DEFAULT_TIERS.clear()
         clear_ideal_caches()
         clear_gcd_caches()
     yield

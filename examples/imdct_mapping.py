@@ -13,6 +13,11 @@ implementations to use.  The pipeline here:
    library that is ``IppsMDCTInv_MP3_32s``; with IPP excluded it is the
    in-house ``fixed_IMDCT`` (the Table 4 -> Table 5 transition).
 
+Everything runs through one :class:`repro.api.MappingSession` — the
+same facade ``python -m repro map inv_mdctL`` and the HTTP service
+use, so the ``--json`` rendering printed at the end is byte-identical
+to a ``/v1/map`` response for the same request.
+
 Run:  python examples/imdct_mapping.py
 
 ``REPRO_NO_CACHE=1`` forces a cold run (no disk tier, cleared caches);
@@ -21,40 +26,35 @@ Run:  python examples/imdct_mapping.py
 
 import os
 
-from repro.library import (Library, characterize, full_library,
-                           inhouse_library, linux_math_library,
-                           reference_library)
-from repro.mapping import map_block
-from repro.mapping.cache import clear_all
-from repro.mapping.flow import _imdct_block
-from repro.platform import Badge4
+from repro.api import MappingSession
+from repro.library import characterize
 
 
 def main() -> None:
+    session = MappingSession()          # config resolved from the environment
     if os.environ.get("REPRO_NO_CACHE"):
-        clear_all()
-    platform = Badge4()
-    block = _imdct_block()
+        session.clear_caches()
+    block = session.catalog.block("inv_mdctL")
     n_coeffs = sum(len(p) for p in block.outputs.values())
     print(f"extracted block '{block.name}': {len(block.outputs)} outputs, "
           f"{len(block.input_variables)} inputs, {n_coeffs} coefficients")
 
     print("\n--- pass with LM + IH only (the Table 4 world) ---")
-    lm_ih = Library.union(reference_library(), linux_math_library(),
-                          inhouse_library())
-    winner, matches = map_block(block, lm_ih, platform)
-    _show(matches, winner, platform)
+    _show(session.map("inv_mdctL", ("REF", "LM", "IH")))
 
     print("\n--- pass with LM + IH + IPP (the Table 5 world) ---")
-    winner, matches = map_block(block, full_library(), platform)
-    _show(matches, winner, platform)
+    result = session.map("inv_mdctL")   # default: the full REF+LM+IH+IPP ladder
+    _show(result)
+
+    print("\nthe canonical wire format (what /v1/map would answer):")
+    print(result.to_json().decode("ascii"))
 
 
-def _show(matches, winner, platform) -> None:
-    for match in matches:
+def _show(result) -> None:
+    platform = result.platform
+    for match in result.matches:
         entry = characterize(match.element, platform)
-        marker = "  <== selected" if match is winner or \
-            match.element.name == winner.element.name else ""
+        marker = "  <== selected" if match.element.name == result.winner_name else ""
         print(f"  {match.element.name:<22} {entry.seconds_per_call:>10.6f} s"
               f"  err<{match.max_coefficient_error:.1e}{marker}")
 

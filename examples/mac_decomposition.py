@@ -24,14 +24,15 @@ import os
 
 from repro.library import Library, full_library
 from repro.mapping import decompose, residual_cost, rewrite
-from repro.mapping.cache import clear_all
+from repro.mapping.cache import DEFAULT_TIERS, clear_mapping_caches
 from repro.platform import Badge4
 from repro.symalg import Polynomial, taylor
 
 
 def main() -> None:
     if os.environ.get("REPRO_NO_CACHE"):
-        clear_all()
+        clear_mapping_caches()
+        DEFAULT_TIERS.clear()
     platform = Badge4()
     x = Polynomial.variable("x")
     target = taylor("exp", 4).substitute({"_arg": x})

@@ -19,13 +19,14 @@ import os
 import sys
 
 from repro.mapping import MethodologyFlow
-from repro.mapping.cache import clear_all
+from repro.mapping.cache import DEFAULT_TIERS, clear_mapping_caches
 from repro.mp3 import make_stream
 
 
 def main() -> None:
     if os.environ.get("REPRO_NO_CACHE"):
-        clear_all()
+        clear_mapping_caches()
+        DEFAULT_TIERS.clear()
     workers = int(os.environ.get("REPRO_WORKERS", "0")) or None
     n_frames = int(sys.argv[1]) if len(sys.argv) > 1 else 4
     stream = make_stream(n_frames=n_frames, seed=2002)

@@ -1,8 +1,19 @@
 """repro — reproduction of Peymandoust, Simunic & De Micheli (DAC 2002),
 "Complex Library Mapping for Embedded Software Using Symbolic Algebra".
 
+The front door is :mod:`repro.api`: build a
+:class:`~repro.api.MappingSession` and call ``map`` / ``pareto`` /
+``batch`` / ``sweep`` / ``flow`` on it — or use ``python -m repro``
+(:mod:`repro.cli`) from a shell.  The HTTP service
+(:mod:`repro.service`) serves the same facade long-running.
+
 Subpackages
 -----------
+``repro.api``
+    The public session facade: typed config, requests and results,
+    the canonical wire format every frontend shares.
+``repro.cli``
+    ``python -m repro`` — map, pareto, sweep, platforms, cache.
 ``repro.symalg``
     From-scratch symbolic algebra engine (the paper's Maple V role):
     exact multivariate polynomials, Groebner bases, simplification
@@ -18,14 +29,17 @@ Subpackages
     symbolic simplification, plus the full 3-step methodology driver.
 ``repro.platform``
     Badge4 substitute: SA-1110-style cycle/energy cost model, DVFS,
-    profiler.
+    profiler, and the pluggable processor registry.
 ``repro.fixedpoint``
     In-house style Q-format fixed-point arithmetic and math kernels.
 ``repro.mp3``
     MP3-Layer-III-style decoder substrate with float/fixed/IPP-style
     stage variants, synthetic workload generator, compliance test.
+``repro.service``
+    Mapping-as-a-service: the asyncio HTTP/JSON front-end over one
+    session.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -1,0 +1,127 @@
+"""Named-resource resolution: block names, library tags, platform keys.
+
+A session (and through it, the HTTP service) addresses resources by
+short stable names — ``"inv_mdctL"``, ``("REF", "IH")``,
+``"SA-1110"`` — and the catalog turns those into live objects,
+memoized per instance:
+
+* **blocks** are extracted once (frontend symbolic execution is the
+  expensive part of a cold start) and the *same* ``TargetBlock``
+  objects reused for every request;
+* **libraries** are assembled once per tag combination and reused, so
+  the per-instance fingerprint memo
+  (:func:`~repro.mapping.cache.fingerprint_library`) and the batch
+  engine's per-object pickle memo both stay hot;
+* **platforms** come from the session's
+  :class:`~repro.platform.registry.ProcessorRegistry` and are
+  instantiated once per key.
+
+Unknown names raise :class:`~repro.errors.ServiceError` carrying the
+HTTP status a transport should answer (404 unknown resource, 400
+malformed combination) — library callers can treat it as an ordinary
+:class:`~repro.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+from repro.api.types import LIBRARY_TAGS
+from repro.errors import ServiceError
+from repro.frontend.extract import TargetBlock
+from repro.library.builtin import (
+    inhouse_library,
+    ipp_library,
+    linux_math_library,
+    reference_library,
+)
+from repro.library.catalog import Library
+from repro.platform.badge4 import Badge4
+from repro.platform.registry import DEFAULT_REGISTRY, ProcessorRegistry
+
+__all__ = ["ResourceCatalog"]
+
+_BUILDERS = {
+    "REF": reference_library,
+    "LM": linux_math_library,
+    "IH": inhouse_library,
+    "IPP": ipp_library,
+}
+
+
+class ResourceCatalog:
+    """Named resources one session serves, memoized per instance."""
+
+    def __init__(
+        self,
+        blocks: "dict[str, TargetBlock] | None" = None,
+        registry: "ProcessorRegistry | None" = None,
+    ):
+        self._blocks: "dict[str, TargetBlock] | None" = (
+            dict(blocks) if blocks is not None else None
+        )
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._libraries: dict[tuple, Library] = {}
+        self._platforms: dict[str, Badge4] = {}
+
+    # -- blocks ---------------------------------------------------------
+    def blocks(self) -> "dict[str, TargetBlock]":
+        """Every named block (extracting lazily on first use)."""
+        if self._blocks is None:
+            from repro.mapping.flow import methodology_blocks
+
+            self._blocks = methodology_blocks()
+        return self._blocks
+
+    def block(self, name: str) -> TargetBlock:
+        blocks = self.blocks()
+        if name not in blocks:
+            raise ServiceError(404, f"unknown block {name!r}; known: {sorted(blocks)}")
+        return blocks[name]
+
+    def block_subset(self, names) -> "dict[str, TargetBlock]":
+        """``{name: block}`` for ``names`` (``None`` = every block)."""
+        if names is None:
+            return dict(self.blocks())
+        return {name: self.block(name) for name in names}
+
+    # -- libraries ------------------------------------------------------
+    def library(self, tags: tuple) -> Library:
+        """The (memoized) union library of catalog ``tags``."""
+        tags = tuple(tags)
+        unknown = sorted(set(tags) - set(_BUILDERS))
+        if unknown:
+            raise ServiceError(
+                404,
+                f"unknown library tag(s) {unknown}; known: {list(LIBRARY_TAGS)}",
+            )
+        if len(set(tags)) != len(tags):
+            raise ServiceError(400, f"duplicate library tag in {list(tags)}")
+        library = self._libraries.get(tags)
+        if library is None:
+            library = Library.union(*(_BUILDERS[tag]() for tag in tags))
+            self._libraries[tags] = library
+        return library
+
+    def library_combo(self, combo: str) -> Library:
+        """A library from a ``"+"``-joined combo string (sweep form)."""
+        return self.library(tuple(combo.split("+")))
+
+    # -- platforms ------------------------------------------------------
+    def platform(self, key: str) -> Badge4:
+        """The (memoized) platform registered under ``key``."""
+        if key not in self._registry:
+            raise ServiceError(
+                404, f"unknown platform {key!r}; known: {self._registry.names()}"
+            )
+        platform = self._platforms.get(key)
+        if platform is None:
+            platform = self._registry.platform(key)
+            self._platforms[key] = platform
+        return platform
+
+    def platform_keys(self, keys) -> tuple:
+        """Validated registry keys (``None`` = every registered one)."""
+        if keys is None:
+            return tuple(self._registry.names())
+        for key in keys:
+            self.platform(key)
+        return tuple(keys)

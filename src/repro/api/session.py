@@ -1,0 +1,379 @@
+"""The session facade: one typed entry point for the whole methodology.
+
+``MappingSession`` owns every piece of cross-cutting state the mapping
+flow reads — cache tiers, worker fan-out, platform registry, request
+defaults — behind an immutable :class:`~repro.api.SessionConfig`.  All
+frontends share it: library code calls the methods directly, the CLI
+(``python -m repro``) builds one per invocation, and the HTTP service
+holds exactly one for its process lifetime.  Two sessions with
+different cache directories coexist in one process with fully isolated
+statistics, because each owns its
+:class:`~repro.mapping.cache.CacheTiers`.
+
+>>> from repro.api import MappingSession, SessionConfig
+>>> session = MappingSession(SessionConfig())
+>>> session.config.platform
+'SA-1110'
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Mapping, Sequence
+
+from repro.api.catalog import ResourceCatalog
+from repro.api.config import SessionConfig
+from repro.api.types import MapRequest, MapResult, ParetoResult
+from repro.frontend.extract import TargetBlock
+from repro.library.catalog import Library
+from repro.mapping.batch import BatchItem, BatchReport, run_batch
+from repro.mapping.cache import DEFAULT_TIERS, CacheTiers, clear_shared_caches
+from repro.mapping.cache import shared_cache_stats as _shared_cache_stats
+from repro.mapping.decompose import (
+    DecomposeResult,
+    _decompose_cached,
+    _map_block_cached,
+    _map_block_pareto_cached,
+)
+from repro.mapping.flow import MethodologyFlow, SweepReport
+from repro.platform.badge4 import Badge4
+from repro.symalg.polynomial import Polynomial
+
+__all__ = ["MappingSession", "default_session"]
+
+
+class MappingSession:
+    """A scoped instance of the paper's characterize→identify→map flow.
+
+    Parameters
+    ----------
+    config:
+        The session's :class:`~repro.api.SessionConfig`.  ``None``
+        resolves from the environment
+        (:meth:`SessionConfig.from_env`), which makes a bare
+        ``MappingSession()`` behave like the legacy module-level entry
+        points.
+    blocks:
+        Optional pre-extracted target blocks for the catalog (tests
+        and embedders inject cheap blocks; the service injects its
+        shared catalog so extraction happens once per process).
+    tiers:
+        Optional pre-built cache tiers.  :func:`default_session` binds
+        the process-wide default tiers here; ordinary sessions build
+        private tiers from the config, which is what isolates them.
+
+    Resource arguments throughout accept *names or live objects*: a
+    block is a catalog name or a ``TargetBlock``; a library is a tag
+    tuple, a ``"+"``-joined combo string, or a ``Library``; a platform
+    is a registry key or a live platform.  Unknown names raise
+    :class:`~repro.errors.ServiceError` (the HTTP status is attached
+    for transports).
+    """
+
+    def __init__(
+        self,
+        config: "SessionConfig | None" = None,
+        *,
+        blocks: "Mapping[str, TargetBlock] | None" = None,
+        tiers: "CacheTiers | None" = None,
+    ):
+        self.config = config if config is not None else SessionConfig.from_env()
+        if tiers is not None:
+            self.tiers = tiers
+        else:
+            self.tiers = CacheTiers(
+                cache_dir=self.config.effective_cache_dir,
+                decompose_lru=self.config.decompose_lru,
+                map_block_lru=self.config.map_block_lru,
+            )
+        self.catalog = ResourceCatalog(blocks=blocks, registry=self.config.registry)
+        self._flow: "MethodologyFlow | None" = None
+        self._flow_lock = threading.Lock()
+
+    # -- resolution -------------------------------------------------------
+    def _resolve_block(self, block) -> tuple[str, TargetBlock]:
+        if isinstance(block, TargetBlock):
+            return block.name, block
+        return block, self.catalog.block(block)
+
+    def _resolve_library(self, library) -> tuple[tuple[str, ...], Library]:
+        if library is None:
+            library = self.config.library
+        if isinstance(library, Library):
+            return (library.name,), library
+        if isinstance(library, str):
+            tags = tuple(t for t in library.replace(",", "+").split("+") if t)
+        else:
+            tags = tuple(library)
+        return tags, self.catalog.library(tags)
+
+    def _resolve_platform(self, platform) -> tuple[str, Badge4]:
+        if platform is None:
+            platform = self.config.platform
+        if isinstance(platform, str):
+            return platform, self.catalog.platform(platform)
+        return self.config.registry.label_for(platform), platform
+
+    def _knobs(self, tolerance, accuracy_budget) -> tuple[float, float]:
+        if tolerance is None:
+            tolerance = self.config.tolerance
+        if accuracy_budget is None:
+            accuracy_budget = self.config.accuracy_budget
+        return tolerance, accuracy_budget
+
+    # -- the methodology --------------------------------------------------
+    def map(
+        self,
+        block,
+        library=None,
+        platform=None,
+        *,
+        tolerance: "float | None" = None,
+        accuracy_budget: "float | None" = None,
+    ) -> MapResult:
+        """Scalar block mapping: the cheapest adequate complex element.
+
+        The session form of the paper's ``map_block`` — same search,
+        same cache keys, session-owned tiers — returning a typed
+        :class:`~repro.api.MapResult` whose ``to_json()`` is the
+        service's ``/v1/map`` wire format.
+        """
+        tolerance, accuracy_budget = self._knobs(tolerance, accuracy_budget)
+        block_name, block_obj = self._resolve_block(block)
+        tags, library_obj = self._resolve_library(library)
+        label, platform_obj = self._resolve_platform(platform)
+        request = MapRequest(
+            block=block_name,
+            library=tags,
+            platform=label,
+            tolerance=tolerance,
+            accuracy_budget=accuracy_budget,
+        )
+        winner, matches = _map_block_cached(
+            block_obj, library_obj, platform_obj, tolerance, accuracy_budget, self.tiers
+        )
+        return MapResult(
+            request=request,
+            platform=platform_obj,
+            winner=winner,
+            matches=tuple(matches),
+        )
+
+    def pareto(
+        self,
+        block,
+        library=None,
+        platform=None,
+        *,
+        tolerance: "float | None" = None,
+        accuracy_budget: "float | None" = None,
+    ) -> ParetoResult:
+        """Multi-objective mapping: the (cycles, energy, accuracy) front.
+
+        Shares the cached match list with :meth:`map` (same key, same
+        value); energy is scored fresh per call — the derived-front
+        contract — so fronts can never be served stale across
+        energy-model changes.
+        """
+        tolerance, accuracy_budget = self._knobs(tolerance, accuracy_budget)
+        block_name, block_obj = self._resolve_block(block)
+        tags, library_obj = self._resolve_library(library)
+        label, platform_obj = self._resolve_platform(platform)
+        request = MapRequest(
+            block=block_name,
+            library=tags,
+            platform=label,
+            tolerance=tolerance,
+            accuracy_budget=accuracy_budget,
+        )
+        result = _map_block_pareto_cached(
+            block_obj, library_obj, platform_obj, tolerance, accuracy_budget, self.tiers
+        )
+        return ParetoResult(request=request, result=result)
+
+    def decompose(
+        self,
+        target: Polynomial,
+        library=None,
+        platform=None,
+        *,
+        tolerance: float = 1e-9,
+        accuracy_budget: float = float("inf"),
+        max_depth: int = 3,
+        max_nodes: int = 500,
+        use_hints: bool = True,
+        use_bounding: bool = True,
+    ) -> DecomposeResult:
+        """The scalar Decompose search (Table 2), session-cached.
+
+        Knob defaults mirror :func:`repro.mapping.decompose.decompose`
+        exactly, so session and module-level calls share cache lines.
+        """
+        _tags, library_obj = self._resolve_library(library)
+        _label, platform_obj = self._resolve_platform(platform)
+        return _decompose_cached(
+            target,
+            library_obj,
+            platform_obj,
+            tolerance=tolerance,
+            accuracy_budget=accuracy_budget,
+            max_depth=max_depth,
+            max_nodes=max_nodes,
+            use_hints=use_hints,
+            use_bounding=use_bounding,
+            tiers=self.tiers,
+        )
+
+    def batch(
+        self,
+        items: Iterable[BatchItem],
+        *,
+        workers: "int | None" = None,
+        executor=None,
+    ) -> BatchReport:
+        """Resolve a batch of work items against this session's tiers.
+
+        ``workers``/``executor`` default to the session config; an
+        explicit argument wins for this call only.
+        """
+        return run_batch(
+            list(items),
+            workers=self.config.workers if workers is None else workers,
+            executor=self.config.executor if executor is None else executor,
+            tiers=self.tiers,
+        )
+
+    def sweep(
+        self,
+        platforms: "Sequence[str | Badge4] | None" = None,
+        libraries=None,
+        blocks=None,
+        *,
+        tolerance: "float | None" = None,
+        accuracy_budget: "float | None" = None,
+        workers: "int | None" = None,
+        executor=None,
+    ) -> SweepReport:
+        """Map every block against every library on every platform.
+
+        ``libraries`` accepts ``Library`` objects and/or combo strings
+        (``"REF+LM+IH"``); ``blocks`` accepts block names and/or a
+        ``{name: TargetBlock}`` mapping.  ``None`` everywhere means
+        "everything the catalog knows", with the paper's library
+        ladder.  Returns the canonical
+        :class:`~repro.mapping.flow.SweepReport` (byte-stable
+        ``to_json()``).
+        """
+        tolerance, accuracy_budget = self._knobs(tolerance, accuracy_budget)
+        libs = None
+        if libraries is not None:
+            libs = []
+            for library in libraries:
+                if isinstance(library, Library):
+                    libs.append(library)
+                else:
+                    libs.append(self.catalog.library_combo(library))
+        block_map = None
+        if blocks is not None:
+            if isinstance(blocks, Mapping):
+                block_map = dict(blocks)
+            else:
+                block_map = {name: self.catalog.block(name) for name in blocks}
+        overrides: dict = {}
+        if workers is not None:
+            overrides["workers"] = workers
+        if executor is not None:
+            overrides["executor"] = executor
+        return self.flow().sweep(
+            platforms=platforms,
+            libraries=libs,
+            blocks=block_map,
+            tolerance=tolerance,
+            accuracy_budget=accuracy_budget,
+            **overrides,
+        )
+
+    def flow(
+        self,
+        platform: "Badge4 | None" = None,
+        critical_threshold_percent: float = 5.0,
+    ) -> MethodologyFlow:
+        """A session-bound :class:`~repro.mapping.flow.MethodologyFlow`.
+
+        Wired with this session's tiers, worker count, executor and
+        block catalog.  The default flow (no arguments) is memoized —
+        repeated :meth:`sweep` calls share one — while explicit
+        platform/threshold arguments build a fresh instance.
+        """
+        if platform is None and critical_threshold_percent == 5.0:
+            with self._flow_lock:
+                if self._flow is None:
+                    self._flow = self._build_flow(None, 5.0)
+                return self._flow
+        return self._build_flow(platform, critical_threshold_percent)
+
+    def _build_flow(self, platform, threshold) -> MethodologyFlow:
+        return MethodologyFlow(
+            platform=platform,
+            critical_threshold_percent=threshold,
+            workers=self.config.workers,
+            executor=self.config.executor,
+            blocks=self.catalog.blocks(),
+            tiers=self.tiers,
+            registry=self.config.registry,
+        )
+
+    # -- observability / lifecycle ----------------------------------------
+    def stats(self) -> dict:
+        """This session's cache statistics, in the canonical shape.
+
+        The tiers' ``{"decompose", "map_block", "disk"}`` plus a
+        ``"shared"`` sub-dict for the process-wide pure-function caches
+        (instantiations, manipulations, hints) every session shares.
+        """
+        stats = self.tiers.stats()
+        stats["shared"] = _shared_cache_stats()
+        return stats
+
+    def clear_caches(self, *, shared: bool = True) -> None:
+        """Empty this session's tiers (memory + its disk stores).
+
+        ``shared=True`` (default) also clears the process-wide
+        pure-function caches; other sessions' tiers are never touched.
+        """
+        self.tiers.clear()
+        if shared:
+            clear_shared_caches()
+
+    def platforms(self) -> list[str]:
+        """Registry keys this session resolves platforms against."""
+        return self.config.registry.names()
+
+    def blocks(self) -> "dict[str, TargetBlock]":
+        """The session's named target blocks (extracted on first use)."""
+        return self.catalog.blocks()
+
+    def __repr__(self) -> str:
+        disk = self.config.effective_cache_dir
+        return f"MappingSession(platform={self.config.platform!r}, disk={disk!r})"
+
+
+_DEFAULT_SESSION: "MappingSession | None" = None
+_DEFAULT_SESSION_LOCK = threading.Lock()
+
+
+def default_session() -> MappingSession:
+    """The process-wide session bound to the legacy default tiers.
+
+    Every deprecated module-level entry point and this session resolve
+    against the same :data:`~repro.mapping.cache.DEFAULT_TIERS`, so
+    mixing old and new call styles keeps one coherent cache pool.
+    Built lazily, once, from the environment.
+    """
+    global _DEFAULT_SESSION
+    with _DEFAULT_SESSION_LOCK:
+        if _DEFAULT_SESSION is None:
+            _DEFAULT_SESSION = MappingSession(
+                SessionConfig.from_env(), tiers=DEFAULT_TIERS
+            )
+        return _DEFAULT_SESSION

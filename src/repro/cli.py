@@ -1,0 +1,317 @@
+"""``python -m repro`` — the first-class command-line interface.
+
+The zero-to-mapped path without booting the HTTP server: every
+subcommand builds one :class:`~repro.api.MappingSession` (environment
+knobs honored via :meth:`~repro.api.SessionConfig.from_env`, an
+explicit ``--cache-dir`` winning) and calls the same facade methods
+library code uses.
+
+``--json`` output is the *canonical wire format*: ``repro map ...
+--json`` prints byte-for-byte the body a running service would answer
+on ``/v1/map`` for the same request — asserted in
+``tests/api/test_cli.py`` and smoke-checked in CI.
+
+=============  =========================================================
+``map``        scalar block mapping (cycles winner + every match)
+``pareto``     the (cycles, energy, accuracy) non-dominated front
+``sweep``      the multi-platform sweep (canonical sweep JSON)
+``platforms``  the processor registry
+``cache``      session cache statistics / clearing
+=============  =========================================================
+
+Library selections are forgiving about separators and case:
+``--library LM+IH``, ``--library lm_ih`` and ``--library LM,IH`` all
+name the same catalog tags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+from repro.api import MappingSession, SessionConfig, canonical_json, default_session
+from repro.errors import ReproError
+
+__all__ = ["build_parser", "main"]
+
+_TAG_SPLIT = re.compile(r"[+,_\s]+")
+
+
+def _parse_tags(text: str) -> tuple[str, ...]:
+    """Catalog tags from a separator-agnostic, case-insensitive combo."""
+    return tuple(part.upper() for part in _TAG_SPLIT.split(text) if part)
+
+
+def _parse_list(text: str) -> tuple[str, ...]:
+    """A comma-separated name list (platform keys, block names)."""
+    return tuple(part for part in (p.strip() for p in text.split(",")) if part)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI surface (locked by ``tests/api/test_surface.py``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Symbolic-algebra library mapping (DAC 2002 reproduction): "
+        "map target blocks onto complex library elements from the command "
+        "line, through the same repro.api.MappingSession the service uses.",
+    )
+    sub = parser.add_subparsers(dest="command", metavar="command")
+
+    def add_session_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            help="pin the persistent mapping cache to this directory "
+            "(default: REPRO_CACHE_DIR, if set)",
+        )
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="print the canonical JSON wire format instead of a table",
+        )
+
+    def add_map_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("block", help="target block name (e.g. inv_mdctL)")
+        p.add_argument(
+            "--library",
+            default=None,
+            help="library tag combo, any of +,_ as separators "
+            "(e.g. LM+IH or lm_ih; default: REF+LM+IH+IPP)",
+        )
+        p.add_argument(
+            "--platform",
+            default=None,
+            help="processor registry key (default: SA-1110)",
+        )
+        p.add_argument(
+            "--tolerance",
+            type=float,
+            default=None,
+            help="coefficient-match tolerance (default: 1e-6)",
+        )
+        p.add_argument(
+            "--accuracy-budget",
+            type=float,
+            default=None,
+            help="maximum acceptable accuracy loss (default: unbounded)",
+        )
+        add_session_options(p)
+
+    p_map = sub.add_parser("map", help="map one block to its cheapest element")
+    add_map_options(p_map)
+
+    p_pareto = sub.add_parser(
+        "pareto", help="the (cycles, energy, accuracy) front for one block"
+    )
+    add_map_options(p_pareto)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="map every block x library x platform combination"
+    )
+    p_sweep.add_argument(
+        "--platforms",
+        default=None,
+        help="comma-separated registry keys (default: all registered)",
+    )
+    p_sweep.add_argument(
+        "--libraries",
+        default=None,
+        help="comma-separated tag combos, e.g. REF+LM+IH,REF+LM+IH+IPP "
+        "(default: the paper's ladder)",
+    )
+    p_sweep.add_argument(
+        "--blocks",
+        default=None,
+        help="comma-separated block names (default: all catalog blocks)",
+    )
+    p_sweep.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="coefficient-match tolerance (default: 1e-6)",
+    )
+    p_sweep.add_argument(
+        "--accuracy-budget",
+        type=float,
+        default=None,
+        help="maximum acceptable accuracy loss (default: unbounded)",
+    )
+    add_session_options(p_sweep)
+
+    p_platforms = sub.add_parser("platforms", help="list the processor registry")
+    add_session_options(p_platforms)
+
+    p_cache = sub.add_parser("cache", help="session cache statistics / clearing")
+    p_cache.add_argument(
+        "action",
+        choices=("stats", "clear"),
+        help="'stats' prints the canonical cache statistics; "
+        "'clear' empties the session's tiers (memory + disk)",
+    )
+    add_session_options(p_cache)
+
+    return parser
+
+
+def _session(args: argparse.Namespace) -> MappingSession:
+    if getattr(args, "cache_dir", None):
+        # An explicit directory gets a private session (isolated tiers).
+        return MappingSession(SessionConfig.from_env(cache_dir=args.cache_dir))
+    # Otherwise share the process default session: one coherent cache
+    # pool with any library code in the same process, env knobs live.
+    return default_session()
+
+
+def _emit(text: str) -> None:
+    sys.stdout.write(text + "\n")
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    session = _session(args)
+    library = _parse_tags(args.library) if args.library else None
+    result = session.map(
+        args.block,
+        library,
+        args.platform,
+        tolerance=args.tolerance,
+        accuracy_budget=args.accuracy_budget,
+    )
+    if args.json:
+        _emit(result.to_json().decode("ascii"))
+        return 0
+    request = result.request
+    _emit(f"block     {request.block}")
+    _emit(f"platform  {request.platform} ({result.platform.processor.name})")
+    _emit(f"library   {'+'.join(request.library)}")
+    _emit(f"mapped    {str(result.mapped).lower()}")
+    cycles = result.platform.cost_model.cycles
+    for match in result.matches:
+        marker = "*" if match is result.winner else " "
+        element = match.element
+        _emit(
+            f"  {marker} {element.name:<28} {element.library:<4} "
+            f"{cycles(element.cost):>14,.0f} cyc  err {element.accuracy:.1e}"
+        )
+    if not result.matches:
+        _emit("  (no adequate element)")
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    session = _session(args)
+    library = _parse_tags(args.library) if args.library else None
+    result = session.pareto(
+        args.block,
+        library,
+        args.platform,
+        tolerance=args.tolerance,
+        accuracy_budget=args.accuracy_budget,
+    )
+    if args.json:
+        _emit(result.to_json().decode("ascii"))
+        return 0
+    request = result.request
+    _emit(f"block     {request.block}")
+    _emit(f"platform  {request.platform} ({result.result.platform_name})")
+    _emit(f"library   {'+'.join(request.library)}")
+    _emit(f"winner    {result.winner_name or '<unmapped>'}")
+    for point in result.front:
+        o = point.objectives
+        _emit(
+            f"  - {point.element_name:<28} {o.cycles:>14,.0f} cyc  "
+            f"{o.energy_j:>10.3e} J  err {o.accuracy:.1e}"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    session = _session(args)
+    libraries = None
+    if args.libraries:
+        # Each combo is as forgiving as `map --library`: lm_ih == LM+IH.
+        libraries = [
+            "+".join(_parse_tags(combo)) for combo in _parse_list(args.libraries)
+        ]
+    report = session.sweep(
+        platforms=_parse_list(args.platforms) if args.platforms else None,
+        libraries=libraries,
+        blocks=_parse_list(args.blocks) if args.blocks else None,
+        tolerance=args.tolerance,
+        accuracy_budget=args.accuracy_budget,
+    )
+    if args.json:
+        _emit(report.to_json())
+        return 0
+    _emit(report.format_report())
+    return 0
+
+
+def _cmd_platforms(args: argparse.Namespace) -> int:
+    session = _session(args)
+    registry = session.config.registry
+    if args.json:
+        payload = {
+            "default": session.config.platform,
+            "platforms": [
+                {
+                    "key": entry.key,
+                    "processor": entry.spec.name,
+                    "clock_hz": entry.spec.clock_hz,
+                    "has_fpu": entry.spec.has_fpu,
+                }
+                for entry in registry
+            ],
+        }
+        _emit(canonical_json(payload).decode("ascii"))
+        return 0
+    for entry in registry:
+        default = "*" if entry.key == session.config.platform else " "
+        fpu = "fpu" if entry.spec.has_fpu else "soft-float"
+        _emit(
+            f"{default} {entry.key:<10} {entry.spec.name:<24} "
+            f"{entry.spec.clock_hz / 1e6:>7.1f} MHz  {fpu}"
+        )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    session = _session(args)
+    if args.action == "clear":
+        session.clear_caches()
+        _emit("cleared session cache tiers (memory + disk) and shared caches")
+        return 0
+    stats = session.stats()
+    if args.json:
+        _emit(canonical_json(stats).decode("ascii"))
+        return 0
+    _emit(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
+
+
+_COMMANDS = {
+    "map": _cmd_map,
+    "pareto": _cmd_pareto,
+    "sweep": _cmd_sweep,
+    "platforms": _cmd_platforms,
+    "cache": _cmd_cache,
+}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

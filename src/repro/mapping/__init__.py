@@ -7,45 +7,112 @@ elements, code rewriting, and the full three-step methodology driver.
 
 The entry points (:func:`decompose`, :func:`map_block`) and the
 candidate generators are memoized in two tiers — the in-process LRU
-and an optional persistent disk store — see :mod:`repro.mapping.cache`
-for the fingerprinting and serialization contracts,
-:func:`cache_stats` for hit rates, :func:`clear_mapping_caches` /
-:func:`clear_all` for cold-start measurements, and
+and an optional persistent disk store — bundled per owner as a
+:class:`~repro.mapping.cache.CacheTiers`.  The typed front door is
+:class:`repro.api.MappingSession`, which owns one tier bundle and
+exposes the whole methodology; the module-level ``map_block`` /
+``configure`` family remains as deprecated shims over the process-wide
+:data:`~repro.mapping.cache.DEFAULT_TIERS`.  See
+:mod:`repro.mapping.cache` for the fingerprinting and serialization
+contracts, :func:`cache_stats` for hit rates,
+:func:`clear_mapping_caches` for cold-start measurements, and
 :mod:`repro.mapping.batch` (:func:`run_batch`) for mapping whole
 (block × library × platform) work sets with dedup and process
 fan-out.
 """
 
 from repro.mapping.batch import BatchItem, BatchReport, BatchStats, run_batch
-from repro.mapping.cache import (cache_stats, clear_all,
-                                 clear_mapping_caches, configure,
-                                 fingerprint_block, fingerprint_library,
-                                 fingerprint_platform, mapping_cache_stats)
-from repro.mapping.candidates import (CandidateForm, all_manipulations,
-                                      structural_hints)
-from repro.mapping.decompose import (DecomposeResult, MappingSolution,
-                                     decompose, map_block, map_block_pareto,
-                                     residual_cost)
-from repro.mapping.flow import (FlowReport, MappingPass, MethodologyFlow,
-                                SweepEntry, SweepReport, methodology_blocks)
-from repro.mapping.match import (BlockMatch, Instantiation,
-                                 enumerate_instantiations, match_block)
-from repro.mapping.pareto import (BlockParetoResult, Objectives, ParetoPoint,
-                                  pareto_front, score_element, score_match)
+from repro.mapping.cache import (
+    DEFAULT_TIERS,
+    CacheTiers,
+    cache_stats,
+    clear_all,
+    clear_mapping_caches,
+    configure,
+    fingerprint_block,
+    fingerprint_library,
+    fingerprint_platform,
+    mapping_cache_stats,
+    shared_cache_stats,
+)
+from repro.mapping.candidates import (
+    CandidateForm,
+    all_manipulations,
+    structural_hints,
+)
+from repro.mapping.decompose import (
+    DecomposeResult,
+    MappingSolution,
+    decompose,
+    map_block,
+    map_block_pareto,
+    residual_cost,
+)
+from repro.mapping.flow import (
+    FlowReport,
+    MappingPass,
+    MethodologyFlow,
+    SweepEntry,
+    SweepReport,
+    methodology_blocks,
+)
+from repro.mapping.match import (
+    BlockMatch,
+    Instantiation,
+    enumerate_instantiations,
+    match_block,
+)
+from repro.mapping.pareto import (
+    BlockParetoResult,
+    Objectives,
+    ParetoPoint,
+    pareto_front,
+    score_element,
+    score_match,
+)
 from repro.mapping.rewriter import MappedProgram, rewrite
 
 __all__ = [
-    "Instantiation", "BlockMatch", "enumerate_instantiations", "match_block",
-    "CandidateForm", "all_manipulations", "structural_hints",
-    "decompose", "map_block", "map_block_pareto", "MappingSolution",
-    "DecomposeResult", "residual_cost",
-    "Objectives", "ParetoPoint", "BlockParetoResult", "pareto_front",
-    "score_match", "score_element",
-    "rewrite", "MappedProgram",
-    "MethodologyFlow", "MappingPass", "FlowReport", "methodology_blocks",
-    "SweepEntry", "SweepReport",
-    "BatchItem", "BatchReport", "BatchStats", "run_batch",
-    "cache_stats", "mapping_cache_stats",
-    "clear_mapping_caches", "clear_all", "configure",
-    "fingerprint_block", "fingerprint_library", "fingerprint_platform",
+    "Instantiation",
+    "BlockMatch",
+    "enumerate_instantiations",
+    "match_block",
+    "CandidateForm",
+    "all_manipulations",
+    "structural_hints",
+    "decompose",
+    "map_block",
+    "map_block_pareto",
+    "MappingSolution",
+    "DecomposeResult",
+    "residual_cost",
+    "Objectives",
+    "ParetoPoint",
+    "BlockParetoResult",
+    "pareto_front",
+    "score_match",
+    "score_element",
+    "rewrite",
+    "MappedProgram",
+    "MethodologyFlow",
+    "MappingPass",
+    "FlowReport",
+    "methodology_blocks",
+    "SweepEntry",
+    "SweepReport",
+    "BatchItem",
+    "BatchReport",
+    "BatchStats",
+    "run_batch",
+    "CacheTiers",
+    "DEFAULT_TIERS",
+    "cache_stats",
+    "mapping_cache_stats",
+    "shared_cache_stats",
+    "clear_mapping_caches",
+    "clear_all",
+    "configure",
+    "fingerprint_block",
+    "fingerprint_library",
+    "fingerprint_platform",
 ]

@@ -29,6 +29,12 @@ Degradation is graceful by design:
 Parallel and serial runs produce identical results: the work functions
 are pure, and every value is derived from the same fingerprinted
 inputs (asserted in ``tests/mapping/test_batch.py``).
+
+Cache ownership: ``run_batch(tiers=...)`` resolves and merges against
+an explicit :class:`~repro.mapping.cache.CacheTiers` — the session
+facade passes its own — and defaults to the process-wide
+:data:`~repro.mapping.cache.DEFAULT_TIERS`, so legacy callers keep the
+exact pre-session behaviour.
 """
 
 from __future__ import annotations
@@ -41,11 +47,15 @@ from typing import Iterable, Sequence
 
 from repro.frontend.extract import TargetBlock
 from repro.library.catalog import Library
-from repro.mapping.decompose import (_DECOMPOSE_CACHE, _MAP_BLOCK_CACHE,
-                                     _decompose_key, _decompose_uncached,
-                                     _map_block_key, _map_block_uncached,
-                                     _tier_for, decompose, map_block)
-from repro.mapping.cache import stable_digest
+from repro.mapping.cache import DEFAULT_TIERS, CacheTiers, stable_digest
+from repro.mapping.decompose import (
+    _decompose_key,
+    _decompose_uncached,
+    _map_block_key,
+    _map_block_uncached,
+    decompose,
+    map_block,
+)
 from repro.platform.badge4 import Badge4
 from repro.symalg.polynomial import Polynomial
 
@@ -59,10 +69,11 @@ def _kw_defaults(fn) -> dict:
     from the functions it prewarms — identical knobs mean identical
     cache keys.
     """
-    return {name: p.default
-            for name, p in inspect.signature(fn).parameters.items()
-            if p.kind is inspect.Parameter.KEYWORD_ONLY
-            and name != "cache_dir"}
+    return {
+        name: p.default
+        for name, p in inspect.signature(fn).parameters.items()
+        if p.kind is inspect.Parameter.KEYWORD_ONLY and name != "cache_dir"
+    }
 
 
 _MAP_BLOCK_DEFAULTS = _kw_defaults(map_block)
@@ -79,29 +90,50 @@ class BatchItem:
     direct calls share cache lines.
     """
 
-    kind: str                       # "map_block" | "decompose"
-    payload: object                 # TargetBlock | Polynomial
+    kind: str  # "map_block" | "decompose"
+    payload: object  # TargetBlock | Polynomial
     library: Library
     platform: Badge4 | None
     knobs: tuple[tuple[str, object], ...]
 
     @classmethod
-    def for_block(cls, block: TargetBlock, library: Library,
-                  platform: Badge4 | None = None, **knobs) -> "BatchItem":
+    def for_block(
+        cls,
+        block: TargetBlock,
+        library: Library,
+        platform: Badge4 | None = None,
+        **knobs,
+    ) -> "BatchItem":
         """A block-matching item (the ``map_block`` work unit)."""
-        return cls("map_block", block, library, platform,
-                   _normalize(knobs, _MAP_BLOCK_DEFAULTS, "map_block"))
+        return cls(
+            "map_block",
+            block,
+            library,
+            platform,
+            _normalize(knobs, _MAP_BLOCK_DEFAULTS, "map_block"),
+        )
 
     @classmethod
-    def for_target(cls, target: Polynomial, library: Library,
-                   platform: Badge4 | None = None, **knobs) -> "BatchItem":
+    def for_target(
+        cls,
+        target: Polynomial,
+        library: Library,
+        platform: Badge4 | None = None,
+        **knobs,
+    ) -> "BatchItem":
         """A Decompose-search item (the ``decompose`` work unit)."""
-        return cls("decompose", target, library, platform,
-                   _normalize(knobs, _DECOMPOSE_DEFAULTS, "decompose"))
+        return cls(
+            "decompose",
+            target,
+            library,
+            platform,
+            _normalize(knobs, _DECOMPOSE_DEFAULTS, "decompose"),
+        )
 
 
-def _normalize(knobs: dict, defaults: dict,
-               kind: str) -> tuple[tuple[str, object], ...]:
+def _normalize(
+    knobs: dict, defaults: dict, kind: str
+) -> tuple[tuple[str, object], ...]:
     unknown = set(knobs) - set(defaults)
     if unknown:
         raise TypeError(f"unknown {kind} knob(s): {sorted(unknown)}")
@@ -114,16 +146,16 @@ def _normalize(knobs: dict, defaults: dict,
 class BatchStats:
     """What one :func:`run_batch` call did, for observability/benches."""
 
-    submitted: int = 0          # items passed in
-    unique: int = 0             # after fingerprint dedup
-    memory_hits: int = 0        # resolved from the LRU tier
-    disk_hits: int = 0          # resolved from the persistent tier
-    computed: int = 0           # actually searched (cold)
-    parallel_jobs: int = 0      # cold items executed in worker processes
-    serial_jobs: int = 0        # cold items executed in-process
-    pickle_fallbacks: int = 0   # items that could not cross the boundary
-    worker_retries: int = 0     # worker failures recomputed serially
-    workers: int = 1            # effective worker count
+    submitted: int = 0  # items passed in
+    unique: int = 0  # after fingerprint dedup
+    memory_hits: int = 0  # resolved from the LRU tier
+    disk_hits: int = 0  # resolved from the persistent tier
+    computed: int = 0  # actually searched (cold)
+    parallel_jobs: int = 0  # cold items executed in worker processes
+    serial_jobs: int = 0  # cold items executed in-process
+    pickle_fallbacks: int = 0  # items that could not cross the boundary
+    worker_retries: int = 0  # worker failures recomputed serially
+    workers: int = 1  # effective worker count
 
 
 @dataclass
@@ -142,12 +174,24 @@ def _item_key(item: BatchItem, default_platform: Badge4) -> tuple:
     platform = item.platform or default_platform
     knobs = dict(item.knobs)
     if item.kind == "map_block":
-        return _map_block_key(item.payload, item.library, platform,
-                              knobs["tolerance"], knobs["accuracy_budget"])
-    return _decompose_key(item.payload, item.library, platform,
-                          knobs["tolerance"], knobs["accuracy_budget"],
-                          knobs["max_depth"], knobs["max_nodes"],
-                          knobs["use_hints"], knobs["use_bounding"])
+        return _map_block_key(
+            item.payload,
+            item.library,
+            platform,
+            knobs["tolerance"],
+            knobs["accuracy_budget"],
+        )
+    return _decompose_key(
+        item.payload,
+        item.library,
+        platform,
+        knobs["tolerance"],
+        knobs["accuracy_budget"],
+        knobs["max_depth"],
+        knobs["max_nodes"],
+        knobs["use_hints"],
+        knobs["use_bounding"],
+    )
 
 
 def _pack_job(item: BatchItem, lib_blobs: dict[int, bytes]) -> bytes:
@@ -162,14 +206,13 @@ def _pack_job(item: BatchItem, lib_blobs: dict[int, bytes]) -> bytes:
     """
     blob = lib_blobs.get(id(item.library))
     if blob is None:
-        blob = pickle.dumps(tuple(item.library),
-                            protocol=pickle.HIGHEST_PROTOCOL)
+        blob = pickle.dumps(tuple(item.library), protocol=pickle.HIGHEST_PROTOCOL)
         lib_blobs[id(item.library)] = blob
     spec = item.platform.processor if item.platform is not None else None
     return pickle.dumps(
-        (item.kind, item.payload, item.library.name, blob, spec,
-         dict(item.knobs)),
-        protocol=pickle.HIGHEST_PROTOCOL)
+        (item.kind, item.payload, item.library.name, blob, spec, dict(item.knobs)),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
 
 
 def _execute_job(blob: bytes):
@@ -186,42 +229,51 @@ def _execute_job(blob: bytes):
     library = Library(lib_name, pickle.loads(lib_blob))
     platform = Badge4(processor=spec) if spec is not None else Badge4()
     if kind == "map_block":
-        return _map_block_uncached(payload, library, platform,
-                                   knobs["tolerance"],
-                                   knobs["accuracy_budget"])
+        return _map_block_uncached(
+            payload, library, platform, knobs["tolerance"], knobs["accuracy_budget"]
+        )
     return _decompose_uncached(payload, library, platform, **knobs)
 
 
-def _compute_cold(item: BatchItem, key: tuple, digest, tier,
-                  default_platform: Badge4) -> object:
+def _compute_cold(
+    item: BatchItem,
+    key: tuple,
+    digest,
+    tier,
+    tiers: CacheTiers,
+    default_platform: Badge4,
+) -> object:
     """In-process cold execution, merging straight into the tiers.
 
     The caller has already keyed the item and missed both tiers, so
     this goes directly to the uncached search — re-entering the public
     entry points would redo the key/digest/lookup work and double-count
-    the misses in :func:`~repro.mapping.cache.cache_stats`.
+    the misses in :meth:`~repro.mapping.cache.CacheTiers.stats`.
     """
     platform = item.platform or default_platform
     knobs = dict(item.knobs)
     if item.kind == "map_block":
-        value = _map_block_uncached(item.payload, item.library, platform,
-                                    knobs["tolerance"],
-                                    knobs["accuracy_budget"])
+        value = _map_block_uncached(
+            item.payload,
+            item.library,
+            platform,
+            knobs["tolerance"],
+            knobs["accuracy_budget"],
+        )
     else:
-        value = _decompose_uncached(item.payload, item.library, platform,
-                                    **knobs)
-    _merge(item.kind, key, digest, value, tier)
+        value = _decompose_uncached(item.payload, item.library, platform, **knobs)
+    _merge(item.kind, key, digest, value, tier, tiers)
     return value
 
 
-def _merge(kind: str, key: tuple, digest, value, tier) -> None:
+def _merge(kind: str, key: tuple, digest, value, tier, tiers: CacheTiers) -> None:
     """Install a computed value into both cache tiers.
 
     ``digest`` is the key's :func:`~repro.mapping.cache.stable_digest`,
     computed once during cold detection and threaded through so the
     store never re-canonicalizes the key.
     """
-    cache = _MAP_BLOCK_CACHE if kind == "map_block" else _DECOMPOSE_CACHE
+    cache = tiers.map_block if kind == "map_block" else tiers.decompose
     cache.put(key, value)
     if tier is not None:
         tier.put(digest, value)
@@ -235,10 +287,14 @@ def _present(kind: str, value):
     return value
 
 
-def run_batch(items: Iterable[BatchItem], *,
-              workers: int | None = None,
-              cache_dir: "str | None" = None,
-              executor: "Executor | None" = None) -> BatchReport:
+def run_batch(
+    items: Iterable[BatchItem],
+    *,
+    workers: int | None = None,
+    cache_dir: "str | None" = None,
+    executor: "Executor | None" = None,
+    tiers: "CacheTiers | None" = None,
+) -> BatchReport:
     """Resolve a batch of mapping work items, fanning cold ones out.
 
     Parameters
@@ -260,11 +316,17 @@ def run_batch(items: Iterable[BatchItem], *,
         harness) controls its lifetime.  Jobs still cross the
         executor boundary pre-pickled, so process and thread pools
         behave identically.
+    tiers:
+        The :class:`~repro.mapping.cache.CacheTiers` to resolve and
+        merge against.  ``None`` uses the process-wide default tiers;
+        sessions pass their own, which is how concurrent sessions with
+        different cache directories stay isolated.
 
     Returns a :class:`BatchReport` whose ``results`` align with the
     submission order.  Every computed value is merged back into the
     in-memory LRU and (when configured) the disk tier, so subsequent
-    direct ``map_block``/``decompose`` calls hit.
+    direct ``map_block``/``decompose`` calls against the same tiers
+    hit.
     """
     items = list(items)
     stats = BatchStats(submitted=len(items))
@@ -272,10 +334,11 @@ def run_batch(items: Iterable[BatchItem], *,
     if executor is not None:
         # An injected pool parallelizes regardless of `workers`; its
         # own max_workers governs the real fan-out width.
-        effective = max(effective,
-                        getattr(executor, "_max_workers", None) or 2)
+        effective = max(effective, getattr(executor, "_max_workers", None) or 2)
     default_platform = Badge4()
-    tier = _tier_for(cache_dir)
+    if tiers is None:
+        tiers = DEFAULT_TIERS
+    tier = tiers.disk(cache_dir)
 
     keys = [_item_key(item, default_platform) for item in items]
     resolved: dict[tuple, object] = {}
@@ -286,8 +349,7 @@ def run_batch(items: Iterable[BatchItem], *,
             continue
         seen.add(key)
         stats.unique += 1
-        cache = _MAP_BLOCK_CACHE if item.kind == "map_block" \
-            else _DECOMPOSE_CACHE
+        cache = tiers.map_block if item.kind == "map_block" else tiers.decompose
         value = cache.get(key)
         if value is not None:
             stats.memory_hits += 1
@@ -307,24 +369,30 @@ def run_batch(items: Iterable[BatchItem], *,
     stats.workers = min(effective, len(cold)) if cold else 1
 
     if cold and effective > 1 and len(cold) > 1:
-        _run_parallel(cold, resolved, stats, tier, default_platform,
-                      executor)
+        _run_parallel(cold, resolved, stats, tier, tiers, default_platform, executor)
     else:
         for key, digest, item in cold:
-            resolved[key] = _compute_cold(item, key, digest, tier,
-                                          default_platform)
+            resolved[key] = _compute_cold(
+                item, key, digest, tier, tiers, default_platform
+            )
             stats.serial_jobs += 1
 
     report = BatchReport(stats=stats)
-    report.results = [_present(item.kind, resolved[key])
-                      for key, item in zip(keys, items)]
+    report.results = [
+        _present(item.kind, resolved[key]) for key, item in zip(keys, items)
+    ]
     return report
 
 
-def _run_parallel(cold: "Sequence[tuple[tuple, object, BatchItem]]",
-                  resolved: dict, stats: BatchStats, tier,
-                  default_platform: Badge4,
-                  executor: "Executor | None" = None) -> None:
+def _run_parallel(
+    cold: "Sequence[tuple[tuple, object, BatchItem]]",
+    resolved: dict,
+    stats: BatchStats,
+    tier,
+    tiers: CacheTiers,
+    default_platform: Badge4,
+    executor: "Executor | None" = None,
+) -> None:
     """Fan the cold items out, falling back serially where needed."""
     jobs: list[tuple[tuple, object, BatchItem, bytes]] = []
     lib_blobs: dict[int, bytes] = {}
@@ -333,16 +401,16 @@ def _run_parallel(cold: "Sequence[tuple[tuple, object, BatchItem]]",
             jobs.append((key, digest, item, _pack_job(item, lib_blobs)))
         except Exception:
             stats.pickle_fallbacks += 1
-            resolved[key] = _compute_cold(item, key, digest, tier,
-                                          default_platform)
+            resolved[key] = _compute_cold(
+                item, key, digest, tier, tiers, default_platform
+            )
             stats.serial_jobs += 1
 
     if not jobs:
         return
     if len(jobs) == 1:
         key, digest, item, _ = jobs[0]
-        resolved[key] = _compute_cold(item, key, digest, tier,
-                                      default_platform)
+        resolved[key] = _compute_cold(item, key, digest, tier, tiers, default_platform)
         stats.serial_jobs += 1
         return
 
@@ -352,39 +420,42 @@ def _run_parallel(cold: "Sequence[tuple[tuple, object, BatchItem]]",
             # Caller-owned pool: submit straight into it, never shut
             # it down — a broken injected pool degrades serially like
             # a broken private one.
-            retry = _collect_jobs(executor, jobs, resolved, stats, tier)
+            retry = _collect_jobs(executor, jobs, resolved, stats, tier, tiers)
         else:
-            with ProcessPoolExecutor(max_workers=min(stats.workers,
-                                                     len(jobs))) as pool:
-                retry = _collect_jobs(pool, jobs, resolved, stats, tier)
+            with ProcessPoolExecutor(max_workers=min(stats.workers, len(jobs))) as pool:
+                retry = _collect_jobs(pool, jobs, resolved, stats, tier, tiers)
     except Exception:
         # The pool itself failed (e.g. fork refused): everything not
         # yet resolved runs serially.
-        retry = [(key, digest, item) for key, digest, item, _ in jobs
-                 if key not in resolved]
+        retry = [job[:3] for job in jobs if job[0] not in resolved]
 
     for key, digest, item in retry:
         stats.worker_retries += 1
-        resolved[key] = _compute_cold(item, key, digest, tier,
-                                      default_platform)
+        resolved[key] = _compute_cold(item, key, digest, tier, tiers, default_platform)
         stats.serial_jobs += 1
 
 
-def _collect_jobs(pool: Executor,
-                  jobs: "Sequence[tuple[tuple, object, BatchItem, bytes]]",
-                  resolved: dict, stats: BatchStats, tier
-                  ) -> "list[tuple[tuple, object, BatchItem]]":
+def _collect_jobs(
+    pool: Executor,
+    jobs: "Sequence[tuple[tuple, object, BatchItem, bytes]]",
+    resolved: dict,
+    stats: BatchStats,
+    tier,
+    tiers: CacheTiers,
+) -> "list[tuple[tuple, object, BatchItem]]":
     """Submit packed jobs to ``pool``; return the items needing retry."""
     retry: list[tuple[tuple, object, BatchItem]] = []
-    futures = [(key, digest, item, pool.submit(_execute_job, blob))
-               for key, digest, item, blob in jobs]
+    futures = [
+        (key, digest, item, pool.submit(_execute_job, blob))
+        for key, digest, item, blob in jobs
+    ]
     for key, digest, item, future in futures:
         try:
             value = future.result()
         except Exception:
             retry.append((key, digest, item))
             continue
-        _merge(item.kind, key, digest, value, tier)
+        _merge(item.kind, key, digest, value, tier, tiers)
         resolved[key] = value
         stats.parallel_jobs += 1
     return retry

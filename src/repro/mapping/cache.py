@@ -12,29 +12,38 @@ live model objects.  This module supplies the missing pieces:
   inputs the algorithms read (element polynomials, costs, cycle
   prices), so semantically equal libraries/platforms hit the same
   cache line even when they are distinct objects rebuilt per pass.
-* **LRU caches** — bounded, with hit/miss/eviction counters, registered
-  centrally so :func:`clear_mapping_caches` and :func:`cache_stats`
-  see every cache the mapping layer owns.
+* **LRU caches** — bounded, with hit/miss/eviction counters, optionally
+  registered centrally so :func:`clear_mapping_caches` and
+  :func:`cache_stats` see every process-wide cache the mapping layer
+  owns.
 * **A persistent disk tier** — an sqlite-backed store under a
   user-configurable cache directory, keyed by a *stable* digest of the
   same fingerprints plus :data:`SCHEMA_VERSION`.  The expensive entry
   points consult it on LRU miss and write through on store, so a
   second process (a CI re-run, a fresh benchmark) starts warm.
+* **:class:`CacheTiers`** — an instantiable bundle of the two mapping
+  LRUs plus a disk-tier resolution policy.  A
+  :class:`~repro.api.MappingSession` owns one, which is how two
+  sessions with different cache directories coexist in one process
+  with fully isolated statistics.  :data:`DEFAULT_TIERS` is the
+  process-wide instance every legacy module-level entry point uses.
 
 Cache-dir configuration
 -----------------------
-The disk tier is off by default.  It activates when either
+The disk tier is off by default.  The canonical way to turn it on is
+an explicit :class:`~repro.api.SessionConfig` (``cache_dir=...``); the
+process-wide default tiers additionally honor the environment:
 
 * the ``REPRO_CACHE_DIR`` environment variable names a directory
   (checked dynamically, so exported knobs work without code changes;
   ``REPRO_NO_CACHE=1`` force-disables it and wins over everything), or
-* :func:`configure` is called with an explicit directory, or
+* the deprecated :func:`configure` pins an explicit directory, or
 * a call site passes ``cache_dir=`` to ``decompose``/``map_block``/
   ``run_batch``.
 
-The directory holds one sqlite file, ``mapping_cache.sqlite``.  Disk
-keys cannot use Python ``hash`` (randomized per process); they are
-sha256 digests of a canonical text encoding of the fingerprint key
+A cache directory holds one sqlite file, ``mapping_cache.sqlite``.
+Disk keys cannot use Python ``hash`` (randomized per process); they
+are sha256 digests of a canonical text encoding of the fingerprint key
 (see :func:`stable_digest`) joined with the schema version, so bumping
 :data:`SCHEMA_VERSION` invalidates every stale entry at once.  A
 corrupted or unreadable store is *ignored* (every lookup misses, every
@@ -62,6 +71,7 @@ import os
 import pickle
 import sqlite3
 import threading
+import warnings
 import weakref
 from fractions import Fraction
 from pathlib import Path
@@ -74,16 +84,33 @@ from repro.platform.badge4 import Badge4
 from repro.platform.tally import OperationTally
 from repro.symalg.polynomial import Polynomial
 
-__all__ = ["LRUCache", "DiskCache", "SCHEMA_VERSION",
-           "cache_stats", "mapping_cache_stats",
-           "clear_mapping_caches", "clear_all",
-           "configure", "disk_tier", "stable_digest",
-           "fingerprint_tally", "fingerprint_element", "fingerprint_library",
-           "fingerprint_block", "fingerprint_platform"]
+__all__ = [
+    "LRUCache",
+    "DiskCache",
+    "CacheTiers",
+    "DEFAULT_TIERS",
+    "SCHEMA_VERSION",
+    "cache_stats",
+    "mapping_cache_stats",
+    "shared_cache_stats",
+    "clear_shared_caches",
+    "clear_mapping_caches",
+    "clear_all",
+    "configure",
+    "disk_tier",
+    "stable_digest",
+    "fingerprint_tally",
+    "fingerprint_element",
+    "fingerprint_library",
+    "fingerprint_block",
+    "fingerprint_platform",
+]
 
 _MISS = object()
 
-#: Every cache the mapping layer creates, for stats/clearing.
+#: Every process-wide cache the mapping layer creates, for stats and
+#: clearing.  Session-owned :class:`CacheTiers` caches stay out of it —
+#: their statistics are isolated by design.
 _REGISTRY: list["LRUCache"] = []
 
 #: Bump when a change alters what cached mapping results mean: new
@@ -99,6 +126,15 @@ _REGISTRY: list["LRUCache"] = []
 SCHEMA_VERSION = 2
 
 
+def _warn_deprecated(old: str, new: str) -> None:
+    """Emit the one deprecation warning a legacy entry point carries."""
+    warnings.warn(
+        f"{old} is deprecated; {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class LRUCache:
     """A bounded mapping-layer cache with least-recently-used eviction.
 
@@ -106,6 +142,10 @@ class LRUCache:
     thread pool, so ``get``'s pop-and-reinsert recency update and
     ``put``'s eviction must be atomic across threads, not just across
     bytecodes.
+
+    ``register=False`` keeps a cache out of the process-wide registry:
+    session-owned tiers opt out so :func:`cache_stats` and
+    :func:`clear_mapping_caches` never reach across session boundaries.
 
     >>> cache = LRUCache(maxsize=2, name="doc")
     >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
@@ -118,7 +158,7 @@ class LRUCache:
     (1, 1, 1)
     """
 
-    def __init__(self, maxsize: int = 256, name: str = ""):
+    def __init__(self, maxsize: int = 256, name: str = "", register: bool = True):
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
@@ -128,7 +168,8 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        _REGISTRY.append(self)
+        if register:
+            _REGISTRY.append(self)
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """The cached value for ``key`` (marking it recently used)."""
@@ -137,7 +178,7 @@ class LRUCache:
             if value is _MISS:
                 self.misses += 1
                 return default
-            self._data[key] = value    # re-insert: now most recently used
+            self._data[key] = value  # re-insert: now most recently used
             self.hits += 1
             return value
 
@@ -166,44 +207,13 @@ class LRUCache:
     def stats(self) -> dict[str, int]:
         """``{"size", "maxsize", "hits", "misses", "evictions"}``."""
         with self._lock:
-            return {"size": len(self._data), "maxsize": self.maxsize,
-                    "hits": self.hits, "misses": self.misses,
-                    "evictions": self.evictions}
-
-
-def cache_stats() -> dict[str, dict]:
-    """Statistics for every mapping-layer cache, plus the disk tier.
-
-    Per in-memory cache: size/maxsize/hits/misses/evictions.  Under the
-    ``"disk"`` key: the active tier's hits/misses/writes/size/hit rate,
-    or ``{"enabled": False}`` when no disk tier is configured.
-    """
-    stats: dict[str, dict] = {cache.name: cache.stats()
-                              for cache in _REGISTRY}
-    tier = disk_tier()
-    stats["disk"] = tier.stats() if tier is not None else {"enabled": False}
-    return stats
-
-
-def mapping_cache_stats() -> dict[str, dict]:
-    """Alias of :func:`cache_stats` (the original PR-1 name)."""
-    return cache_stats()
-
-
-def clear_mapping_caches() -> None:
-    """Empty every in-memory mapping cache (benchmarks use this between
-    cold/warm phases; tests use it for isolation).  The disk tier is
-    *not* touched — use :func:`clear_all` for a truly cold start."""
-    for cache in _REGISTRY:
-        cache.clear()
-
-
-def clear_all() -> None:
-    """Empty the in-memory caches *and* every disk tier opened by this
-    process (the active one and any per-call ``cache_dir`` overrides)."""
-    clear_mapping_caches()
-    for tier in _TIERS.values():
-        tier.clear()
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 # ----------------------------------------------------------------------
@@ -211,10 +221,21 @@ def clear_all() -> None:
 # ----------------------------------------------------------------------
 def fingerprint_tally(tally: OperationTally) -> tuple:
     """Hashable digest of an operation tally (all counts + libm calls)."""
-    return (tally.int_alu, tally.int_mul, tally.int_mac, tally.int_div,
-            tally.shift, tally.fp_add, tally.fp_mul, tally.fp_div,
-            tally.load, tally.store, tally.branch, tally.call,
-            tuple(sorted(tally.libm_calls.items())))
+    return (
+        tally.int_alu,
+        tally.int_mul,
+        tally.int_mac,
+        tally.int_div,
+        tally.shift,
+        tally.fp_add,
+        tally.fp_mul,
+        tally.fp_div,
+        tally.load,
+        tally.store,
+        tally.branch,
+        tally.call,
+        tuple(sorted(tally.libm_calls.items())),
+    )
 
 
 def fingerprint_element(element: LibraryElement) -> tuple:
@@ -225,15 +246,21 @@ def fingerprint_element(element: LibraryElement) -> tuple:
     the cost tally; the ``kernel`` callable is deliberately excluded
     because matching and decomposition never execute it.
     """
-    return (element.name, element.library, element.polynomials,
-            element.accuracy, fingerprint_tally(element.cost))
+    return (
+        element.name,
+        element.library,
+        element.polynomials,
+        element.accuracy,
+        fingerprint_tally(element.cost),
+    )
 
 
 #: Per-Library fingerprint memo.  A Library only ever grows (``add``
 #: raises on duplicates, there is no removal), so ``len`` is a sound
 #: staleness guard; weak keys keep dead libraries collectable.
-_LIBRARY_FP_MEMO: "weakref.WeakKeyDictionary[Library, tuple[int, tuple]]" \
-    = weakref.WeakKeyDictionary()
+_LIBRARY_FP_MEMO: "weakref.WeakKeyDictionary[Library, tuple[int, tuple]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def fingerprint_library(library: Library) -> tuple:
@@ -256,9 +283,11 @@ def fingerprint_library(library: Library) -> tuple:
 
 def fingerprint_block(block: TargetBlock) -> tuple:
     """Digest of a target block: name, output polynomials, input frame."""
-    return (block.name,
-            tuple(sorted(block.outputs.items())),
-            block.input_variables)
+    return (
+        block.name,
+        tuple(sorted(block.outputs.items())),
+        block.input_variables,
+    )
 
 
 def fingerprint_platform(platform: Badge4) -> tuple:
@@ -275,10 +304,14 @@ def fingerprint_platform(platform: Badge4) -> tuple:
     never be served stale.
     """
     spec = platform.cost_model.spec
-    return (spec.name, spec.clock_hz, spec.has_fpu,
-            tuple(sorted(spec.cycle_costs.items())),
-            tuple(sorted(spec.libm_costs.items())),
-            spec.libm_default)
+    return (
+        spec.name,
+        spec.clock_hz,
+        spec.has_fpu,
+        tuple(sorted(spec.cycle_costs.items())),
+        tuple(sorted(spec.libm_costs.items())),
+        spec.libm_default,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -295,7 +328,7 @@ def _stable(obj: Any):
     if obj is None or isinstance(obj, (bool, int, str)):
         return obj
     if isinstance(obj, float):
-        return ["f", repr(obj)]            # repr round-trips exactly
+        return ["f", repr(obj)]  # repr round-trips exactly
     if isinstance(obj, Fraction):
         return ["q", obj.numerator, obj.denominator]
     if isinstance(obj, Polynomial):
@@ -303,15 +336,16 @@ def _stable(obj: Any):
         # sorted, codes unique, coefficients exact); encoding it
         # directly is ~50x cheaper than rendering str(poly), which
         # term-order-sorts every polynomial in a library fingerprint.
-        terms = [[code,
-                  coeff.numerator, coeff.denominator]
-                 if isinstance(coeff, Fraction) else [code, coeff, 1]
-                 for code, coeff in sorted(obj._codes.items())]
+        terms = []
+        for code, coeff in sorted(obj._codes.items()):
+            if isinstance(coeff, Fraction):
+                terms.append([code, coeff.numerator, coeff.denominator])
+            else:
+                terms.append([code, coeff, 1])
         return ["P", list(obj.variables), terms]
     if isinstance(obj, (tuple, list)):
         return ["t", [_stable(x) for x in obj]]
-    raise TypeError(
-        f"cannot build a stable disk-cache key from {type(obj).__name__}")
+    raise TypeError(f"cannot build a stable disk-cache key from {type(obj).__name__}")
 
 
 #: Encoded-component memo keyed by ``id``.  Only tuples are memoized
@@ -329,14 +363,12 @@ def _encoded(obj: Any) -> str:
         entry = _ENCODED_MEMO.get(id(obj))
         if entry is not None and entry[0] is obj:
             return entry[1]
-        text = json.dumps(_stable(obj), separators=(",", ":"),
-                          ensure_ascii=True)
+        text = json.dumps(_stable(obj), separators=(",", ":"), ensure_ascii=True)
         if len(_ENCODED_MEMO) >= _ENCODED_MEMO_BOUND:
             _ENCODED_MEMO.clear()
         _ENCODED_MEMO[id(obj)] = (obj, text)
         return text
-    return json.dumps(_stable(obj), separators=(",", ":"),
-                      ensure_ascii=True)
+    return json.dumps(_stable(obj), separators=(",", ":"), ensure_ascii=True)
 
 
 def stable_digest(key: tuple) -> str:
@@ -401,15 +433,15 @@ class DiskCache:
             self._conn = None
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            conn = sqlite3.connect(self.path, timeout=5.0,
-                                   check_same_thread=False)
+            conn = sqlite3.connect(self.path, timeout=5.0, check_same_thread=False)
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS entries ("
                 " key TEXT PRIMARY KEY,"
                 " schema INTEGER NOT NULL,"
-                " payload BLOB NOT NULL)")
+                " payload BLOB NOT NULL)"
+            )
             conn.commit()
         except (sqlite3.Error, OSError):
             self._broken = True
@@ -433,11 +465,12 @@ class DiskCache:
             try:
                 row = conn.execute(
                     "SELECT schema, payload FROM entries WHERE key = ?",
-                    (digest,)).fetchone()
+                    (digest,),
+                ).fetchone()
             except sqlite3.OperationalError:  # locked/busy: just miss
                 self.misses += 1
                 return None
-            except sqlite3.DatabaseError:     # corrupted: stop trying
+            except sqlite3.DatabaseError:  # corrupted: stop trying
                 self._broken = True
                 self.misses += 1
                 return None
@@ -446,7 +479,7 @@ class DiskCache:
                 return None
             try:
                 value = pickle.loads(row[1])
-            except Exception:                 # stale/garbled payload
+            except Exception:  # stale/garbled payload
                 self.misses += 1
                 return None
             self.hits += 1
@@ -459,15 +492,15 @@ class DiskCache:
             if conn is None:
                 return
             try:
-                payload = pickle.dumps(value,
-                                       protocol=pickle.HIGHEST_PROTOCOL)
-            except Exception:                 # unpicklable value: skip
+                payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:  # unpicklable value: skip
                 return
             try:
                 conn.execute(
                     "INSERT OR REPLACE INTO entries (key, schema, payload)"
                     " VALUES (?, ?, ?)",
-                    (digest, SCHEMA_VERSION, payload))
+                    (digest, SCHEMA_VERSION, payload),
+                )
                 conn.commit()
                 self.writes += 1
             except sqlite3.OperationalError:  # locked/busy: drop write
@@ -501,77 +534,308 @@ class DiskCache:
             if conn is None:
                 return 0
             try:
-                return conn.execute(
-                    "SELECT COUNT(*) FROM entries").fetchone()[0]
+                return conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
             except sqlite3.Error:
                 return 0
 
     def stats(self) -> dict:
         """Disk-tier statistics, including the observed hit rate."""
         lookups = self.hits + self.misses
-        return {"enabled": True, "path": str(self.path),
-                "size": len(self), "hits": self.hits,
-                "misses": self.misses, "writes": self.writes,
-                "hit_rate": (self.hits / lookups) if lookups else 0.0,
-                "broken": self._broken}
+        return {
+            "enabled": True,
+            "path": str(self.path),
+            "size": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+            "broken": self._broken,
+        }
 
 
 # ----------------------------------------------------------------------
-# Tier configuration
+# Tier bundles: the instantiable cache-ownership unit
 # ----------------------------------------------------------------------
 #: Filename of the store inside a cache directory.
 _DB_NAME = "mapping_cache.sqlite"
 
-#: One DiskCache per resolved directory, shared by every call site so
-#: stats accumulate and clear_all() can reach them.
+#: One DiskCache per resolved directory for the *default* tiers, shared
+#: by every legacy call site so stats accumulate and ``clear_all()``
+#: can reach them.  Session-owned tiers keep private memos.
 _TIERS: dict[Path, DiskCache] = {}
 
 #: Explicit configure() choice: unset / a directory / disabled (None).
 _UNSET = object()
-_configured: Any = _UNSET
 
 
-def _tier_at(cache_dir: "str | os.PathLike[str]") -> DiskCache:
-    """The (memoized) disk tier rooted at ``cache_dir``."""
-    path = Path(cache_dir).expanduser()
-    tier = _TIERS.get(path)
-    if tier is None:
-        tier = _TIERS[path] = DiskCache(path / _DB_NAME)
-    return tier
+class CacheTiers:
+    """The two mapping LRUs plus a disk-tier policy, as one object.
 
+    This is the cache-ownership unit of the session facade: a
+    :class:`~repro.api.MappingSession` owns exactly one ``CacheTiers``,
+    so two sessions in one process can point at different cache
+    directories (or none) with fully isolated hit/miss/write counters.
+    The module-level entry points all share :data:`DEFAULT_TIERS`.
 
-def configure(cache_dir: "str | os.PathLike[str] | None" = None, *,
-              follow_env: bool = False) -> DiskCache | None:
-    """Choose the process-wide disk tier.
+    Disk resolution has three modes, fixed at construction:
 
-    ``configure(path)`` pins the tier to ``path``;
-    ``configure(None)`` disables it; ``configure(follow_env=True)``
-    reverts to environment-driven resolution (the default behaviour:
-    ``REPRO_CACHE_DIR`` enables, ``REPRO_NO_CACHE`` force-disables).
-    Returns the now-active tier, if any.
+    * ``follow_env=True`` — the legacy process-wide behaviour:
+      ``REPRO_NO_CACHE`` force-disables (it wins over everything,
+      including a pinned directory), an explicitly configured
+      directory wins otherwise, and ``REPRO_CACHE_DIR`` is the
+      fallback.  Only :data:`DEFAULT_TIERS` uses this mode.
+    * ``cache_dir=<dir>`` — pinned: the tier lives under ``<dir>``,
+      environment variables are ignored (explicit configuration
+      outranks the environment; see the precedence table in
+      ``docs/architecture.md``).
+    * ``cache_dir=None`` (the default) — persistence off.
+
+    >>> tiers = CacheTiers()
+    >>> tiers.disk() is None
+    True
+    >>> sorted(tiers.stats())
+    ['decompose', 'disk', 'map_block']
     """
-    global _configured
-    if follow_env:
-        _configured = _UNSET
-    else:
-        _configured = None if cache_dir is None else Path(cache_dir)
-    return disk_tier()
+
+    def __init__(
+        self,
+        *,
+        cache_dir: "str | os.PathLike[str] | None" = None,
+        follow_env: bool = False,
+        decompose_lru: int = 512,
+        map_block_lru: int = 256,
+        register: bool = False,
+        tier_memo: "dict[Path, DiskCache] | None" = None,
+    ):
+        self.decompose = LRUCache(decompose_lru, name="decompose", register=register)
+        self.map_block = LRUCache(map_block_lru, name="map_block", register=register)
+        self._env_veto = follow_env
+        if follow_env:
+            self._configured: Any = _UNSET
+        elif cache_dir is None:
+            self._configured = None
+        else:
+            self._configured = Path(cache_dir)
+        self._memo = tier_memo if tier_memo is not None else {}
+
+    # -- disk resolution -------------------------------------------------
+    def tier_at(self, cache_dir: "str | os.PathLike[str]") -> DiskCache:
+        """The (memoized) disk tier rooted at ``cache_dir``."""
+        path = Path(cache_dir).expanduser()
+        tier = self._memo.get(path)
+        if tier is None:
+            tier = self._memo[path] = DiskCache(path / _DB_NAME)
+        return tier
+
+    def disk(
+        self, cache_dir: "str | os.PathLike[str] | None" = None
+    ) -> DiskCache | None:
+        """The active disk tier (``cache_dir`` overrides per call).
+
+        In env-following mode ``REPRO_NO_CACHE`` (any non-empty value)
+        disables the tier unconditionally — it is the benchmark knob
+        guaranteeing cold numbers without editing code.  Pinned and
+        disabled tiers ignore the environment entirely.
+        """
+        if self._env_veto and os.environ.get("REPRO_NO_CACHE"):
+            return None
+        if cache_dir is not None:
+            return self.tier_at(cache_dir)
+        if self._configured is None:
+            return None
+        if self._configured is not _UNSET:
+            return self.tier_at(self._configured)
+        env_dir = os.environ.get("REPRO_CACHE_DIR")
+        if not env_dir:
+            return None
+        return self.tier_at(env_dir)
+
+    def configure(
+        self,
+        cache_dir: "str | os.PathLike[str] | None" = None,
+        *,
+        follow_env: bool = False,
+    ) -> DiskCache | None:
+        """Repoint this bundle's disk tier.
+
+        ``configure(path)`` pins it to ``path``; ``configure(None)``
+        disables it; ``configure(follow_env=True)`` reverts to
+        environment-driven resolution.  Returns the now-active tier.
+        """
+        if follow_env:
+            self._configured = _UNSET
+        else:
+            self._configured = None if cache_dir is None else Path(cache_dir)
+        return self.disk()
+
+    # -- observability / lifecycle ---------------------------------------
+    def stats(self) -> dict:
+        """The canonical per-tiers statistics shape.
+
+        ``{"decompose": ..., "map_block": ..., "disk": ...}`` — the two
+        LRU caches' counters plus the active disk tier's (or
+        ``{"enabled": False}`` when persistence is off).
+        """
+        tier = self.disk()
+        return {
+            "decompose": self.decompose.stats(),
+            "map_block": self.map_block.stats(),
+            "disk": tier.stats() if tier is not None else {"enabled": False},
+        }
+
+    def clear_memory(self) -> None:
+        """Drop both LRU caches (counters included)."""
+        self.decompose.clear()
+        self.map_block.clear()
+
+    def clear(self) -> None:
+        """Drop the LRUs *and* every disk tier this bundle resolves to.
+
+        The configured tier is materialized first, so a fresh process
+        (``repro cache clear``) wipes the on-disk store it points at,
+        not just tiers this process happened to have opened already.
+        """
+        self.clear_memory()
+        self.disk()
+        for tier in list(self._memo.values()):
+            tier.clear()
+
+    def __repr__(self) -> str:
+        if self._configured is _UNSET:
+            where = "follow_env"
+        elif self._configured is None:
+            where = "disk=off"
+        else:
+            where = f"disk={self._configured}"
+        return f"CacheTiers({where})"
+
+
+#: The process-wide default tiers: every legacy module-level entry
+#: point (``map_block`` without a session, ``run_batch(tiers=None)``)
+#: and :func:`repro.api.default_session` share this instance, so their
+#: statistics and cache lines are one pool, exactly as before the
+#: session facade existed.
+DEFAULT_TIERS = CacheTiers(follow_env=True, register=True, tier_memo=_TIERS)
+
+
+# ----------------------------------------------------------------------
+# Process-wide stats & clearing (shared caches + the default tiers)
+# ----------------------------------------------------------------------
+def _registry_stats() -> dict[str, dict]:
+    stats: dict[str, dict] = {cache.name: cache.stats() for cache in _REGISTRY}
+    tier = DEFAULT_TIERS.disk()
+    stats["disk"] = tier.stats() if tier is not None else {"enabled": False}
+    return stats
+
+
+def cache_stats() -> dict[str, dict]:
+    """Statistics for every *process-wide* mapping cache + disk tier.
+
+    Per registered in-memory cache: size/maxsize/hits/misses/evictions.
+    Under the ``"disk"`` key: the default tiers' active disk tier, or
+    ``{"enabled": False}`` when none is configured.  Session-owned
+    tiers are excluded by design; the canonical per-session shape is
+    :meth:`CacheTiers.stats` (via ``MappingSession.stats()``).
+    """
+    return _registry_stats()
+
+
+def mapping_cache_stats() -> dict[str, dict]:
+    """Deprecated alias of :func:`cache_stats` (the original PR-1 name)."""
+    _warn_deprecated(
+        "mapping_cache_stats()",
+        "use cache_stats() or CacheTiers.stats() via MappingSession.stats()",
+    )
+    return _registry_stats()
+
+
+def shared_cache_stats() -> dict[str, dict]:
+    """Statistics of the pure-function caches every session shares.
+
+    The instantiation/manipulation/hint caches are keyed by exact
+    inputs and hold platform-independent derivations, so they are
+    process-wide singletons rather than session state; this reports
+    them without the default tiers' own entries.
+    """
+    own = {id(DEFAULT_TIERS.decompose), id(DEFAULT_TIERS.map_block)}
+    return {cache.name: cache.stats() for cache in _REGISTRY if id(cache) not in own}
+
+
+def clear_shared_caches() -> None:
+    """Empty the shared pure-function caches, leaving tier LRUs alone.
+
+    The session-facing twin of :func:`clear_mapping_caches`:
+    ``MappingSession.clear_caches()`` clears its own
+    :class:`CacheTiers` plus these, without reaching into the default
+    tiers a *different* session (or legacy caller) may be warming.
+    """
+    own = {id(DEFAULT_TIERS.decompose), id(DEFAULT_TIERS.map_block)}
+    for cache in _REGISTRY:
+        if id(cache) not in own:
+            cache.clear()
+
+
+def clear_mapping_caches() -> None:
+    """Empty every process-wide in-memory mapping cache.
+
+    Benchmarks use this between cold/warm phases; tests use it for
+    isolation.  Neither disk tiers nor session-owned caches are
+    touched — use :meth:`CacheTiers.clear` (or the deprecated
+    :func:`clear_all`) for a truly cold start.
+    """
+    for cache in _REGISTRY:
+        cache.clear()
+
+
+def clear_all() -> None:
+    """Deprecated: empty the process-wide in-memory caches *and* every
+    disk tier the default tiers opened (the active one and any per-call
+    ``cache_dir`` overrides).  Use ``clear_mapping_caches()`` plus
+    ``DEFAULT_TIERS.clear()`` (or ``MappingSession.clear_caches()``)."""
+    _warn_deprecated(
+        "clear_all()",
+        "use clear_mapping_caches() + CacheTiers.clear() "
+        "(or MappingSession.clear_caches())",
+    )
+    clear_mapping_caches()
+    for tier in list(_TIERS.values()):
+        tier.clear()
+
+
+# ----------------------------------------------------------------------
+# Legacy tier configuration (deprecated shims over DEFAULT_TIERS)
+# ----------------------------------------------------------------------
+def _tier_at(cache_dir: "str | os.PathLike[str]") -> DiskCache:
+    """The default tiers' (memoized) disk tier rooted at ``cache_dir``."""
+    return DEFAULT_TIERS.tier_at(cache_dir)
+
+
+def configure(
+    cache_dir: "str | os.PathLike[str] | None" = None,
+    *,
+    follow_env: bool = False,
+) -> DiskCache | None:
+    """Deprecated: choose the process-wide disk tier.
+
+    ``configure(path)`` pins the default tiers to ``path``;
+    ``configure(None)`` disables them; ``configure(follow_env=True)``
+    reverts to environment-driven resolution.  New code builds a
+    :class:`~repro.api.SessionConfig` instead — sessions own their
+    tiers, so nothing process-global needs mutating.
+    """
+    _warn_deprecated(
+        "configure()",
+        "build a repro.api.SessionConfig(cache_dir=...) "
+        "(or call DEFAULT_TIERS.configure for the process default)",
+    )
+    return DEFAULT_TIERS.configure(cache_dir, follow_env=follow_env)
 
 
 def disk_tier() -> DiskCache | None:
-    """The active disk tier, or ``None`` when persistence is off.
+    """The default tiers' active disk tier, or ``None`` when off.
 
-    ``REPRO_NO_CACHE`` (any non-empty value) always disables the tier,
+    ``REPRO_NO_CACHE`` (any non-empty value) always disables it,
     including one pinned by :func:`configure` — it is the benchmark
     knob guaranteeing cold numbers without editing code.
     """
-    if os.environ.get("REPRO_NO_CACHE"):
-        return None
-    if _configured is None:
-        return None
-    if _configured is not _UNSET:
-        return _tier_at(_configured)
-    env_dir = os.environ.get("REPRO_CACHE_DIR")
-    if not env_dir:
-        return None
-    return _tier_at(env_dir)
+    return DEFAULT_TIERS.disk()

@@ -68,10 +68,14 @@ def _all_manipulations_uncached(target: Polynomial) -> list[CandidateForm]:
         forms.append(CandidateForm("horner-reversed", horner(target, reverse)))
 
     factorization = factor(target)
-    if len(factorization.factors) > 1 or any(m > 1 for _, m in factorization.factors):
+    factors = factorization.factors
+    nontrivial = len(factors) > 1 or any(m > 1 for _, m in factors)
+    if nontrivial:
         # Rebuild a factored expression: product of Horner'd factors.
-        from repro.symalg.expression import Const, Mul, Pow
         from fractions import Fraction
+
+        from repro.symalg.expression import Const, Mul, Pow
+
         parts = []
         if factorization.unit != 1:
             parts.append(Const(Fraction(factorization.unit)))
@@ -81,8 +85,7 @@ def _all_manipulations_uncached(target: Polynomial) -> list[CandidateForm]:
         expr = parts[0] if len(parts) == 1 else Mul(tuple(parts))
         forms.append(CandidateForm("factored", expr))
 
-    forms.append(CandidateForm("tree-height-reduced",
-                               reduce_tree_height(expanded)))
+    forms.append(CandidateForm("tree-height-reduced", reduce_tree_height(expanded)))
 
     seen: set[str] = set()
     unique: list[CandidateForm] = []

@@ -20,43 +20,74 @@ elements:
 
 Worst case remains exponential (the paper says so too); node and depth
 limits keep practice polite.
+
+Entry points come in two layers.  The session facade
+(:class:`repro.api.MappingSession`) calls the ``_*_cached`` internals
+with an explicit :class:`~repro.mapping.cache.CacheTiers`; the
+module-level :func:`map_block` / :func:`map_block_pareto` are
+deprecated shims over the process-wide default tiers, kept for the
+paper-reproduction scripts that predate sessions.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import GroebnerExplosion
 from repro.frontend.extract import TargetBlock
 from repro.library.catalog import Library
-from repro.mapping.cache import (DiskCache, LRUCache, _tier_at, disk_tier,
-                                 fingerprint_block, fingerprint_library,
-                                 fingerprint_platform, stable_digest)
+from repro.mapping.cache import (
+    DEFAULT_TIERS,
+    CacheTiers,
+    DiskCache,
+    _warn_deprecated,
+    fingerprint_block,
+    fingerprint_library,
+    fingerprint_platform,
+    stable_digest,
+)
 from repro.mapping.candidates import structural_hints
-from repro.mapping.match import (BlockMatch, Instantiation,
-                                 enumerate_instantiations, match_block)
+from repro.mapping.match import (
+    BlockMatch,
+    Instantiation,
+    enumerate_instantiations,
+    match_block,
+)
 from repro.platform.badge4 import Badge4
 from repro.platform.tally import OperationTally
 from repro.symalg.horner import horner
 from repro.symalg.ideal import simplify_modulo
 from repro.symalg.polynomial import Polynomial
 
-__all__ = ["MappingSolution", "DecomposeResult", "decompose", "map_block",
-           "map_block_pareto", "residual_cost"]
+__all__ = [
+    "MappingSolution",
+    "DecomposeResult",
+    "decompose",
+    "map_block",
+    "map_block_pareto",
+    "residual_cost",
+]
 
-#: Full-search results keyed by (target, library, platform, knobs).
-_DECOMPOSE_CACHE = LRUCache(maxsize=512, name="decompose")
-#: Block-match results keyed by (block, library, platform, knobs).
-_MAP_BLOCK_CACHE = LRUCache(maxsize=256, name="map_block")
+#: Legacy aliases for the default tiers' caches (external pokers and
+#: pre-session tests import these names; new code goes through a
+#: :class:`~repro.mapping.cache.CacheTiers`).
+_DECOMPOSE_CACHE = DEFAULT_TIERS.decompose
+_MAP_BLOCK_CACHE = DEFAULT_TIERS.map_block
 
 
-def _decompose_key(target: Polynomial, library: Library, platform: Badge4,
-                   tolerance: float, accuracy_budget: float, max_depth: int,
-                   max_nodes: int, use_hints: bool,
-                   use_bounding: bool) -> tuple:
+def _decompose_key(
+    target: Polynomial,
+    library: Library,
+    platform: Badge4,
+    tolerance: float,
+    accuracy_budget: float,
+    max_depth: int,
+    max_nodes: int,
+    use_hints: bool,
+    use_bounding: bool,
+) -> tuple:
     """The cache key of one decompose work item.
 
     Shared between :func:`decompose` and the batch engine so a batch
@@ -64,30 +95,43 @@ def _decompose_key(target: Polynomial, library: Library, platform: Badge4,
     memory (hashable tuple) and on disk (via
     :func:`~repro.mapping.cache.stable_digest`).
     """
-    return ("decompose", target, fingerprint_library(library),
-            fingerprint_platform(platform), tolerance, accuracy_budget,
-            max_depth, max_nodes, use_hints, use_bounding)
+    return (
+        "decompose",
+        target,
+        fingerprint_library(library),
+        fingerprint_platform(platform),
+        tolerance,
+        accuracy_budget,
+        max_depth,
+        max_nodes,
+        use_hints,
+        use_bounding,
+    )
 
 
-def _map_block_key(block: TargetBlock, library: Library, platform: Badge4,
-                   tolerance: float, accuracy_budget: float) -> tuple:
+def _map_block_key(
+    block: TargetBlock,
+    library: Library,
+    platform: Badge4,
+    tolerance: float,
+    accuracy_budget: float,
+) -> tuple:
     """The cache key of one block-match work item (see above)."""
-    return ("map_block", fingerprint_block(block),
-            fingerprint_library(library), fingerprint_platform(platform),
-            tolerance, accuracy_budget)
+    return (
+        "map_block",
+        fingerprint_block(block),
+        fingerprint_library(library),
+        fingerprint_platform(platform),
+        tolerance,
+        accuracy_budget,
+    )
 
 
 def _tier_for(cache_dir) -> DiskCache | None:
-    """The disk tier a call should use: explicit dir > global config.
-
-    ``REPRO_NO_CACHE`` wins even over an explicit per-call directory,
-    matching :func:`~repro.mapping.cache.disk_tier`.
-    """
-    if cache_dir is not None:
-        if os.environ.get("REPRO_NO_CACHE"):
-            return None
-        return _tier_at(cache_dir)
-    return disk_tier()
+    """The disk tier a legacy call should use: explicit dir > global
+    config; ``REPRO_NO_CACHE`` wins even over an explicit per-call
+    directory (see :meth:`~repro.mapping.cache.CacheTiers.disk`)."""
+    return DEFAULT_TIERS.disk(cache_dir)
 
 
 def residual_cost(poly: Polynomial, platform: Badge4) -> float:
@@ -99,8 +143,7 @@ def residual_cost(poly: Polynomial, platform: Badge4) -> float:
     if poly.is_zero() or poly.is_constant():
         return 0.0
     count = horner(poly).op_count()
-    tally = OperationTally(fp_add=count.adds, fp_mul=count.muls,
-                           fp_div=count.divs)
+    tally = OperationTally(fp_add=count.adds, fp_mul=count.muls, fp_div=count.divs)
     tally.call += count.calls
     return platform.cost_model.cycles(tally)
 
@@ -161,16 +204,19 @@ class _Node:
     accuracy: float = field(compare=False)
 
 
-def decompose(target: Polynomial, library: Library,
-              platform: Badge4 | None = None,
-              *,
-              tolerance: float = 1e-9,
-              accuracy_budget: float = float("inf"),
-              max_depth: int = 3,
-              max_nodes: int = 500,
-              use_hints: bool = True,
-              use_bounding: bool = True,
-              cache_dir: "str | None" = None) -> DecomposeResult:
+def decompose(
+    target: Polynomial,
+    library: Library,
+    platform: Badge4 | None = None,
+    *,
+    tolerance: float = 1e-9,
+    accuracy_budget: float = float("inf"),
+    max_depth: int = 3,
+    max_nodes: int = 500,
+    use_hints: bool = True,
+    use_bounding: bool = True,
+    cache_dir: "str | None" = None,
+) -> DecomposeResult:
     """Map ``target`` into ``library`` elements (Table 2's ``Decompose``).
 
     Returns the best-cost solution with sufficient accuracy; if no
@@ -185,53 +231,102 @@ def decompose(target: Polynomial, library: Library,
     decomposition in the inner loop of the methodology's mapping passes
     returns the cached result without searching) and, when a cache dir
     is configured, the persistent disk tier — a fresh process re-running
-    the same mapping starts warm.  ``cache_dir`` overrides the global
-    configuration (``REPRO_CACHE_DIR`` / :func:`repro.mapping.cache.configure`)
-    for this call.  See :mod:`repro.mapping.cache` for the
-    fingerprinting and serialization contracts.
+    the same mapping starts warm.  This module-level form uses the
+    process-wide default tiers; ``cache_dir`` overrides their disk
+    directory for this call.  Session users get the same search with
+    session-owned tiers via :meth:`repro.api.MappingSession.decompose`.
     """
-    platform = platform or Badge4()
-    key = _decompose_key(target, library, platform, tolerance,
-                         accuracy_budget, max_depth, max_nodes,
-                         use_hints, use_bounding)
-    cached = _DECOMPOSE_CACHE.get(key)
+    return _decompose_cached(
+        target,
+        library,
+        platform or Badge4(),
+        tolerance=tolerance,
+        accuracy_budget=accuracy_budget,
+        max_depth=max_depth,
+        max_nodes=max_nodes,
+        use_hints=use_hints,
+        use_bounding=use_bounding,
+        tiers=DEFAULT_TIERS,
+        cache_dir=cache_dir,
+    )
+
+
+def _decompose_cached(
+    target: Polynomial,
+    library: Library,
+    platform: Badge4,
+    *,
+    tolerance: float,
+    accuracy_budget: float,
+    max_depth: int,
+    max_nodes: int,
+    use_hints: bool,
+    use_bounding: bool,
+    tiers: CacheTiers,
+    cache_dir: "str | None" = None,
+) -> DecomposeResult:
+    """The two-tier cached search against an explicit tier bundle."""
+    key = _decompose_key(
+        target,
+        library,
+        platform,
+        tolerance,
+        accuracy_budget,
+        max_depth,
+        max_nodes,
+        use_hints,
+        use_bounding,
+    )
+    cached = tiers.decompose.get(key)
     if cached is not None:
         return cached
-    tier = _tier_for(cache_dir)
+    tier = tiers.disk(cache_dir)
     digest = stable_digest(key) if tier is not None else None
     if tier is not None:
         stored = tier.get(digest)
         if stored is not None:
-            _DECOMPOSE_CACHE.put(key, stored)
+            tiers.decompose.put(key, stored)
             return stored
-    result = _decompose_uncached(target, library, platform,
-                                 tolerance=tolerance,
-                                 accuracy_budget=accuracy_budget,
-                                 max_depth=max_depth, max_nodes=max_nodes,
-                                 use_hints=use_hints,
-                                 use_bounding=use_bounding)
-    _DECOMPOSE_CACHE.put(key, result)
+    result = _decompose_uncached(
+        target,
+        library,
+        platform,
+        tolerance=tolerance,
+        accuracy_budget=accuracy_budget,
+        max_depth=max_depth,
+        max_nodes=max_nodes,
+        use_hints=use_hints,
+        use_bounding=use_bounding,
+    )
+    tiers.decompose.put(key, result)
     if tier is not None:
         tier.put(digest, result)
     return result
 
 
-def _decompose_uncached(target: Polynomial, library: Library,
-                        platform: Badge4,
-                        *,
-                        tolerance: float,
-                        accuracy_budget: float,
-                        max_depth: int,
-                        max_nodes: int,
-                        use_hints: bool,
-                        use_bounding: bool) -> DecomposeResult:
+def _decompose_uncached(
+    target: Polynomial,
+    library: Library,
+    platform: Badge4,
+    *,
+    tolerance: float,
+    accuracy_budget: float,
+    max_depth: int,
+    max_nodes: int,
+    use_hints: bool,
+    use_bounding: bool,
+) -> DecomposeResult:
     """The actual branch-and-bound search behind :func:`decompose`."""
     program_vars = frozenset(target.variables)
     hints = structural_hints(target) if use_hints else []
 
     unmapped = MappingSolution(
-        steps=(), residual=target, element_cycles=0.0,
-        residual_cycles=residual_cost(target, platform), accuracy_loss=0.0)
+        steps=(),
+        residual=target,
+        element_cycles=0.0,
+        residual_cycles=residual_cost(target, platform),
+        accuracy_loss=0.0,
+    )
     best = unmapped
     bound = unmapped.total_cycles
 
@@ -239,7 +334,7 @@ def _decompose_uncached(target: Polynomial, library: Library,
     root = _Node(0.0, next(counter), target, (), 0.0, 0.0)
     frontier: list[_Node] = [root]
     explored = 0
-    solutions = 1     # the unmapped fallback counts as found
+    solutions = 1  # the unmapped fallback counts as found
     pruned = 0
 
     while frontier and explored < max_nodes:
@@ -255,8 +350,9 @@ def _decompose_uncached(target: Polynomial, library: Library,
             solutions += 1
             if total < bound and node.accuracy <= accuracy_budget:
                 bound = total
-                best = MappingSolution(node.steps, node.polynomial,
-                                       node.cost, res_cycles, node.accuracy)
+                best = MappingSolution(
+                    node.steps, node.polynomial, node.cost, res_cycles, node.accuracy
+                )
 
         residual_vars = program_vars & set(node.polynomial.variables)
         if not residual_vars:
@@ -264,12 +360,11 @@ def _decompose_uncached(target: Polynomial, library: Library,
         if len(node.steps) >= max_depth:
             continue
 
-        for inst in _candidate_instantiations(node.polynomial, library,
-                                              program_vars, hints,
-                                              tolerance):
+        for inst in _candidate_instantiations(
+            node.polynomial, library, program_vars, hints, tolerance
+        ):
             if len(node.steps):
                 # Fresh output symbol per application along this path.
-                from dataclasses import replace
                 inst = replace(inst, tag=str(len(node.steps)))
             element_cycles = platform.cost_model.cycles(inst.element.cost)
             cost = node.cost + element_cycles
@@ -292,43 +387,64 @@ def _decompose_uncached(target: Polynomial, library: Library,
             if 0 < distance <= allowed:
                 approx_accuracy = accuracy + distance
                 if approx_accuracy <= accuracy_budget:
-                    heapq.heappush(frontier, _Node(
-                        cost, next(counter),
-                        Polynomial.variable(inst.output_symbol),
-                        node.steps + (inst,), cost, approx_accuracy))
+                    heapq.heappush(
+                        frontier,
+                        _Node(
+                            cost,
+                            next(counter),
+                            Polynomial.variable(inst.output_symbol),
+                            node.steps + (inst,),
+                            cost,
+                            approx_accuracy,
+                        ),
+                    )
                     continue
 
             order = _elimination_order(node.polynomial, program_vars, inst)
             try:
-                result = simplify_modulo(node.polynomial,
-                                         [inst.side_relation()],
-                                         order)
+                result = simplify_modulo(
+                    node.polynomial, [inst.side_relation()], order
+                )
             except GroebnerExplosion:
                 pruned += 1
                 continue
             if result == node.polynomial:
                 continue  # the element did not participate
-            heapq.heappush(frontier, _Node(
-                cost, next(counter), result,
-                node.steps + (inst,), cost, accuracy))
+            heapq.heappush(
+                frontier,
+                _Node(
+                    cost,
+                    next(counter),
+                    result,
+                    node.steps + (inst,),
+                    cost,
+                    accuracy,
+                ),
+            )
 
     return DecomposeResult(best, explored, solutions, pruned)
 
 
-def _elimination_order(poly: Polynomial, program_vars: frozenset[str],
-                       inst: Instantiation) -> list[str]:
+def _elimination_order(
+    poly: Polynomial, program_vars: frozenset[str], inst: Instantiation
+) -> list[str]:
     """Program variables outrank every element-output symbol."""
     true_vars = sorted(set(poly.variables) & program_vars)
-    rel_vars = sorted((set(inst.side_relation().polynomial.variables)
-                       & program_vars) - set(true_vars))
+    rel_vars = sorted(
+        (set(inst.side_relation().polynomial.variables) & program_vars)
+        - set(true_vars)
+    )
     symbols = sorted(set(poly.variables) - program_vars)
     return true_vars + rel_vars + symbols + [inst.output_symbol]
 
 
-def _candidate_instantiations(poly: Polynomial, library: Library,
-                              program_vars: frozenset[str],
-                              hints: list[Polynomial],
-                              tolerance: float) -> list[Instantiation]:
+def _candidate_instantiations(
+    poly: Polynomial,
+    library: Library,
+    program_vars: frozenset[str],
+    hints: list[Polynomial],
+    tolerance: float,
+) -> list[Instantiation]:
     """Side-relation candidates for one node, best-first.
 
     Ranking implements the paper's guidance: relations whose bound
@@ -364,59 +480,94 @@ def _candidate_instantiations(poly: Polynomial, library: Library,
     return [inst for _, _, inst in scored[:24]]
 
 
-def map_block(block: TargetBlock, library: Library,
-              platform: Badge4 | None = None,
-              *,
-              tolerance: float = 1e-6,
-              accuracy_budget: float = float("inf"),
-              cache_dir: "str | None" = None
-              ) -> tuple[BlockMatch | None, list[BlockMatch]]:
-    """Map a multi-output block to the cheapest adequate complex element.
+def map_block(
+    block: TargetBlock,
+    library: Library,
+    platform: Badge4 | None = None,
+    *,
+    tolerance: float = 1e-6,
+    accuracy_budget: float = float("inf"),
+    cache_dir: "str | None" = None,
+) -> tuple[BlockMatch | None, list[BlockMatch]]:
+    """Deprecated module-level block mapping over the process globals.
 
     This is the one-step matching that sends the IMDCT loop nest to
     ``IppsMDCTInv_MP3_32s``: every candidate element whose rows match
     the block's polynomials within tolerance is characterized, and the
     cheapest with sufficient accuracy wins.
 
-    Returns ``(winner_or_None, all_matches)``.  Memoized in the LRU and
-    (when configured — ``cache_dir`` overrides the global knob) the
-    persistent disk tier: re-mapping the same block against the same
-    library ladder (every pass of
-    :meth:`~repro.mapping.flow.MethodologyFlow.run_passes`, every
-    benchmark round, every fresh CI process with a warm cache dir) is a
-    cache hit.
+    Returns ``(winner_or_None, all_matches)``.  Memoized in the
+    process-wide default tiers (``cache_dir`` overrides their disk
+    directory), which is exactly why it is deprecated: it reads global
+    cache state a caller cannot scope.  Use
+    :meth:`repro.api.MappingSession.map` — same search, same cache
+    keys, session-owned tiers, and a typed result whose ``to_json()``
+    is the service's wire format.
     """
-    platform = platform or Badge4()
-    key = _map_block_key(block, library, platform, tolerance,
-                         accuracy_budget)
-    cached = _MAP_BLOCK_CACHE.get(key)
+    _warn_deprecated(
+        "module-level map_block()",
+        "use repro.api.MappingSession.map() (sessions own the cache "
+        "tiers this call reads from process globals)",
+    )
+    return _map_block_cached(
+        block,
+        library,
+        platform or Badge4(),
+        tolerance,
+        accuracy_budget,
+        DEFAULT_TIERS,
+        cache_dir,
+    )
+
+
+def _map_block_cached(
+    block: TargetBlock,
+    library: Library,
+    platform: Badge4,
+    tolerance: float,
+    accuracy_budget: float,
+    tiers: CacheTiers,
+    cache_dir: "str | None" = None,
+) -> tuple[BlockMatch | None, list[BlockMatch]]:
+    """Two-tier cached block matching against an explicit tier bundle.
+
+    Re-mapping the same block against the same library ladder (every
+    pass of :meth:`~repro.mapping.flow.MethodologyFlow.run_passes`,
+    every benchmark round, every fresh CI process with a warm cache
+    dir) is a cache hit.
+    """
+    key = _map_block_key(block, library, platform, tolerance, accuracy_budget)
+    cached = tiers.map_block.get(key)
     if cached is not None:
         winner, matches = cached
         return winner, list(matches)
-    tier = _tier_for(cache_dir)
+    tier = tiers.disk(cache_dir)
     digest = stable_digest(key) if tier is not None else None
     if tier is not None:
         stored = tier.get(digest)
         if stored is not None:
-            _MAP_BLOCK_CACHE.put(key, stored)
+            tiers.map_block.put(key, stored)
             winner, matches = stored
             return winner, list(matches)
-    value = _map_block_uncached(block, library, platform, tolerance,
-                                accuracy_budget)
-    _MAP_BLOCK_CACHE.put(key, value)
+    value = _map_block_uncached(block, library, platform, tolerance, accuracy_budget)
+    tiers.map_block.put(key, value)
     if tier is not None:
         tier.put(digest, value)
     return value[0], list(value[1])
 
 
-def map_block_pareto(block: TargetBlock, library: Library,
-                     platform: Badge4 | None = None,
-                     *,
-                     tolerance: float = 1e-6,
-                     accuracy_budget: float = float("inf"),
-                     cache_dir: "str | None" = None) -> "BlockParetoResult":
-    """Multi-objective :func:`map_block`: the Pareto front over
-    (cycles, energy, accuracy) instead of a single scalar winner.
+def map_block_pareto(
+    block: TargetBlock,
+    library: Library,
+    platform: Badge4 | None = None,
+    *,
+    tolerance: float = 1e-6,
+    accuracy_budget: float = float("inf"),
+    cache_dir: "str | None" = None,
+) -> "BlockParetoResult":
+    """Deprecated multi-objective :func:`map_block` over the globals:
+    the Pareto front over (cycles, energy, accuracy) instead of a
+    single scalar winner.  Use :meth:`repro.api.MappingSession.pareto`.
 
     Every adequate match is scored on ``platform`` — cycles by the
     processor model, Joules by the board's energy model, accuracy from
@@ -430,19 +581,47 @@ def map_block_pareto(block: TargetBlock, library: Library,
     call, in-process, so fronts can never be served stale across
     energy-model changes.
     """
+    _warn_deprecated(
+        "module-level map_block_pareto()",
+        "use repro.api.MappingSession.pareto()",
+    )
+    return _map_block_pareto_cached(
+        block,
+        library,
+        platform or Badge4(),
+        tolerance,
+        accuracy_budget,
+        DEFAULT_TIERS,
+        cache_dir,
+    )
+
+
+def _map_block_pareto_cached(
+    block: TargetBlock,
+    library: Library,
+    platform: Badge4,
+    tolerance: float,
+    accuracy_budget: float,
+    tiers: CacheTiers,
+    cache_dir: "str | None" = None,
+) -> "BlockParetoResult":
+    """Front derivation over the cached match list (derived-front
+    contract: energy is always scored fresh, in-process)."""
     from repro.mapping.pareto import BlockParetoResult
-    platform = platform or Badge4()
-    _winner, matches = map_block(block, library, platform,
-                                 tolerance=tolerance,
-                                 accuracy_budget=accuracy_budget,
-                                 cache_dir=cache_dir)
+
+    _winner, matches = _map_block_cached(
+        block, library, platform, tolerance, accuracy_budget, tiers, cache_dir
+    )
     return BlockParetoResult.from_matches(block.name, platform, matches)
 
 
-def _map_block_uncached(block: TargetBlock, library: Library,
-                        platform: Badge4, tolerance: float,
-                        accuracy_budget: float
-                        ) -> tuple[BlockMatch | None, tuple[BlockMatch, ...]]:
+def _map_block_uncached(
+    block: TargetBlock,
+    library: Library,
+    platform: Badge4,
+    tolerance: float,
+    accuracy_budget: float,
+) -> tuple[BlockMatch | None, tuple[BlockMatch, ...]]:
     """The search behind :func:`map_block`, in LRU-value shape."""
     matches: list[BlockMatch] = []
     # Name-sorted for the same reason as _candidate_instantiations: the

@@ -14,6 +14,11 @@
 
 Calling :meth:`run_passes` with the paper's library ladder (LM+IH, then
 LM+IH+IPP) regenerates Tables 4, 5 and 6 mechanically.
+
+A flow can be session-bound: :meth:`repro.api.MappingSession.flow`
+builds one wired to the session's cache tiers, worker count, executor
+and block catalog, so every pass resolves against session-owned state
+instead of process globals.
 """
 
 from __future__ import annotations
@@ -26,10 +31,15 @@ import numpy as np
 
 from repro.errors import MappingError
 from repro.frontend.extract import ArrayInput, TargetBlock, extract_block
-from repro.library.builtin import (inhouse_library, ipp_library,
-                                   linux_math_library, reference_library)
+from repro.library.builtin import (
+    inhouse_library,
+    ipp_library,
+    linux_math_library,
+    reference_library,
+)
 from repro.library.catalog import Library
 from repro.mapping.batch import BatchItem, BatchStats, run_batch
+from repro.mapping.cache import CacheTiers
 from repro.mapping.pareto import BlockParetoResult, ParetoPoint
 from repro.mp3.compliance import ComplianceReport, check_compliance
 from repro.mp3.decoder import DecoderConfig, Mp3Decoder
@@ -39,8 +49,14 @@ from repro.platform.badge4 import Badge4
 from repro.platform.profiler import ProfileReport
 from repro.platform.registry import DEFAULT_REGISTRY, duplicate_labels
 
-__all__ = ["MethodologyFlow", "MappingPass", "FlowReport",
-           "SweepEntry", "SweepReport", "methodology_blocks"]
+__all__ = [
+    "MethodologyFlow",
+    "MappingPass",
+    "FlowReport",
+    "SweepEntry",
+    "SweepReport",
+    "methodology_blocks",
+]
 
 #: Reference kernel for the IMDCT loop nest (Equation 1), in the
 #: frontend's restricted subset.  The cosine table arrives as constants.
@@ -85,17 +101,23 @@ def methodology_blocks() -> dict[str, TargetBlock]:
 def _imdct_block() -> TargetBlock:
     return extract_block(
         _IMDCT_KERNEL,
-        [ArrayInput("y", (18,)),
-         ArrayInput("c", (36, 18), values=IMDCT_COS_36.tolist())],
-        name="inv_mdctL")
+        [
+            ArrayInput("y", (18,)),
+            ArrayInput("c", (36, 18), values=IMDCT_COS_36.tolist()),
+        ],
+        name="inv_mdctL",
+    )
 
 
 def _matrixing_block() -> TargetBlock:
     return extract_block(
         _MATRIXING_KERNEL,
-        [ArrayInput("s", (32,)),
-         ArrayInput("n", (64, 32), values=POLYPHASE_N.tolist())],
-        name="SubBandSynthesis")
+        [
+            ArrayInput("s", (32,)),
+            ArrayInput("n", (64, 32), values=POLYPHASE_N.tolist()),
+        ],
+        name="SubBandSynthesis",
+    )
 
 
 #: element name -> (DecoderConfig field, variant value)
@@ -139,15 +161,17 @@ class FlowReport:
     def speedup_ladder(self) -> list[tuple[str, float, float]]:
         """(name, perf factor, energy factor) versus the first pass."""
         base = self.passes[0]
-        return [(p.name, base.seconds / p.seconds,
-                 base.energy_j / p.energy_j) for p in self.passes]
+        return [
+            (p.name, base.seconds / p.seconds, base.energy_j / p.energy_j)
+            for p in self.passes
+        ]
 
 
 @dataclass(frozen=True)
 class SweepEntry:
     """One (platform × library × block) cell of a sweep."""
 
-    platform: str               # registry key (or the processor name)
+    platform: str  # registry key (or the processor name)
     library: str
     block: str
     result: BlockParetoResult
@@ -182,8 +206,9 @@ class SweepReport:
                 return e
         raise KeyError((platform, block, library))
 
-    def front(self, platform: str, block: str,
-              library: str) -> tuple[ParetoPoint, ...]:
+    def front(
+        self, platform: str, block: str, library: str
+    ) -> tuple[ParetoPoint, ...]:
         """The Pareto front at one coordinate."""
         return self.entry(platform, block, library).result.front
 
@@ -192,9 +217,13 @@ class SweepReport:
         if platform not in self.platforms:
             raise KeyError(
                 f"platform {platform!r} not in this sweep; "
-                f"swept: {list(self.platforms)}")
-        return {(e.block, e.library): e.winner_name
-                for e in self.entries if e.platform == platform}
+                f"swept: {list(self.platforms)}"
+            )
+        return {
+            (e.block, e.library): e.winner_name
+            for e in self.entries
+            if e.platform == platform
+        }
 
     def to_json(self) -> str:
         """Canonical JSON rendering (the byte-parity comparison form).
@@ -208,20 +237,26 @@ class SweepReport:
             "platforms": list(self.platforms),
             "libraries": list(self.libraries),
             "blocks": list(self.blocks),
-            "entries": [{
-                "platform": e.platform,
-                "library": e.library,
-                "block": e.block,
-                "processor": e.result.platform_name,
-                "winner": e.winner_name,
-                "front": [{
-                    "element": p.element_name,
-                    "element_library": p.library,
-                    "cycles": p.objectives.cycles,
-                    "energy_j": p.objectives.energy_j,
-                    "accuracy": p.objectives.accuracy,
-                } for p in e.result.front],
-            } for e in self.entries],
+            "entries": [
+                {
+                    "platform": e.platform,
+                    "library": e.library,
+                    "block": e.block,
+                    "processor": e.result.platform_name,
+                    "winner": e.winner_name,
+                    "front": [
+                        {
+                            "element": p.element_name,
+                            "element_library": p.library,
+                            "cycles": p.objectives.cycles,
+                            "energy_j": p.objectives.energy_j,
+                            "accuracy": p.objectives.accuracy,
+                        }
+                        for p in e.result.front
+                    ],
+                }
+                for e in self.entries
+            ],
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
@@ -233,14 +268,18 @@ class SweepReport:
             for e in self.entries:
                 if e.platform != platform:
                     continue
-                lines.append(f"  {e.block} vs {e.library}: "
-                             f"winner={e.winner_name or '<unmapped>'}")
+                lines.append(
+                    f"  {e.block} vs {e.library}: "
+                    f"winner={e.winner_name or '<unmapped>'}"
+                )
                 for p in e.result.front:
                     o = p.objectives
-                    lines.append(f"    - {p.element_name:<28} "
-                                 f"{o.cycles:>12,.0f} cyc  "
-                                 f"{o.energy_j:>10.3e} J  "
-                                 f"err {o.accuracy:.1e}")
+                    lines.append(
+                        f"    - {p.element_name:<28} "
+                        f"{o.cycles:>12,.0f} cyc  "
+                        f"{o.energy_j:>10.3e} J  "
+                        f"err {o.accuracy:.1e}"
+                    )
         return "\n".join(lines)
 
 
@@ -252,13 +291,10 @@ def _mapping_ladder() -> list[tuple[str, Library]]:
     takes the libraries as its defaults — so the two flows cannot
     drift apart.
     """
+    base = [reference_library(), linux_math_library(), inhouse_library()]
     return [
-        ("LM + IH mapping",
-         Library.union(reference_library(), linux_math_library(),
-                       inhouse_library())),
-        ("LM + IH + IPP mapping",
-         Library.union(reference_library(), linux_math_library(),
-                       inhouse_library(), ipp_library())),
+        ("LM + IH mapping", Library.union(*base)),
+        ("LM + IH + IPP mapping", Library.union(*base, ipp_library())),
     ]
 
 
@@ -290,26 +326,38 @@ class MethodologyFlow:
     requests instead of forking per call.  ``blocks`` overrides the
     extracted complex target blocks; the service injects its shared
     catalog so frontend extraction happens once per process, not once
-    per flow.
+    per flow.  ``tiers`` binds the flow to an explicit
+    :class:`~repro.mapping.cache.CacheTiers` (a session's); ``None``
+    keeps the process-wide default tiers.  ``registry`` is the
+    processor catalog :meth:`sweep` resolves platform keys against
+    (sessions pass their configured one; the default registry
+    otherwise).
     """
 
-    def __init__(self, platform: Badge4 | None = None,
-                 critical_threshold_percent: float = 5.0,
-                 workers: int | None = None,
-                 cache_dir: str | None = None,
-                 executor=None,
-                 blocks: "Mapping[str, TargetBlock] | None" = None):
+    def __init__(
+        self,
+        platform: Badge4 | None = None,
+        critical_threshold_percent: float = 5.0,
+        workers: int | None = None,
+        cache_dir: str | None = None,
+        executor=None,
+        blocks: "Mapping[str, TargetBlock] | None" = None,
+        tiers: "CacheTiers | None" = None,
+        registry=None,
+    ):
         self.platform = platform or Badge4()
         self.threshold = critical_threshold_percent
         self.workers = workers
         self.cache_dir = cache_dir
         self.executor = executor
-        self._blocks = dict(blocks) if blocks is not None \
-            else methodology_blocks()
+        self.tiers = tiers
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._blocks = dict(blocks) if blocks is not None else methodology_blocks()
 
     # -- step 2: profiling ------------------------------------------------
-    def profile(self, config: DecoderConfig,
-                stream: EncodedStream) -> tuple[ProfileReport, np.ndarray]:
+    def profile(
+        self, config: DecoderConfig, stream: EncodedStream
+    ) -> tuple[ProfileReport, np.ndarray]:
         """Decode ``stream`` under ``config`` and profile it.
 
         Returns the per-function profile report and the decoded PCM
@@ -321,13 +369,16 @@ class MethodologyFlow:
 
     def critical_functions(self, report: ProfileReport) -> list[str]:
         """Functions above the criticality threshold, hottest first."""
-        return [row.name for row in report.rows
-                if row.percent >= self.threshold]
+        return [row.name for row in report.rows if row.percent >= self.threshold]
 
     # -- step 3: mapping ---------------------------------------------------
-    def map_decoder(self, library: Library, base: DecoderConfig,
-                    critical: list[str], pass_name: str
-                    ) -> tuple[DecoderConfig, dict[str, str]]:
+    def map_decoder(
+        self,
+        library: Library,
+        base: DecoderConfig,
+        critical: list[str],
+        pass_name: str,
+    ) -> tuple[DecoderConfig, dict[str, str]]:
         """Choose elements for the critical complex stages.
 
         Scalar stages (requantization, stereo) follow the best grade the
@@ -335,9 +386,13 @@ class MethodologyFlow:
         table/kernel replacements for the libm calls.
         """
         chosen: dict[str, str] = {}
-        fields = {"dequantize": base.dequantize, "stereo": base.stereo,
-                  "antialias": base.antialias, "imdct": base.imdct,
-                  "synthesis": base.synthesis}
+        fields = {
+            "dequantize": base.dequantize,
+            "stereo": base.stereo,
+            "antialias": base.antialias,
+            "imdct": base.imdct,
+            "synthesis": base.synthesis,
+        }
 
         has_ih = any(e.library == "IH" for e in library)
         if has_ih:
@@ -352,42 +407,52 @@ class MethodologyFlow:
         # Submit every critical block through the batch engine at once
         # (instead of mapping them one at a time): the engine dedups
         # against the cache tiers and fans cold items across workers.
-        blocks = [(name, block) for name, block in self._blocks.items()
-                  if name in critical or f"{name} " in critical]
+        blocks = [
+            (name, block)
+            for name, block in self._blocks.items()
+            if name in critical or f"{name} " in critical
+        ]
         batch = run_batch(
-            [BatchItem.for_block(block, library, self.platform,
-                                 tolerance=1e-6) for _name, block in blocks],
-            workers=self.workers, cache_dir=self.cache_dir,
-            executor=self.executor)
+            [
+                BatchItem.for_block(block, library, self.platform, tolerance=1e-6)
+                for _name, block in blocks
+            ],
+            workers=self.workers,
+            cache_dir=self.cache_dir,
+            executor=self.executor,
+            tiers=self.tiers,
+        )
         for (name, block), (winner, _all) in zip(blocks, batch.results):
             if winner is None:
                 continue
             element_name = winner.element.name
             if element_name not in _ELEMENT_TO_STAGE:
                 raise MappingError(
-                    f"matched element {element_name} has no stage mapping")
+                    f"matched element {element_name} has no stage mapping"
+                )
             stage_field, variant = _ELEMENT_TO_STAGE[element_name]
             # Never regress: only adopt a cheaper element than current.
             current_variant = fields[stage_field]
-            if self._variant_cycles(stage_field, variant) < \
-               self._variant_cycles(stage_field, current_variant):
+            new_cycles = self._variant_cycles(stage_field, variant)
+            if new_cycles < self._variant_cycles(stage_field, current_variant):
                 fields[stage_field] = variant
                 chosen[name] = element_name
-        config = DecoderConfig(pass_name, huffman_grade=base.huffman_grade,
-                               **fields)
+        config = DecoderConfig(pass_name, huffman_grade=base.huffman_grade, **fields)
         return config, chosen
 
     # -- multi-platform sweep ---------------------------------------------
-    def sweep(self,
-              platforms: "Sequence[str | Badge4] | None" = None,
-              libraries: "Iterable[Library] | None" = None,
-              blocks: "Mapping[str, TargetBlock] | None" = None,
-              *,
-              tolerance: float = 1e-6,
-              accuracy_budget: float = float("inf"),
-              workers=_UNSET,
-              cache_dir=_UNSET,
-              executor=_UNSET) -> SweepReport:
+    def sweep(
+        self,
+        platforms: "Sequence[str | Badge4] | None" = None,
+        libraries: "Iterable[Library] | None" = None,
+        blocks: "Mapping[str, TargetBlock] | None" = None,
+        *,
+        tolerance: float = 1e-6,
+        accuracy_budget: float = float("inf"),
+        workers=_UNSET,
+        cache_dir=_UNSET,
+        executor=_UNSET,
+    ) -> SweepReport:
         """Map every block against every library on every platform.
 
         The full (block × library × platform) cross-product goes
@@ -402,19 +467,19 @@ class MethodologyFlow:
         (SA-1110 first).  ``libraries`` defaults to the paper's ladder
         (LM+IH, then LM+IH+IPP, both over REF); ``blocks`` to the
         methodology's complex blocks.  ``workers``/``cache_dir``/
-        ``executor`` default to the flow's own configuration.
+        ``executor`` default to the flow's own configuration, as do
+        the flow's bound cache tiers and processor registry.
         """
-        resolved = DEFAULT_REGISTRY.resolve(platforms)
-        libs = list(libraries) if libraries is not None \
-            else _sweep_library_ladder()
+        resolved = self.registry.resolve(platforms)
+        libs = list(libraries) if libraries is not None else _sweep_library_ladder()
         duplicates = duplicate_labels(lib.name for lib in libs)
         if duplicates:
             # Reports index cells by library name too; a shared name
             # would silently shadow one library's results (same reason
             # the registry rejects duplicate platform labels).
             raise MappingError(
-                f"sweep libraries must have unique names; "
-                f"duplicates: {duplicates}")
+                f"sweep libraries must have unique names; duplicates: {duplicates}"
+            )
         block_map = dict(blocks if blocks is not None else self._blocks)
 
         coords: list[tuple[str, Badge4, str, str]] = []
@@ -423,32 +488,49 @@ class MethodologyFlow:
             for library in libs:
                 for block_name, block in block_map.items():
                     coords.append((label, platform, library.name, block_name))
-                    items.append(BatchItem.for_block(
-                        block, library, platform, tolerance=tolerance,
-                        accuracy_budget=accuracy_budget))
+                    items.append(
+                        BatchItem.for_block(
+                            block,
+                            library,
+                            platform,
+                            tolerance=tolerance,
+                            accuracy_budget=accuracy_budget,
+                        )
+                    )
 
         batch = run_batch(
             items,
             workers=self.workers if workers is _UNSET else workers,
             cache_dir=self.cache_dir if cache_dir is _UNSET else cache_dir,
-            executor=self.executor if executor is _UNSET else executor)
+            executor=self.executor if executor is _UNSET else executor,
+            tiers=self.tiers,
+        )
 
         entries: list[SweepEntry] = []
-        for (label, platform, lib_name, block_name), (_winner, matches) in \
-                zip(coords, batch.results):
-            entries.append(SweepEntry(
-                platform=label, library=lib_name, block=block_name,
-                result=BlockParetoResult.from_matches(block_name, platform,
-                                                      matches)))
+        for (label, platform, lib_name, block_name), (_winner, matches) in zip(
+            coords, batch.results
+        ):
+            entries.append(
+                SweepEntry(
+                    platform=label,
+                    library=lib_name,
+                    block=block_name,
+                    result=BlockParetoResult.from_matches(
+                        block_name, platform, matches
+                    ),
+                )
+            )
         return SweepReport(
             platforms=tuple(label for label, _ in resolved),
             libraries=tuple(lib.name for lib in libs),
             blocks=tuple(block_map),
             entries=entries,
-            stats=batch.stats)
+            stats=batch.stats,
+        )
 
     def _variant_cycles(self, stage_field: str, variant: str) -> float:
         from repro.library.builtin import _imdct_cost, _synthesis_cost
+
         if stage_field == "imdct":
             return self.platform.cost_model.cycles(_imdct_cost(variant))
         if stage_field == "synthesis":
@@ -456,8 +538,9 @@ class MethodologyFlow:
         return float("inf")
 
     # -- the whole loop ----------------------------------------------------
-    def run_passes(self, stream: EncodedStream,
-                   required_compliance: str = "limited") -> FlowReport:
+    def run_passes(
+        self, stream: EncodedStream, required_compliance: str = "limited"
+    ) -> FlowReport:
         """The paper's evaluation: Original -> LM+IH -> LM+IH+IPP."""
         report = FlowReport()
         reference_pcm: np.ndarray | None = None
@@ -471,7 +554,8 @@ class MethodologyFlow:
                 base_profile, _ = self.profile(config, stream)
                 critical = self.critical_functions(base_profile)
                 config, chosen = self.map_decoder(
-                    library, DecoderConfig("Original"), critical, pass_name)
+                    library, DecoderConfig("Original"), critical, pass_name
+                )
             else:
                 chosen = {}
             profile, pcm = self.profile(config, stream)
@@ -479,14 +563,16 @@ class MethodologyFlow:
                 reference_pcm = pcm
             compliance = check_compliance(reference_pcm, pcm)
             compliance.require(required_compliance)
-            report.passes.append(MappingPass(
-                name=pass_name,
-                libraries=tuple(sorted({e.library for e in library})),
-                config=config,
-                chosen_elements=chosen,
-                profile=profile,
-                compliance=compliance,
-                seconds=profile.total_seconds,
-                energy_j=profile.total_energy_j,
-            ))
+            report.passes.append(
+                MappingPass(
+                    name=pass_name,
+                    libraries=tuple(sorted({e.library for e in library})),
+                    config=config,
+                    chosen_elements=chosen,
+                    profile=profile,
+                    compliance=compliance,
+                    seconds=profile.total_seconds,
+                    energy_j=profile.total_energy_j,
+                )
+            )
         return report

@@ -30,8 +30,12 @@ from repro.mapping.cache import LRUCache, fingerprint_element
 from repro.symalg.ideal import SideRelation
 from repro.symalg.polynomial import Polynomial
 
-__all__ = ["Instantiation", "BlockMatch", "enumerate_instantiations",
-           "match_block"]
+__all__ = [
+    "Instantiation",
+    "BlockMatch",
+    "enumerate_instantiations",
+    "match_block",
+]
 
 #: Candidate bindings per (element, target) pair — the innermost loop
 #: of the Decompose search, re-entered for every node that shares a
@@ -54,7 +58,7 @@ class Instantiation:
     """
 
     element: LibraryElement
-    binding: tuple[tuple[str, str], ...]   # (formal, target var) pairs
+    binding: tuple[tuple[str, str], ...]  # (formal, target var) pairs
     output_index: int = 0
     tag: str = ""
 
@@ -66,8 +70,9 @@ class Instantiation:
 
     def bound_polynomial(self) -> Polynomial:
         """The element polynomial over the target's variables."""
-        mapping = {formal: Polynomial.variable(actual)
-                   for formal, actual in self.binding}
+        mapping = {
+            formal: Polynomial.variable(actual) for formal, actual in self.binding
+        }
         return self.element.polynomials[self.output_index].substitute(mapping)
 
     def side_relation(self) -> SideRelation:
@@ -88,7 +93,10 @@ class BlockMatch:
     max_coefficient_error: float
 
     def __str__(self) -> str:
-        return f"{self.element.name} covers block (err={self.max_coefficient_error:.2g})"
+        return (
+            f"{self.element.name} covers block "
+            f"(err={self.max_coefficient_error:.2g})"
+        )
 
 
 def _is_simple_linear(poly: Polynomial) -> bool:
@@ -99,9 +107,12 @@ def _is_simple_linear(poly: Polynomial) -> bool:
     return True
 
 
-def enumerate_instantiations(element: LibraryElement, target: Polynomial,
-                             tolerance: float = 1e-9,
-                             limit: int = 16) -> list[Instantiation]:
+def enumerate_instantiations(
+    element: LibraryElement,
+    target: Polynomial,
+    tolerance: float = 1e-9,
+    limit: int = 16,
+) -> list[Instantiation]:
     """Candidate bindings of a (scalar-output) element against ``target``.
 
     Results are *candidates* for the Decompose search — each produces a
@@ -124,14 +135,14 @@ def enumerate_instantiations(element: LibraryElement, target: Polynomial,
     return result
 
 
-def _enumerate_uncached(element: LibraryElement, target: Polynomial,
-                        tolerance: float, limit: int) -> list[Instantiation]:
+def _enumerate_uncached(
+    element: LibraryElement, target: Polynomial, tolerance: float, limit: int
+) -> list[Instantiation]:
     out: list[tuple[int, Instantiation]] = []
     target_vars = sorted(target.variables, key=_natural_key)
     if not target_vars:
         return []
-    target_monomials = {frozenset(p.items())
-                        for p, _c in target.iter_terms() if p}
+    target_monomials = {frozenset(p.items()) for p, _c in target.iter_terms() if p}
     for output_index, poly in enumerate(element.polynomials):
         formals = tuple(sorted(poly.variables, key=_natural_key))
         if not formals:
@@ -144,21 +155,26 @@ def _enumerate_uncached(element: LibraryElement, target: Polynomial,
         if len(formals) > 3 or len(target_vars) > 8:
             continue  # bounded search only
         for combo in itertools.product(target_vars, repeat=len(formals)):
-            inst = Instantiation(element, tuple(zip(formals, combo)),
-                                 output_index)
+            inst = Instantiation(element, tuple(zip(formals, combo)), output_index)
             bound = inst.bound_polynomial()
             if bound.is_constant():
                 continue
-            shared = sum(1 for p, _c in bound.iter_terms()
-                         if p and frozenset(p.items()) in target_monomials)
+            shared = sum(
+                1
+                for p, _c in bound.iter_terms()
+                if p and frozenset(p.items()) in target_monomials
+            )
             out.append((-shared, inst))
     out.sort(key=lambda pair: pair[0])
     return [inst for _score, inst in out[:limit]]
 
 
-def _linear_binding(poly: Polynomial, formals: tuple[str, ...],
-                    target: Polynomial, tolerance: float
-                    ) -> tuple[tuple[str, str], ...] | None:
+def _linear_binding(
+    poly: Polynomial,
+    formals: tuple[str, ...],
+    target: Polynomial,
+    tolerance: float,
+) -> tuple[tuple[str, str], ...] | None:
     """Bind a large linear form by coefficient values.
 
     Each formal's coefficient must appear (within tolerance) as the
@@ -167,7 +183,7 @@ def _linear_binding(poly: Polynomial, formals: tuple[str, ...],
     target_coeffs: dict[str, float] = {}
     for powers, coeff in target.iter_terms():
         if len(powers) == 1:
-            (var, e), = powers.items()
+            ((var, e),) = powers.items()
             if e == 1:
                 target_coeffs[var] = float(coeff)
     binding: list[tuple[str, str]] = []
@@ -188,8 +204,9 @@ def _linear_binding(poly: Polynomial, formals: tuple[str, ...],
     return tuple(binding)
 
 
-def match_block(element: LibraryElement, block: TargetBlock,
-                tolerance: float = 1e-9) -> BlockMatch | None:
+def match_block(
+    element: LibraryElement, block: TargetBlock, tolerance: float = 1e-9
+) -> BlockMatch | None:
     """Match a multi-output element against a whole target block.
 
     Formals bind to the block's input variables positionally (both

@@ -39,8 +39,14 @@ from repro.library.element import LibraryElement
 from repro.mapping.match import BlockMatch
 from repro.platform.badge4 import Badge4
 
-__all__ = ["Objectives", "ParetoPoint", "BlockParetoResult",
-           "score_match", "score_element", "pareto_front"]
+__all__ = [
+    "Objectives",
+    "ParetoPoint",
+    "BlockParetoResult",
+    "score_match",
+    "score_element",
+    "pareto_front",
+]
 
 
 @dataclass(frozen=True)
@@ -58,12 +64,16 @@ class Objectives:
 
     def dominates(self, other: "Objectives") -> bool:
         """Weak dominance with at least one strict improvement."""
-        return (self.cycles <= other.cycles
-                and self.energy_j <= other.energy_j
-                and self.accuracy <= other.accuracy
-                and (self.cycles < other.cycles
-                     or self.energy_j < other.energy_j
-                     or self.accuracy < other.accuracy))
+        return (
+            self.cycles <= other.cycles
+            and self.energy_j <= other.energy_j
+            and self.accuracy <= other.accuracy
+            and (
+                self.cycles < other.cycles
+                or self.energy_j < other.energy_j
+                or self.accuracy < other.accuracy
+            )
+        )
 
     def as_tuple(self) -> tuple[float, float, float]:
         return (self.cycles, self.energy_j, self.accuracy)
@@ -86,8 +96,10 @@ class ParetoPoint:
 
     def __str__(self) -> str:
         o = self.objectives
-        return (f"{self.element_name}: {o.cycles:.0f} cyc, "
-                f"{o.energy_j:.3g} J, err {o.accuracy:.2g}")
+        return (
+            f"{self.element_name}: {o.cycles:.0f} cyc, "
+            f"{o.energy_j:.3g} J, err {o.accuracy:.2g}"
+        )
 
 
 @dataclass(frozen=True)
@@ -107,8 +119,9 @@ class BlockParetoResult:
     matches: tuple[BlockMatch, ...]
 
     @classmethod
-    def from_matches(cls, block_name: str, platform: Badge4,
-                     matches: Sequence[BlockMatch]) -> "BlockParetoResult":
+    def from_matches(
+        cls, block_name: str, platform: Badge4, matches: Sequence[BlockMatch]
+    ) -> "BlockParetoResult":
         """Derive the front from a platform-priced match list.
 
         The single construction point for the derived-front contract:
@@ -116,10 +129,12 @@ class BlockParetoResult:
         their results here, so their fronts cannot drift apart.
         """
         scored = [ParetoPoint(m, score_match(m, platform)) for m in matches]
-        return cls(block_name=block_name,
-                   platform_name=platform.processor.name,
-                   front=pareto_front(scored),
-                   matches=tuple(matches))
+        return cls(
+            block_name=block_name,
+            platform_name=platform.processor.name,
+            front=pareto_front(scored),
+            matches=tuple(matches),
+        )
 
     @property
     def cycles_winner(self) -> BlockMatch | None:
@@ -142,10 +157,13 @@ def score_element(element: LibraryElement, platform: Badge4) -> Objectives:
     the tables :func:`repro.library.platform_cost_labels` reports.
     """
     from repro.library.characterize import characterize
+
     ch = characterize(element, platform)
-    return Objectives(cycles=ch.cycles_per_call,
-                      energy_j=ch.energy_per_call_j,
-                      accuracy=element.accuracy)
+    return Objectives(
+        cycles=ch.cycles_per_call,
+        energy_j=ch.energy_per_call_j,
+        accuracy=element.accuracy,
+    )
 
 
 def score_match(match: BlockMatch, platform: Badge4) -> Objectives:
@@ -167,9 +185,10 @@ def pareto_front(scored: Iterable[ParetoPoint]) -> tuple[ParetoPoint, ...]:
     off the front; :attr:`BlockParetoResult.cycles_winner` preserves
     the scalar answer regardless.
     """
-    points = sorted(scored, key=lambda p: (*p.objectives.as_tuple(),
-                                           p.element_name))
-    front = [p for p in points
-             if not any(q.objectives.dominates(p.objectives)
-                        for q in points if q is not p)]
+    points = sorted(scored, key=lambda p: (*p.objectives.as_tuple(), p.element_name))
+    front = [
+        p
+        for p in points
+        if not any(q.objectives.dominates(p.objectives) for q in points if q is not p)
+    ]
     return tuple(front)

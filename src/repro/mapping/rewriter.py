@@ -32,8 +32,11 @@ class MappedProgram:
     source: str
     inputs: tuple[str, ...]
 
-    def evaluate(self, env: Mapping[str, Fraction | float],
-                 kernels: Mapping[str, Callable] | None = None):
+    def evaluate(
+        self,
+        env: Mapping[str, Fraction | float],
+        kernels: Mapping[str, Callable] | None = None,
+    ):
         """Run the mapped program.
 
         Element calls are computed from their *bound polynomials* by

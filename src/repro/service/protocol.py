@@ -1,70 +1,54 @@
-"""Wire protocol of the mapping service: requests, responses, canonical
-JSON, and the named-resource catalog.
+"""Wire protocol of the mapping service, re-derived from ``repro.api``.
 
-Everything that crosses the HTTP boundary is defined here so the
-transport layer (:mod:`repro.service.server`) and the client
-(:mod:`repro.service.client`) share one source of truth:
+Since the session facade landed, the canonical wire format lives in
+:mod:`repro.api.types` — :func:`canonical_json`, the request
+dataclasses (:class:`~repro.api.MapRequest`,
+:class:`~repro.api.SweepRequest`) and the result payload builders
+(:meth:`~repro.api.MapResult.to_payload`,
+:meth:`~repro.api.ParetoResult.to_payload`) — and the named-resource
+catalog in :mod:`repro.api.catalog`.  This module is the HTTP-facing
+remainder: body parsing plus thin response-shaping wrappers, all
+delegating to the api layer so a service response and a
+``session.map(...).to_json()`` can never drift apart.
 
-* **Canonical JSON** — :func:`canonical_json` renders sorted keys, no
-  whitespace, ``repr``-exact floats, NaN/Infinity rejected.  Responses
-  built from the same mapping result are therefore *byte-identical*
-  regardless of which worker served them or which cache tier the
-  result came from — the same parity contract
-  :meth:`~repro.mapping.flow.SweepReport.to_json` already gives the
-  sweep.
-* **Request dataclasses** — :class:`MapRequest` and
-  :class:`SweepRequest` parse and validate JSON payloads, raising
-  :class:`~repro.errors.ServiceError` with the HTTP status the
-  transport should answer (400 malformed, 404 unknown resource).
-* **The catalog** — :class:`ServiceCatalog` resolves request names
-  (block names, library tags, registry platform keys) to live objects,
-  memoizing them per instance: reusing the *same* ``Library`` and
-  ``TargetBlock`` objects across requests keeps the per-library
-  fingerprint memo hot and lets the batch engine dedup identical work.
+The historic names (``ServiceCatalog``, ``map_response``, ...) are
+re-exported unchanged for existing imports.
 """
 
 from __future__ import annotations
 
 import json
-import math
-from dataclasses import dataclass
 
+from repro.api.catalog import ResourceCatalog
+from repro.api.types import (
+    DEFAULT_LIBRARY,
+    DEFAULT_PLATFORM,
+    LIBRARY_TAGS,
+    MapRequest,
+    MapResult,
+    ParetoResult,
+    SweepRequest,
+    canonical_json,
+)
 from repro.errors import ServiceError
-from repro.frontend.extract import TargetBlock
-from repro.library.builtin import (inhouse_library, ipp_library,
-                                   linux_math_library, reference_library)
-from repro.library.catalog import Library
-from repro.mapping.flow import methodology_blocks
 from repro.platform.badge4 import Badge4
-from repro.platform.registry import DEFAULT_REGISTRY
 
-__all__ = ["canonical_json", "parse_json_body",
-           "MapRequest", "SweepRequest", "ServiceCatalog",
-           "map_response", "pareto_response", "sweep_response",
-           "LIBRARY_TAGS", "DEFAULT_LIBRARY", "DEFAULT_PLATFORM"]
+__all__ = [
+    "canonical_json",
+    "parse_json_body",
+    "MapRequest",
+    "SweepRequest",
+    "ServiceCatalog",
+    "map_response",
+    "pareto_response",
+    "sweep_response",
+    "LIBRARY_TAGS",
+    "DEFAULT_LIBRARY",
+    "DEFAULT_PLATFORM",
+]
 
-#: Library tags a request may combine, in canonical order.
-LIBRARY_TAGS = ("REF", "LM", "IH", "IPP")
-
-#: The default /v1/map ladder: everything the paper's final pass uses.
-DEFAULT_LIBRARY = ("REF", "LM", "IH", "IPP")
-
-#: The paper's processor, and the registry's first entry.
-DEFAULT_PLATFORM = "SA-1110"
-
-_BUILDERS = {"REF": reference_library, "LM": linux_math_library,
-             "IH": inhouse_library, "IPP": ipp_library}
-
-
-def canonical_json(payload) -> bytes:
-    """The one JSON encoding responses use: sorted, compact, ASCII.
-
-    ``allow_nan=False`` turns an accidental NaN/Infinity in a payload
-    into a loud ``ValueError`` instead of invalid JSON on the wire —
-    canonical responses must parse everywhere.
-    """
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
-                      ensure_ascii=True, allow_nan=False).encode("ascii")
+#: The service's resource catalog is the session facade's, verbatim.
+ServiceCatalog = ResourceCatalog
 
 
 def parse_json_body(body: bytes):
@@ -77,267 +61,21 @@ def parse_json_body(body: bytes):
         raise ServiceError(400, f"malformed JSON body: {exc}") from None
 
 
-def _require_object(payload) -> dict:
-    if not isinstance(payload, dict):
-        raise ServiceError(400, "request body must be a JSON object")
-    return payload
-
-
-def _reject_unknown(payload: dict, known: tuple) -> None:
-    unknown = sorted(set(payload) - set(known))
-    if unknown:
-        raise ServiceError(400, f"unknown request field(s): {unknown}")
-
-
-def _string(payload: dict, key: str, default=None) -> str:
-    value = payload.get(key, default)
-    if not isinstance(value, str) or not value:
-        raise ServiceError(400, f"field {key!r} must be a non-empty string")
-    return value
-
-
-def _number(payload: dict, key: str, default: float) -> float:
-    value = payload.get(key, default)
-    if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise ServiceError(400, f"field {key!r} must be a number")
-    return float(value)
-
-
-def _string_tuple(payload: dict, key: str, default) -> tuple:
-    value = payload.get(key, default)
-    if value is default:
-        return default
-    if not isinstance(value, (list, tuple)) or not value \
-            or not all(isinstance(v, str) and v for v in value):
-        raise ServiceError(
-            400, f"field {key!r} must be a non-empty list of strings")
-    duplicates = sorted({v for v in value if list(value).count(v) > 1})
-    if duplicates:
-        # Every list field names a set of resources; a duplicate would
-        # either conflate report cells (sweep labels) or silently
-        # collapse — reject it here, before any heavy work runs,
-        # instead of letting the registry raise deep in a worker.
-        raise ServiceError(
-            400, f"field {key!r} has duplicate entries: {duplicates}")
-    return tuple(value)
-
-
-@dataclass(frozen=True)
-class MapRequest:
-    """One ``/v1/map`` (or ``/v1/pareto``) request, validated.
-
-    ``library`` is a tuple of catalog tags (subset of
-    :data:`LIBRARY_TAGS`) combined with
-    :meth:`~repro.library.catalog.Library.union`; ``platform`` a
-    processor-registry key.  The tolerance/accuracy knobs mirror
-    :func:`~repro.mapping.decompose.map_block` exactly, so a service
-    request and a direct call share cache lines.
-    """
-
-    block: str
-    library: tuple = DEFAULT_LIBRARY
-    platform: str = DEFAULT_PLATFORM
-    tolerance: float = 1e-6
-    accuracy_budget: float = math.inf
-
-    _FIELDS = ("block", "library", "platform", "tolerance",
-               "accuracy_budget")
-
-    @classmethod
-    def from_payload(cls, payload) -> "MapRequest":
-        payload = _require_object(payload)
-        _reject_unknown(payload, cls._FIELDS)
-        return cls(
-            block=_string(payload, "block"),
-            library=_string_tuple(payload, "library", DEFAULT_LIBRARY),
-            platform=_string(payload, "platform", DEFAULT_PLATFORM),
-            tolerance=_number(payload, "tolerance", 1e-6),
-            accuracy_budget=_number(payload, "accuracy_budget", math.inf))
-
-    def to_payload(self) -> dict:
-        """The JSON form a client sends (defaults elided)."""
-        payload: dict = {"block": self.block}
-        if self.library != DEFAULT_LIBRARY:
-            payload["library"] = list(self.library)
-        if self.platform != DEFAULT_PLATFORM:
-            payload["platform"] = self.platform
-        if self.tolerance != 1e-6:
-            payload["tolerance"] = self.tolerance
-        if not math.isinf(self.accuracy_budget):
-            payload["accuracy_budget"] = self.accuracy_budget
-        return payload
-
-
-@dataclass(frozen=True)
-class SweepRequest:
-    """One ``/v1/sweep`` request, validated.
-
-    ``platforms``/``blocks`` default to ``None`` — "everything the
-    service knows": all registered processors, both methodology
-    blocks.  ``libraries`` holds ``"+"``-joined tag combos (e.g.
-    ``"REF+LM+IH"``), defaulting to the paper's ladder.
-    """
-
-    platforms: "tuple | None" = None
-    libraries: "tuple | None" = None
-    blocks: "tuple | None" = None
-    tolerance: float = 1e-6
-    accuracy_budget: float = math.inf
-
-    _FIELDS = ("platforms", "libraries", "blocks", "tolerance",
-               "accuracy_budget")
-
-    @classmethod
-    def from_payload(cls, payload) -> "SweepRequest":
-        payload = _require_object(payload)
-        _reject_unknown(payload, cls._FIELDS)
-        return cls(
-            platforms=_string_tuple(payload, "platforms", None),
-            libraries=_string_tuple(payload, "libraries", None),
-            blocks=_string_tuple(payload, "blocks", None),
-            tolerance=_number(payload, "tolerance", 1e-6),
-            accuracy_budget=_number(payload, "accuracy_budget", math.inf))
-
-    def to_payload(self) -> dict:
-        payload: dict = {}
-        if self.platforms is not None:
-            payload["platforms"] = list(self.platforms)
-        if self.libraries is not None:
-            payload["libraries"] = list(self.libraries)
-        if self.blocks is not None:
-            payload["blocks"] = list(self.blocks)
-        if self.tolerance != 1e-6:
-            payload["tolerance"] = self.tolerance
-        if not math.isinf(self.accuracy_budget):
-            payload["accuracy_budget"] = self.accuracy_budget
-        return payload
-
-
-class ServiceCatalog:
-    """Named resources one service instance serves, memoized.
-
-    Blocks are extracted once (frontend symbolic execution is the
-    expensive part of a cold start); each library combination is
-    assembled once and the *same object* reused for every request, so
-    the per-instance fingerprint memo
-    (:func:`~repro.mapping.cache.fingerprint_library`) and the batch
-    engine's per-object pickle memo both stay hot.
-    """
-
-    def __init__(self, blocks: "dict[str, TargetBlock] | None" = None):
-        self._blocks: "dict[str, TargetBlock] | None" = \
-            dict(blocks) if blocks is not None else None
-        self._libraries: dict[tuple, Library] = {}
-        self._platforms: dict[str, Badge4] = {}
-
-    # -- blocks ---------------------------------------------------------
-    def blocks(self) -> "dict[str, TargetBlock]":
-        """Every named block (extracting lazily on first use)."""
-        if self._blocks is None:
-            self._blocks = methodology_blocks()
-        return self._blocks
-
-    def block(self, name: str) -> TargetBlock:
-        blocks = self.blocks()
-        if name not in blocks:
-            raise ServiceError(
-                404, f"unknown block {name!r}; known: {sorted(blocks)}")
-        return blocks[name]
-
-    def block_subset(self, names) -> "dict[str, TargetBlock]":
-        """``{name: block}`` for ``names`` (``None`` = every block)."""
-        if names is None:
-            return dict(self.blocks())
-        return {name: self.block(name) for name in names}
-
-    # -- libraries ------------------------------------------------------
-    def library(self, tags: tuple) -> Library:
-        """The (memoized) union library of catalog ``tags``."""
-        tags = tuple(tags)
-        unknown = sorted(set(tags) - set(_BUILDERS))
-        if unknown:
-            raise ServiceError(
-                404, f"unknown library tag(s) {unknown}; "
-                     f"known: {list(LIBRARY_TAGS)}")
-        if len(set(tags)) != len(tags):
-            raise ServiceError(400, f"duplicate library tag in {list(tags)}")
-        library = self._libraries.get(tags)
-        if library is None:
-            library = Library.union(*(_BUILDERS[tag]() for tag in tags))
-            self._libraries[tags] = library
-        return library
-
-    def library_combo(self, combo: str) -> Library:
-        """A library from a ``"+"``-joined combo string (sweep form)."""
-        return self.library(tuple(combo.split("+")))
-
-    # -- platforms ------------------------------------------------------
-    def platform(self, key: str) -> Badge4:
-        """The (memoized) platform registered under ``key``."""
-        if key not in DEFAULT_REGISTRY:
-            raise ServiceError(
-                404, f"unknown platform {key!r}; "
-                     f"known: {DEFAULT_REGISTRY.names()}")
-        platform = self._platforms.get(key)
-        if platform is None:
-            platform = DEFAULT_REGISTRY.platform(key)
-            self._platforms[key] = platform
-        return platform
-
-    def platform_keys(self, keys) -> tuple:
-        """Validated registry keys (``None`` = every registered one)."""
-        if keys is None:
-            return tuple(DEFAULT_REGISTRY.names())
-        for key in keys:
-            self.platform(key)
-        return tuple(keys)
-
-
 # ----------------------------------------------------------------------
-# Response payloads (dicts ready for canonical_json)
+# Response payloads (dicts ready for canonical_json) — thin wrappers
+# over the api result types, kept for the transport layer's call shape.
 # ----------------------------------------------------------------------
-def map_response(request: MapRequest, platform: Badge4,
-                 winner, matches) -> dict:
-    """The ``/v1/map`` payload: scalar winner plus every match, priced.
-
-    Deliberately free of timings and cache statistics, so cold, warm
-    and coalesced answers to the same request are byte-identical.
-    """
-    return {
-        "block": request.block,
-        "platform": request.platform,
-        "processor": platform.processor.name,
-        "library": "+".join(request.library),
-        "mapped": winner is not None,
-        "winner": winner.element.name if winner is not None else None,
-        "matches": [{
-            "element": m.element.name,
-            "element_library": m.element.library,
-            "cycles": platform.cost_model.cycles(m.element.cost),
-            "accuracy": m.element.accuracy,
-        } for m in matches],
-    }
+def map_response(request: MapRequest, platform: Badge4, winner, matches) -> dict:
+    """The ``/v1/map`` payload: exactly ``MapResult.to_payload()``."""
+    result = MapResult(
+        request=request, platform=platform, winner=winner, matches=tuple(matches)
+    )
+    return result.to_payload()
 
 
 def pareto_response(request: MapRequest, result) -> dict:
-    """The ``/v1/pareto`` payload: the non-dominated front of the same
-    cached match list ``/v1/map`` serves (see
-    :class:`~repro.mapping.pareto.BlockParetoResult`)."""
-    return {
-        "block": request.block,
-        "platform": request.platform,
-        "processor": result.platform_name,
-        "library": "+".join(request.library),
-        "winner": (result.cycles_winner.element.name
-                   if result.cycles_winner is not None else None),
-        "front": [{
-            "element": p.element_name,
-            "element_library": p.library,
-            "cycles": p.objectives.cycles,
-            "energy_j": p.objectives.energy_j,
-            "accuracy": p.objectives.accuracy,
-        } for p in result.front],
-    }
+    """The ``/v1/pareto`` payload: exactly ``ParetoResult.to_payload()``."""
+    return ParetoResult(request=request, result=result).to_payload()
 
 
 def sweep_response(report) -> dict:

@@ -47,17 +47,14 @@ import logging
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
+from repro.api import MappingSession, SessionConfig, default_session
 from repro.errors import ServiceError
-from repro.mapping.batch import BatchItem, run_batch
-from repro.mapping.cache import (SCHEMA_VERSION, cache_stats,
-                                 fingerprint_block, fingerprint_library,
-                                 stable_digest)
+from repro.mapping.batch import BatchItem
+from repro.mapping.cache import (SCHEMA_VERSION, fingerprint_block,
+                                 fingerprint_library, stable_digest)
 from repro.mapping.decompose import _map_block_key
-from repro.mapping.flow import MethodologyFlow
 from repro.mapping.pareto import BlockParetoResult
-from repro.platform.registry import DEFAULT_REGISTRY
-from repro.service.protocol import (DEFAULT_PLATFORM, MapRequest,
-                                    ServiceCatalog, SweepRequest,
+from repro.service.protocol import (MapRequest, SweepRequest,
                                     canonical_json, map_response,
                                     pareto_response, parse_json_body,
                                     sweep_response)
@@ -97,8 +94,16 @@ class MappingService:
         (``run_batch(executor=...)``) — one warm pool for the process
         lifetime instead of a fork per request.
     cache_dir:
-        Pins the persistent disk tier for all service work (otherwise
-        the global ``REPRO_CACHE_DIR`` configuration applies).
+        Pins the persistent disk tier for all service work by building
+        the service a private :class:`~repro.api.MappingSession`
+        around that directory — which is how two services in one
+        process can run against different cache dirs with isolated
+        statistics.  ``None`` shares the process default session
+        (``REPRO_CACHE_DIR`` applies).
+    session:
+        An explicit :class:`~repro.api.MappingSession` to serve with,
+        overriding ``cache_dir``.  The one object that owns the
+        service's cross-cutting state: cache tiers, catalog, defaults.
     request_timeout:
         Per-request wall-clock bound, seconds.
     """
@@ -106,6 +111,7 @@ class MappingService:
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
                  *, executor=None, map_workers: "int | None" = None,
                  cache_dir: "str | None" = None,
+                 session: "MappingSession | None" = None,
                  request_threads: int = 4,
                  request_timeout: float = 300.0,
                  max_request_bytes: int = 1 << 20):
@@ -115,7 +121,6 @@ class MappingService:
         self.max_request_bytes = max_request_bytes
         self.requests = 0
         self.errors = 0
-        self._cache_dir = cache_dir
         self._map_workers = map_workers
         self._request_threads = request_threads
         self._request_executor = executor
@@ -123,8 +128,13 @@ class MappingService:
         self._map_executor: "ProcessPoolExecutor | None" = None
         self._server: "asyncio.base_events.Server | None" = None
         self._handlers: "set[asyncio.Task]" = set()
-        self._flow: "MethodologyFlow | None" = None
-        self.catalog = ServiceCatalog()
+        if session is not None:
+            self.session = session
+        elif cache_dir is None:
+            self.session = default_session()
+        else:
+            self.session = MappingSession(SessionConfig.from_env(cache_dir=cache_dir))
+        self.catalog = self.session.catalog
         self.flight = SingleFlight()
 
     # -- lifecycle -------------------------------------------------------
@@ -311,13 +321,16 @@ class MappingService:
                 "schema_version": SCHEMA_VERSION}
 
     def _get_platforms(self) -> dict:
-        return {"default": DEFAULT_PLATFORM,
+        # Rendered from the session (not module globals), so a service
+        # built around a custom registry advertises exactly the keys
+        # its /v1/map resolves — and matches `repro platforms --json`.
+        return {"default": self.session.config.platform,
                 "platforms": [{
                     "key": entry.key,
                     "processor": entry.spec.name,
                     "clock_hz": entry.spec.clock_hz,
                     "has_fpu": entry.spec.has_fpu,
-                } for entry in DEFAULT_REGISTRY]}
+                } for entry in self.session.config.registry]}
 
     def _get_stats(self) -> dict:
         return {"service": {"host": self.host, "port": self.port,
@@ -326,7 +339,7 @@ class MappingService:
                             "map_workers": self._map_workers or 1,
                             "schema_version": SCHEMA_VERSION,
                             "singleflight": self.flight.stats()},
-                "caches": cache_stats()}
+                "caches": self.session.stats()}
 
     # -- POST endpoints ---------------------------------------------------
     async def _post_map(self, payload) -> dict:
@@ -358,11 +371,11 @@ class MappingService:
         return winner, matches, platform
 
     def _map_work(self, request: MapRequest, block, library, platform):
-        report = run_batch(
+        report = self.session.batch(
             [BatchItem.for_block(block, library, platform,
                                  tolerance=request.tolerance,
                                  accuracy_budget=request.accuracy_budget)],
-            cache_dir=self._cache_dir, executor=self._map_executor)
+            executor=self._map_executor)
         return report.results[0]
 
     async def _post_sweep(self, payload) -> dict:
@@ -386,19 +399,17 @@ class MappingService:
 
     def _sweep_work(self, request: SweepRequest, platform_keys,
                     libraries, blocks):
-        return self._sweep_flow().sweep(
+        # The session's memoized flow: bound to its tiers and catalog.
+        # Only override the flow's executor when the service owns a
+        # map pool — an explicit None would *disable* a session-
+        # configured executor through sweep's _UNSET sentinel.
+        overrides = {}
+        if self._map_executor is not None:
+            overrides["executor"] = self._map_executor
+        return self.session.flow().sweep(
             platforms=list(platform_keys), libraries=libraries,
             blocks=blocks, tolerance=request.tolerance,
-            accuracy_budget=request.accuracy_budget,
-            executor=self._map_executor)
-
-    def _sweep_flow(self) -> MethodologyFlow:
-        """The service's one flow (blocks injected from the catalog)."""
-        if self._flow is None:
-            self._flow = MethodologyFlow(
-                workers=None, cache_dir=self._cache_dir,
-                blocks=self.catalog.blocks())
-        return self._flow
+            accuracy_budget=request.accuracy_budget, **overrides)
 
     def _offload(self, fn, *args):
         """Run ``fn`` on the request executor; awaitable result."""

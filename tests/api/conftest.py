@@ -1,0 +1,56 @@
+"""Shared fixtures and builders for the session-facade test suite."""
+
+import pytest
+
+from repro.frontend.extract import TargetBlock
+from repro.library import Library, LibraryElement
+from repro.mapping import clear_mapping_caches
+from repro.mapping.cache import DEFAULT_TIERS
+from repro.platform import OperationTally
+from repro.symalg import Polynomial
+
+
+def tiny_block() -> TargetBlock:
+    """A two-output butterfly block, cheap enough to map per test."""
+    x0 = Polynomial.variable("x_0")
+    x1 = Polynomial.variable("x_1")
+    return TargetBlock(
+        name="tiny_butterfly",
+        outputs={"o0": x0 + x1, "o1": x0 - x1},
+        input_variables=("x_0", "x_1"),
+    )
+
+
+def tiny_library() -> Library:
+    """A one-element library whose rows cover :func:`tiny_block`."""
+    i0 = Polynomial.variable("in0")
+    i1 = Polynomial.variable("in1")
+    element = LibraryElement(
+        name="tiny_butterfly_el",
+        library="IH",
+        polynomials=(i0 + i1, i0 - i1),
+        input_format="q",
+        output_format="q",
+        accuracy=1e-9,
+        cost=OperationTally(int_alu=2),
+    )
+    return Library("demo", [element])
+
+
+@pytest.fixture
+def isolated_cache_env(monkeypatch):
+    """Cold process-wide caches, default disk tier off, env knobs unset.
+
+    The session-suite twin of the mapping suite's fixture, built on the
+    non-deprecated `CacheTiers` API.  Session-private tiers need no
+    isolation (that is the point of sessions); this only pins the
+    *default* tiers the legacy entry points and `default_session` use.
+    """
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    DEFAULT_TIERS.configure(None)
+    clear_mapping_caches()
+    yield
+    clear_mapping_caches()
+    DEFAULT_TIERS.configure(follow_env=True)

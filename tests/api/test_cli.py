@@ -1,0 +1,102 @@
+"""CLI behaviour: table output, JSON parity with the session, session
+wiring (cache dirs), and error paths."""
+
+import json
+
+import pytest
+
+from repro.cli import _parse_tags, build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _isolated(isolated_cache_env):
+    yield
+
+
+class TestTagParsing:
+    @pytest.mark.parametrize(
+        "text",
+        ["LM+IH", "lm_ih", "LM,IH", "lm ih", "lm+ih"],
+    )
+    def test_separator_and_case_insensitive(self, text):
+        assert _parse_tags(text) == ("LM", "IH")
+
+    def test_single_tag(self):
+        assert _parse_tags("ref") == ("REF",)
+
+
+class TestMapCommand:
+    def test_table_output_names_the_winner(self, capsys):
+        assert main(["map", "inv_mdctL", "--library", "lm_ih"]) == 0
+        out = capsys.readouterr().out
+        assert "mapped    true" in out
+        assert "fixed_IMDCT" in out
+        assert "library   LM+IH" in out
+
+    def test_json_output_is_the_session_wire_format(self, capsys):
+        from repro.api import default_session
+
+        assert main(["map", "inv_mdctL", "--library", "LM+IH", "--json"]) == 0
+        out = capsys.readouterr().out.strip()
+        expected = default_session().map("inv_mdctL", ("LM", "IH")).to_json()
+        assert out.encode("ascii") == expected
+
+    def test_unknown_block_is_exit_2_with_stderr(self, capsys):
+        assert main(["map", "fft_radix2"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown block" in err
+
+    def test_cache_dir_builds_a_private_warm_tier(self, tmp_path, capsys):
+        cache = tmp_path / "cli-tier"
+        argv = ["map", "inv_mdctL", "--library", "lm_ih", "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        assert (cache / "mapping_cache.sqlite").exists()
+        capsys.readouterr()
+
+
+class TestSweepCommand:
+    def test_libraries_are_separator_and_case_forgiving(self, capsys):
+        """`--libraries ref_lm_ih` means the same combo as REF+LM+IH."""
+        argv = [
+            "sweep",
+            "--platforms",
+            "SA-1110",
+            "--blocks",
+            "inv_mdctL",
+            "--libraries",
+            "ref_lm_ih",
+            "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["libraries"] == ["REF+LM+IH"]
+
+
+class TestOtherCommands:
+    def test_platforms_lists_the_registry(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "SA-1110" in out
+        assert "DSP" in out
+
+    def test_platforms_json_shape(self, capsys):
+        assert main(["platforms", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["default"] == "SA-1110"
+        assert [p["key"] for p in payload["platforms"]][0] == "SA-1110"
+
+    def test_cache_stats_json_is_the_canonical_shape(self, capsys):
+        assert main(["cache", "stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {"decompose", "map_block", "disk", "shared"} <= set(payload)
+
+    def test_cache_clear_reports(self, capsys):
+        assert main(["cache", "clear"]) == 0
+        assert "cleared" in capsys.readouterr().out
+
+    def test_no_command_prints_help_and_exits_2(self, capsys):
+        assert main([]) == 2
+        assert "usage:" in capsys.readouterr().out
+
+    def test_parser_prog_is_repro(self):
+        assert build_parser().prog == "repro"

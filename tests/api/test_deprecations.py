@@ -1,0 +1,130 @@
+"""Deprecation shims: every legacy entry point warns exactly once per
+call and returns byte-identical JSON to the session-based call."""
+
+import warnings
+
+import pytest
+
+import repro.mapping.cache as cache_mod
+from repro.api import MappingSession, MapRequest, MapResult, SessionConfig
+from repro.mapping import (
+    cache_stats,
+    clear_all,
+    configure,
+    map_block,
+    map_block_pareto,
+    mapping_cache_stats,
+)
+from repro.platform import Badge4
+from repro.service.protocol import map_response, pareto_response
+
+from .conftest import tiny_block, tiny_library
+
+
+@pytest.fixture(autouse=True)
+def _isolated(isolated_cache_env):
+    yield
+
+
+def _deprecations(record) -> list:
+    return [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+
+def _exactly_one_warning(callable_, *args, **kwargs):
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        value = callable_(*args, **kwargs)
+    assert len(_deprecations(record)) == 1, (
+        f"{callable_.__name__} should warn exactly once, "
+        f"got {len(_deprecations(record))}"
+    )
+    return value
+
+
+class TestEachShimWarnsExactlyOnce:
+    def test_configure(self, tmp_path):
+        tier = _exactly_one_warning(configure, tmp_path)
+        assert tier is not None
+        _exactly_one_warning(configure, None)
+        _exactly_one_warning(configure, follow_env=True)
+
+    def test_clear_all(self):
+        _exactly_one_warning(clear_all)
+
+    def test_mapping_cache_stats(self):
+        stats = _exactly_one_warning(mapping_cache_stats)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert stats.keys() == cache_stats().keys()
+
+    def test_map_block(self):
+        winner, _matches = _exactly_one_warning(
+            map_block, tiny_block(), tiny_library()
+        )
+        assert winner.element.name == "tiny_butterfly_el"
+
+    def test_map_block_pareto(self):
+        result = _exactly_one_warning(map_block_pareto, tiny_block(), tiny_library())
+        assert result.cycles_winner.element.name == "tiny_butterfly_el"
+
+
+class TestNonDeprecatedSurfaceStaysQuiet:
+    def test_session_and_helpers_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            session = MappingSession(SessionConfig())
+            session.map(tiny_block(), tiny_library())
+            session.stats()
+            session.clear_caches()
+            cache_stats()
+            cache_mod.DEFAULT_TIERS.stats()
+
+
+class TestByteIdenticalJson:
+    def test_legacy_map_block_matches_session_bytes(self):
+        """The deprecated path and the session path serialize the same."""
+        block, library = tiny_block(), tiny_library()
+        platform = Badge4()
+        session = MappingSession(SessionConfig())
+        session_bytes = session.map(block, library).to_json()
+
+        with pytest.warns(DeprecationWarning):
+            winner, matches = map_block(block, library, platform, tolerance=1e-6)
+        request = MapRequest(block=block.name, library=("demo",))
+        legacy = MapResult(
+            request=request, platform=platform, winner=winner, matches=tuple(matches)
+        )
+        assert legacy.to_json() == session_bytes
+
+        # And the service's response builder derives the same payload.
+        assert map_response(request, platform, winner, matches) == legacy.to_payload()
+
+    def test_legacy_pareto_matches_session_payload(self):
+        block, library = tiny_block(), tiny_library()
+        platform = Badge4()
+        session = MappingSession(SessionConfig())
+        session_payload = session.pareto(block, library).to_payload()
+
+        with pytest.warns(DeprecationWarning):
+            legacy = map_block_pareto(block, library, platform, tolerance=1e-6)
+        request = MapRequest(block=block.name, library=("demo",))
+        assert pareto_response(request, legacy) == session_payload
+
+    def test_configure_and_session_share_values_not_tiers(self, tmp_path):
+        """A legacy-configured process and a session agree byte-for-byte
+        while keeping separate statistics."""
+        block, library = tiny_block(), tiny_library()
+        with pytest.warns(DeprecationWarning):
+            configure(tmp_path / "legacy")
+        try:
+            with pytest.warns(DeprecationWarning):
+                winner, matches = map_block(block, library)
+            session = MappingSession(SessionConfig(cache_dir=tmp_path / "session"))
+            result = session.map(block, library)
+            assert result.winner_name == winner.element.name
+            assert (tmp_path / "legacy" / "mapping_cache.sqlite").exists()
+            assert (tmp_path / "session" / "mapping_cache.sqlite").exists()
+            assert session.stats()["disk"]["writes"] == 1
+        finally:
+            with pytest.warns(DeprecationWarning):
+                configure(None)

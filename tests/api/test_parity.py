@@ -1,0 +1,91 @@
+"""The acceptance criterion, end to end: session vs legacy vs CLI vs
+service answers for the same request are byte-identical."""
+
+import pytest
+
+from repro.api import MapRequest, MapResult, default_session
+from repro.cli import main
+from repro.mapping import map_block
+from repro.service import MappingService, ServiceClient, ServiceThread
+
+#: The request every surface answers: the paper's IMDCT block against
+#: the LM+IH ladder on the default platform.
+_BLOCK = "inv_mdctL"
+_TAGS = ("LM", "IH")
+_PAYLOAD = {"block": _BLOCK, "library": list(_TAGS)}
+
+
+@pytest.fixture(scope="module")
+def live_service():
+    """One service on the process default session (shared caches)."""
+    with ServiceThread(MappingService(port=0)) as thread:
+        client = ServiceClient(thread.base_url)
+        client.wait_healthy()
+        yield thread.service, client
+
+
+def _cli_json(capsys, *argv: str) -> bytes:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out.strip().encode("ascii")
+
+
+class TestMapParity:
+    def test_session_cli_service_and_legacy_agree(self, live_service, capsys):
+        _service, client = live_service
+        status, service_bytes = client.request_bytes("POST", "/v1/map", _PAYLOAD)
+        assert status == 200
+
+        session = default_session()
+        session_bytes = session.map(_BLOCK, _TAGS).to_json()
+        assert session_bytes == service_bytes
+
+        cli_bytes = _cli_json(capsys, "map", _BLOCK, "--library", "lm_ih", "--json")
+        assert cli_bytes == service_bytes
+
+        block = session.catalog.block(_BLOCK)
+        library = session.catalog.library(_TAGS)
+        platform = session.catalog.platform("SA-1110")
+        with pytest.warns(DeprecationWarning):
+            winner, matches = map_block(block, library, platform, tolerance=1e-6)
+        legacy_bytes = MapResult(
+            request=MapRequest(block=_BLOCK, library=_TAGS),
+            platform=platform,
+            winner=winner,
+            matches=tuple(matches),
+        ).to_json()
+        assert legacy_bytes == service_bytes
+
+
+class TestParetoParity:
+    def test_session_cli_and_service_agree(self, live_service, capsys):
+        _service, client = live_service
+        status, service_bytes = client.request_bytes("POST", "/v1/pareto", _PAYLOAD)
+        assert status == 200
+
+        session_bytes = default_session().pareto(_BLOCK, _TAGS).to_json()
+        assert session_bytes == service_bytes
+
+        cli_bytes = _cli_json(capsys, "pareto", _BLOCK, "--library", "lm+ih", "--json")
+        assert cli_bytes == service_bytes
+
+
+class TestSweepParity:
+    def test_session_cli_and_service_agree(self, live_service, capsys):
+        _service, client = live_service
+        payload = {"platforms": ["SA-1110"], "blocks": [_BLOCK]}
+        status, service_bytes = client.request_bytes("POST", "/v1/sweep", payload)
+        assert status == 200
+
+        report = default_session().sweep(platforms=["SA-1110"], blocks=[_BLOCK])
+        assert report.to_json().encode("ascii") == service_bytes
+
+        cli_bytes = _cli_json(
+            capsys,
+            "sweep",
+            "--platforms",
+            "SA-1110",
+            "--blocks",
+            _BLOCK,
+            "--json",
+        )
+        assert cli_bytes == service_bytes

@@ -30,8 +30,8 @@ def isolated_cache_env(monkeypatch):
     """
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
     monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
-    cache_mod.configure(None)
+    cache_mod.DEFAULT_TIERS.configure(None)
     clear_mapping_caches()
     yield
     clear_mapping_caches()
-    cache_mod.configure(follow_env=True)
+    cache_mod.DEFAULT_TIERS.configure(follow_env=True)

@@ -100,6 +100,50 @@ class TestRoundTrips:
         assert first[0] == 200
 
 
+class TestSessionWiring:
+    def test_platforms_render_from_the_session(self):
+        """A service around a custom-registry session advertises exactly
+        the keys its /v1/map resolves (not the process default registry)."""
+        from repro.api import MappingSession, SessionConfig
+        from repro.platform.energy import BADGE4_ENERGY
+        from repro.platform.processor import SA1110
+        from repro.platform.registry import ProcessorRegistry
+
+        registry = ProcessorRegistry()
+        registry.register("mycore", SA1110, BADGE4_ENERGY)
+        session = MappingSession(
+            SessionConfig(registry=registry, platform="mycore"))
+        service = MappingService(port=0, session=session)
+        payload = service._get_platforms()
+        assert payload["default"] == "mycore"
+        assert [p["key"] for p in payload["platforms"]] == ["mycore"]
+
+    def test_sweep_work_preserves_the_session_executor(self):
+        """Without a service-owned map pool, _sweep_work must not pass
+        executor=None (sweep's _UNSET sentinel would treat that as an
+        override disabling a session-configured executor)."""
+        from repro.api import MappingSession, SessionConfig
+        from repro.service.protocol import SweepRequest
+
+        captured = {}
+
+        class StubFlow:
+            def sweep(self, **kwargs):
+                captured.update(kwargs)
+                return "report"
+
+        service = MappingService(
+            port=0, session=MappingSession(SessionConfig()))
+        service.session.flow = lambda: StubFlow()
+        service._sweep_work(SweepRequest(), ("SA-1110",), None, {})
+        assert "executor" not in captured
+
+        captured.clear()
+        service._map_executor = object()
+        service._sweep_work(SweepRequest(), ("SA-1110",), None, {})
+        assert captured["executor"] is service._map_executor
+
+
 class TestErrorPaths:
     def test_malformed_json_is_400(self, live_service):
         service, _client = live_service

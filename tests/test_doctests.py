@@ -17,6 +17,8 @@ MODULES = [
     "repro.mapping.cache",
     "repro.mapping.pareto",
     "repro.platform.registry",
+    "repro.api",
+    "repro.api.session",
 ]
 
 
