@@ -25,6 +25,7 @@ from repro.api.session import MappingSession, default_session
 from repro.api.types import (
     DEFAULT_LIBRARY,
     DEFAULT_PLATFORM,
+    DEFAULT_WORKLOAD,
     LIBRARY_TAGS,
     MapRequest,
     MapResult,
@@ -53,4 +54,5 @@ __all__ = [
     "LIBRARY_TAGS",
     "DEFAULT_LIBRARY",
     "DEFAULT_PLATFORM",
+    "DEFAULT_WORKLOAD",
 ]

@@ -1,13 +1,17 @@
-"""Named-resource resolution: block names, library tags, platform keys.
+"""Named-resource resolution: blocks, workloads, library tags, platforms.
 
 A session (and through it, the HTTP service) addresses resources by
 short stable names — ``"inv_mdctL"``, ``("REF", "IH")``,
-``"SA-1110"`` — and the catalog turns those into live objects,
-memoized per instance:
+``"SA-1110"``, ``"jpeg_idct"`` — and the catalog turns those into
+live objects, memoized per instance:
 
-* **blocks** are extracted once (frontend symbolic execution is the
-  expensive part of a cold start) and the *same* ``TargetBlock``
-  objects reused for every request;
+* **blocks** belong to a workload
+  (:class:`~repro.workload.WorkloadRegistry` entries); each workload's
+  set is extracted once (frontend symbolic execution is the expensive
+  part of a cold start) and the *same* ``TargetBlock`` objects reused
+  for every request.  The default workload is the session's
+  (``"mp3"`` unless configured otherwise), so pre-registry callers
+  see exactly the set they always did;
 * **libraries** are assembled once per tag combination and reused, so
   the per-instance fingerprint memo
   (:func:`~repro.mapping.cache.fingerprint_library`) and the batch
@@ -36,6 +40,12 @@ from repro.library.builtin import (
 from repro.library.catalog import Library
 from repro.platform.badge4 import Badge4
 from repro.platform.registry import DEFAULT_REGISTRY, ProcessorRegistry
+from repro.workload import (
+    DEFAULT_WORKLOAD,
+    DEFAULT_WORKLOAD_REGISTRY,
+    WorkloadEntry,
+    WorkloadRegistry,
+)
 
 __all__ = ["ResourceCatalog"]
 
@@ -48,40 +58,79 @@ _BUILDERS = {
 
 
 class ResourceCatalog:
-    """Named resources one session serves, memoized per instance."""
+    """Named resources one session serves, memoized per instance.
+
+    ``blocks`` (when given) pre-seeds the *default workload's* block
+    set — the test/service injection seam — while other workloads
+    still resolve through the workload registry on first use.
+    """
 
     def __init__(
         self,
         blocks: "dict[str, TargetBlock] | None" = None,
         registry: "ProcessorRegistry | None" = None,
+        workloads: "WorkloadRegistry | None" = None,
+        default_workload: "str | None" = None,
     ):
-        self._blocks: "dict[str, TargetBlock] | None" = (
-            dict(blocks) if blocks is not None else None
-        )
         self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._workloads = (
+            workloads if workloads is not None else DEFAULT_WORKLOAD_REGISTRY
+        )
+        self._default_workload = (
+            default_workload if default_workload is not None else DEFAULT_WORKLOAD
+        )
+        self._blocks: dict[str, dict[str, TargetBlock]] = {}
+        if blocks is not None:
+            self._blocks[self._default_workload] = dict(blocks)
         self._libraries: dict[tuple, Library] = {}
         self._platforms: dict[str, Badge4] = {}
 
+    # -- workloads ------------------------------------------------------
+    def workload(self, key: "str | None" = None) -> WorkloadEntry:
+        """The workload entry for ``key`` (``None`` = the default)."""
+        key = key if key is not None else self._default_workload
+        if key not in self._workloads:
+            raise ServiceError(
+                404, f"unknown workload {key!r}; known: {self._workloads.names()}"
+            )
+        return self._workloads.get(key)
+
+    def workload_keys(self) -> tuple:
+        """Registered workload keys, in registration order."""
+        return tuple(self._workloads.names())
+
     # -- blocks ---------------------------------------------------------
-    def blocks(self) -> "dict[str, TargetBlock]":
-        """Every named block (extracting lazily on first use)."""
-        if self._blocks is None:
-            from repro.mapping.flow import methodology_blocks
+    def blocks(self, workload: "str | None" = None) -> "dict[str, TargetBlock]":
+        """One workload's named blocks (extracted lazily on first use).
 
-            self._blocks = methodology_blocks()
-        return self._blocks
+        ``workload=None`` means the catalog's default workload, which
+        keeps every pre-registry call site — service warm-up included —
+        on the MP3 set it always served.
+        """
+        key = workload if workload is not None else self._default_workload
+        cached = self._blocks.get(key)
+        if cached is None:
+            cached = self.workload(key).blocks()
+            self._blocks[key] = cached
+        return cached
 
-    def block(self, name: str) -> TargetBlock:
-        blocks = self.blocks()
+    def block(self, name: str, workload: "str | None" = None) -> TargetBlock:
+        blocks = self.blocks(workload)
         if name not in blocks:
-            raise ServiceError(404, f"unknown block {name!r}; known: {sorted(blocks)}")
+            key = workload if workload is not None else self._default_workload
+            raise ServiceError(
+                404,
+                f"unknown block {name!r} in workload {key!r}; known: {sorted(blocks)}",
+            )
         return blocks[name]
 
-    def block_subset(self, names) -> "dict[str, TargetBlock]":
-        """``{name: block}`` for ``names`` (``None`` = every block)."""
+    def block_subset(
+        self, names, workload: "str | None" = None
+    ) -> "dict[str, TargetBlock]":
+        """``{name: block}`` for ``names`` (``None`` = the whole workload)."""
         if names is None:
-            return dict(self.blocks())
-        return {name: self.block(name) for name in names}
+            return dict(self.blocks(workload))
+        return {name: self.block(name, workload) for name in names}
 
     # -- libraries ------------------------------------------------------
     def library(self, tags: tuple) -> Library:

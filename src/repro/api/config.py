@@ -33,6 +33,11 @@ from typing import Mapping
 
 from repro.api.types import DEFAULT_LIBRARY, DEFAULT_PLATFORM
 from repro.platform.registry import DEFAULT_REGISTRY, ProcessorRegistry
+from repro.workload.registry import (
+    DEFAULT_WORKLOAD,
+    DEFAULT_WORKLOAD_REGISTRY,
+    WorkloadRegistry,
+)
 
 __all__ = ["SessionConfig"]
 
@@ -50,9 +55,10 @@ class SessionConfig:
     caches; ``workers``/``executor`` configure batch fan-out
     (``executor`` wins when both are set — see
     :func:`~repro.mapping.batch.run_batch`); ``registry`` is the
-    platform catalog requests resolve against; ``library``/
-    ``platform``/``tolerance``/``accuracy_budget`` are the request
-    defaults ``session.map()`` and friends fall back to.
+    platform catalog requests resolve against and ``workloads`` the
+    workload catalog block names resolve in; ``library``/
+    ``platform``/``workload``/``tolerance``/``accuracy_budget`` are
+    the request defaults ``session.map()`` and friends fall back to.
     """
 
     cache_dir: "str | os.PathLike[str] | None" = None
@@ -62,8 +68,10 @@ class SessionConfig:
     workers: int | None = None
     executor: Executor | None = None
     registry: ProcessorRegistry = field(default=DEFAULT_REGISTRY, repr=False)
+    workloads: WorkloadRegistry = field(default=DEFAULT_WORKLOAD_REGISTRY, repr=False)
     library: tuple[str, ...] = DEFAULT_LIBRARY
     platform: str = DEFAULT_PLATFORM
+    workload: str = DEFAULT_WORKLOAD
     tolerance: float = 1e-6
     accuracy_budget: float = math.inf
 
@@ -77,6 +85,8 @@ class SessionConfig:
             raise ValueError(f"workers must be >= 0 or None, got {self.workers}")
         if not self.library:
             raise ValueError("library must name at least one catalog tag")
+        if not self.workload:
+            raise ValueError("workload must be a non-empty registry key")
         if not (self.tolerance > 0):
             raise ValueError(f"tolerance must be positive, got {self.tolerance}")
         # Tags arrive as any iterable of strings; store canonically.

@@ -86,15 +86,25 @@ class MappingSession:
                 decompose_lru=self.config.decompose_lru,
                 map_block_lru=self.config.map_block_lru,
             )
-        self.catalog = ResourceCatalog(blocks=blocks, registry=self.config.registry)
+        self.catalog = ResourceCatalog(
+            blocks=blocks,
+            registry=self.config.registry,
+            workloads=self.config.workloads,
+            default_workload=self.config.workload,
+        )
         self._flow: "MethodologyFlow | None" = None
         self._flow_lock = threading.Lock()
 
     # -- resolution -------------------------------------------------------
-    def _resolve_block(self, block) -> tuple[str, TargetBlock]:
+    def _resolve_workload(self, workload) -> str:
+        key = workload if workload is not None else self.config.workload
+        self.catalog.workload(key)  # unknown keys fail fast (404)
+        return key
+
+    def _resolve_block(self, block, workload=None) -> tuple[str, TargetBlock]:
         if isinstance(block, TargetBlock):
             return block.name, block
-        return block, self.catalog.block(block)
+        return block, self.catalog.block(block, workload)
 
     def _resolve_library(self, library) -> tuple[tuple[str, ...], Library]:
         if library is None:
@@ -130,16 +140,20 @@ class MappingSession:
         *,
         tolerance: "float | None" = None,
         accuracy_budget: "float | None" = None,
+        workload: "str | None" = None,
     ) -> MapResult:
         """Scalar block mapping: the cheapest adequate complex element.
 
         The session form of the paper's ``map_block`` — same search,
         same cache keys, session-owned tiers — returning a typed
         :class:`~repro.api.MapResult` whose ``to_json()`` is the
-        service's ``/v1/map`` wire format.
+        service's ``/v1/map`` wire format.  ``workload`` selects the
+        registry entry the block name resolves in (default: the
+        session's, normally ``"mp3"``).
         """
         tolerance, accuracy_budget = self._knobs(tolerance, accuracy_budget)
-        block_name, block_obj = self._resolve_block(block)
+        workload_key = self._resolve_workload(workload)
+        block_name, block_obj = self._resolve_block(block, workload_key)
         tags, library_obj = self._resolve_library(library)
         label, platform_obj = self._resolve_platform(platform)
         request = MapRequest(
@@ -148,6 +162,7 @@ class MappingSession:
             platform=label,
             tolerance=tolerance,
             accuracy_budget=accuracy_budget,
+            workload=workload_key,
         )
         winner, matches = _map_block_cached(
             block_obj, library_obj, platform_obj, tolerance, accuracy_budget, self.tiers
@@ -167,6 +182,7 @@ class MappingSession:
         *,
         tolerance: "float | None" = None,
         accuracy_budget: "float | None" = None,
+        workload: "str | None" = None,
     ) -> ParetoResult:
         """Multi-objective mapping: the (cycles, energy, accuracy) front.
 
@@ -176,7 +192,8 @@ class MappingSession:
         energy-model changes.
         """
         tolerance, accuracy_budget = self._knobs(tolerance, accuracy_budget)
-        block_name, block_obj = self._resolve_block(block)
+        workload_key = self._resolve_workload(workload)
+        block_name, block_obj = self._resolve_block(block, workload_key)
         tags, library_obj = self._resolve_library(library)
         label, platform_obj = self._resolve_platform(platform)
         request = MapRequest(
@@ -185,6 +202,7 @@ class MappingSession:
             platform=label,
             tolerance=tolerance,
             accuracy_budget=accuracy_budget,
+            workload=workload_key,
         )
         result = _map_block_pareto_cached(
             block_obj, library_obj, platform_obj, tolerance, accuracy_budget, self.tiers
@@ -253,18 +271,21 @@ class MappingSession:
         accuracy_budget: "float | None" = None,
         workers: "int | None" = None,
         executor=None,
+        workload: "str | None" = None,
     ) -> SweepReport:
         """Map every block against every library on every platform.
 
         ``libraries`` accepts ``Library`` objects and/or combo strings
         (``"REF+LM+IH"``); ``blocks`` accepts block names and/or a
-        ``{name: TargetBlock}`` mapping.  ``None`` everywhere means
+        ``{name: TargetBlock}`` mapping, resolved inside ``workload``
+        (default: the session's).  ``None`` everywhere means
         "everything the catalog knows", with the paper's library
         ladder.  Returns the canonical
         :class:`~repro.mapping.flow.SweepReport` (byte-stable
         ``to_json()``).
         """
         tolerance, accuracy_budget = self._knobs(tolerance, accuracy_budget)
+        workload_key = self._resolve_workload(workload)
         libs = None
         if libraries is not None:
             libs = []
@@ -273,12 +294,17 @@ class MappingSession:
                     libs.append(library)
                 else:
                     libs.append(self.catalog.library_combo(library))
-        block_map = None
-        if blocks is not None:
-            if isinstance(blocks, Mapping):
-                block_map = dict(blocks)
-            else:
-                block_map = {name: self.catalog.block(name) for name in blocks}
+        # Blocks resolve through the catalog (memoized extraction) and
+        # travel to the flow as an explicit dict, so a non-default
+        # workload never re-extracts inside the flow.
+        if blocks is None:
+            block_map = dict(self.catalog.blocks(workload_key))
+        elif isinstance(blocks, Mapping):
+            block_map = dict(blocks)
+        else:
+            block_map = {
+                name: self.catalog.block(name, workload_key) for name in blocks
+            }
         overrides: dict = {}
         if workers is not None:
             overrides["workers"] = workers
@@ -290,6 +316,7 @@ class MappingSession:
             blocks=block_map,
             tolerance=tolerance,
             accuracy_budget=accuracy_budget,
+            workload=workload_key,
             **overrides,
         )
 
@@ -321,6 +348,8 @@ class MappingSession:
             blocks=self.catalog.blocks(),
             tiers=self.tiers,
             registry=self.config.registry,
+            workload=self.config.workload,
+            workloads=self.config.workloads,
         )
 
     # -- observability / lifecycle ----------------------------------------
@@ -349,9 +378,35 @@ class MappingSession:
         """Registry keys this session resolves platforms against."""
         return self.config.registry.names()
 
-    def blocks(self) -> "dict[str, TargetBlock]":
-        """The session's named target blocks (extracted on first use)."""
-        return self.catalog.blocks()
+    def workloads(self) -> list[str]:
+        """Workload keys this session resolves block names against."""
+        return list(self.catalog.workload_keys())
+
+    def workloads_payload(self) -> dict:
+        """The workload listing every surface serves, pre-serialization.
+
+        The CLI's ``repro workloads --json`` and the service's
+        ``/v1/workloads`` both render exactly this dict through
+        :func:`~repro.api.types.canonical_json`, which is what makes
+        their bytes comparable with ``==``.  Uses the declared block
+        names (no extraction), so listing stays cheap.
+        """
+        return {
+            "default": self.config.workload,
+            "workloads": [
+                {
+                    "key": key,
+                    "title": self.catalog.workload(key).workload.title,
+                    "description": self.catalog.workload(key).workload.description,
+                    "blocks": list(self.catalog.workload(key).block_names()),
+                }
+                for key in self.catalog.workload_keys()
+            ],
+        }
+
+    def blocks(self, workload: "str | None" = None) -> "dict[str, TargetBlock]":
+        """One workload's named target blocks (extracted on first use)."""
+        return self.catalog.blocks(workload)
 
     def __repr__(self) -> str:
         disk = self.config.effective_cache_dir

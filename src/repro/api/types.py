@@ -31,11 +31,13 @@ from repro.errors import ServiceError
 from repro.mapping.match import BlockMatch
 from repro.mapping.pareto import BlockParetoResult
 from repro.platform.badge4 import Badge4
+from repro.workload.registry import DEFAULT_WORKLOAD
 
 __all__ = [
     "LIBRARY_TAGS",
     "DEFAULT_LIBRARY",
     "DEFAULT_PLATFORM",
+    "DEFAULT_WORKLOAD",
     "canonical_json",
     "MapRequest",
     "SweepRequest",
@@ -122,7 +124,9 @@ class MapRequest:
     ``library`` is a tuple of catalog tags (subset of
     :data:`LIBRARY_TAGS`) combined with
     :meth:`~repro.library.catalog.Library.union`; ``platform`` a
-    processor-registry key.  The tolerance/accuracy knobs mirror
+    processor-registry key; ``workload`` the workload-registry key the
+    block name resolves in (default ``"mp3"``, so pre-registry clients
+    keep their wire format).  The tolerance/accuracy knobs mirror
     :func:`~repro.mapping.decompose.map_block` exactly, so a service
     request, a session call, and a direct call share cache lines.
     """
@@ -132,8 +136,16 @@ class MapRequest:
     platform: str = DEFAULT_PLATFORM
     tolerance: float = 1e-6
     accuracy_budget: float = math.inf
+    workload: str = DEFAULT_WORKLOAD
 
-    _FIELDS = ("block", "library", "platform", "tolerance", "accuracy_budget")
+    _FIELDS = (
+        "block",
+        "library",
+        "platform",
+        "tolerance",
+        "accuracy_budget",
+        "workload",
+    )
 
     @classmethod
     def from_payload(cls, payload) -> "MapRequest":
@@ -145,6 +157,7 @@ class MapRequest:
             platform=_string(payload, "platform", DEFAULT_PLATFORM),
             tolerance=_number(payload, "tolerance", 1e-6),
             accuracy_budget=_number(payload, "accuracy_budget", math.inf),
+            workload=_string(payload, "workload", DEFAULT_WORKLOAD),
         )
 
     def to_payload(self) -> dict:
@@ -158,6 +171,8 @@ class MapRequest:
             payload["tolerance"] = self.tolerance
         if not math.isinf(self.accuracy_budget):
             payload["accuracy_budget"] = self.accuracy_budget
+        if self.workload != DEFAULT_WORKLOAD:
+            payload["workload"] = self.workload
         return payload
 
 
@@ -166,9 +181,10 @@ class SweepRequest:
     """One multi-platform sweep request (``/v1/sweep``), validated.
 
     ``platforms``/``blocks`` default to ``None`` — "everything the
-    catalog knows": all registered processors, both methodology
-    blocks.  ``libraries`` holds ``"+"``-joined tag combos (e.g.
-    ``"REF+LM+IH"``), defaulting to the paper's ladder.
+    catalog knows": all registered processors, every block of the
+    selected ``workload`` (default ``"mp3"``).  ``libraries`` holds
+    ``"+"``-joined tag combos (e.g. ``"REF+LM+IH"``), defaulting to
+    the paper's ladder.
     """
 
     platforms: "tuple | None" = None
@@ -176,8 +192,16 @@ class SweepRequest:
     blocks: "tuple | None" = None
     tolerance: float = 1e-6
     accuracy_budget: float = math.inf
+    workload: str = DEFAULT_WORKLOAD
 
-    _FIELDS = ("platforms", "libraries", "blocks", "tolerance", "accuracy_budget")
+    _FIELDS = (
+        "platforms",
+        "libraries",
+        "blocks",
+        "tolerance",
+        "accuracy_budget",
+        "workload",
+    )
 
     @classmethod
     def from_payload(cls, payload) -> "SweepRequest":
@@ -189,6 +213,7 @@ class SweepRequest:
             blocks=_string_tuple(payload, "blocks", None),
             tolerance=_number(payload, "tolerance", 1e-6),
             accuracy_budget=_number(payload, "accuracy_budget", math.inf),
+            workload=_string(payload, "workload", DEFAULT_WORKLOAD),
         )
 
     def to_payload(self) -> dict:
@@ -203,6 +228,8 @@ class SweepRequest:
             payload["tolerance"] = self.tolerance
         if not math.isinf(self.accuracy_budget):
             payload["accuracy_budget"] = self.accuracy_budget
+        if self.workload != DEFAULT_WORKLOAD:
+            payload["workload"] = self.workload
         return payload
 
 
@@ -239,6 +266,7 @@ class MapResult:
             "platform": self.request.platform,
             "processor": self.platform.processor.name,
             "library": "+".join(self.request.library),
+            "workload": self.request.workload,
             "mapped": self.mapped,
             "winner": self.winner_name,
             "matches": [
@@ -291,6 +319,7 @@ class ParetoResult:
             "platform": self.request.platform,
             "processor": self.result.platform_name,
             "library": "+".join(self.request.library),
+            "workload": self.request.workload,
             "winner": self.winner_name,
             "front": [
                 {

@@ -15,9 +15,15 @@ on ``/v1/map`` for the same request — asserted in
 ``map``        scalar block mapping (cycles winner + every match)
 ``pareto``     the (cycles, energy, accuracy) non-dominated front
 ``sweep``      the multi-platform sweep (canonical sweep JSON)
+``workloads``  the workload registry (block names per workload)
 ``platforms``  the processor registry
 ``cache``      session cache statistics / clearing
 =============  =========================================================
+
+``map``/``pareto``/``sweep`` take ``--workload`` to resolve block
+names in a non-default workload (``repro map idct8x8 --workload
+jpeg_idct``); ``repro workloads --json`` prints byte-for-byte the
+``/v1/workloads`` body.
 
 Library selections are forgiving about separators and case:
 ``--library LM+IH``, ``--library lm_ih`` and ``--library LM,IH`` all
@@ -97,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="maximum acceptable accuracy loss (default: unbounded)",
         )
+        p.add_argument(
+            "--workload",
+            default=None,
+            help="workload registry key the block name resolves in "
+            "(default: mp3; see `repro workloads`)",
+        )
         add_session_options(p)
 
     p_map = sub.add_parser("map", help="map one block to its cheapest element")
@@ -138,7 +150,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="maximum acceptable accuracy loss (default: unbounded)",
     )
+    p_sweep.add_argument(
+        "--workload",
+        default=None,
+        help="workload registry key to sweep (default: mp3; see `repro workloads`)",
+    )
     add_session_options(p_sweep)
+
+    p_workloads = sub.add_parser("workloads", help="list the workload registry")
+    add_session_options(p_workloads)
 
     p_platforms = sub.add_parser("platforms", help="list the processor registry")
     add_session_options(p_platforms)
@@ -177,6 +197,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
         args.platform,
         tolerance=args.tolerance,
         accuracy_budget=args.accuracy_budget,
+        workload=args.workload,
     )
     if args.json:
         _emit(result.to_json().decode("ascii"))
@@ -208,6 +229,7 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
         args.platform,
         tolerance=args.tolerance,
         accuracy_budget=args.accuracy_budget,
+        workload=args.workload,
     )
     if args.json:
         _emit(result.to_json().decode("ascii"))
@@ -240,11 +262,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         blocks=_parse_list(args.blocks) if args.blocks else None,
         tolerance=args.tolerance,
         accuracy_budget=args.accuracy_budget,
+        workload=args.workload,
     )
     if args.json:
         _emit(report.to_json())
         return 0
     _emit(report.format_report())
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    session = _session(args)
+    payload = session.workloads_payload()
+    if args.json:
+        _emit(canonical_json(payload).decode("ascii"))
+        return 0
+    for entry in payload["workloads"]:
+        default = "*" if entry["key"] == payload["default"] else " "
+        _emit(f"{default} {entry['key']:<10} {entry['title']}")
+        _emit(f"    blocks: {', '.join(entry['blocks'])}")
     return 0
 
 
@@ -294,6 +330,7 @@ _COMMANDS = {
     "map": _cmd_map,
     "pareto": _cmd_pareto,
     "sweep": _cmd_sweep,
+    "workloads": _cmd_workloads,
     "platforms": _cmd_platforms,
     "cache": _cmd_cache,
 }

@@ -49,6 +49,10 @@ class PlatformError(ReproError):
     """Platform (cost/energy model) configuration errors."""
 
 
+class WorkloadError(ReproError):
+    """Workload registry / catalog errors (unknown key, bad declaration)."""
+
+
 class FixedPointError(ReproError):
     """Fixed-point format violations (overflow in saturating mode, etc.)."""
 

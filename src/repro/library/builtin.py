@@ -13,6 +13,13 @@ These are the concrete libraries of the paper's evaluation:
 * **IPP** — the Intel-style hand-optimized complex elements
   (``ippsSynthPQMF_MP3_32s16s``, ``IppsMDCTInv_MP3_32s``).
 
+Beyond the MP3 set, REF/IH/IPP also carry implementations of the other
+built-in workloads' blocks (:mod:`repro.workload`): block FIR, biquad
+IIR, real FFT, 1-D/2-D inverse DCT, correlation and energy MAC loops.
+Their polynomial rows come from the same coefficient tables
+(:mod:`repro.workload.kernels`) the workload kernels feed the
+frontend, so blocks and elements match coefficient-for-coefficient.
+
 Complex elements carry *per-frame* cost tallies built from the very
 stage implementations the decoder runs, so Table 1's numbers and the
 decoder profiles are one consistent cost model.  Polynomial
@@ -39,6 +46,7 @@ from repro.mp3.tables import IMDCT_COS_36, POLYPHASE_N, SUBBANDS
 from repro.platform.tally import OperationTally
 from repro.symalg.polynomial import Polynomial
 from repro.symalg.series import taylor
+from repro.workload import kernels as wk
 
 __all__ = ["linux_math_library", "inhouse_library", "ipp_library",
            "reference_library", "full_library", "STEPS_PER_FRAME",
@@ -97,6 +105,30 @@ def _linear_rows(matrix: np.ndarray) -> tuple[Polynomial, ...]:
 _IMDCT_ROWS = _linear_rows(IMDCT_COS_36)
 #: Polyphase matrixing rows (the synthesis core's representation).
 _SYNTH_ROWS = _linear_rows(POLYPHASE_N)
+
+# Polynomial representations of the non-MP3 workload elements, built
+# from the same coefficient tables the workload block builders feed
+# the frontend (repro.workload.kernels) — shared constants are what
+# make block and element polynomials coincide, exactly as the MP3
+# blocks match through repro.mp3.tables.
+_FIR_ROWS = _linear_rows(wk.fir_matrix(wk.fir_taps()))
+_IIR_ROWS = _linear_rows(wk.iir_impulse_matrix())
+_RFFT_ROWS = _linear_rows(wk.rfft_matrix())
+_IDCT_ROW_ROWS = _linear_rows(wk.idct_basis())
+_IDCT2_ROWS = _linear_rows(wk.idct2_matrix())
+_XCORR_ROWS = _linear_rows(wk.xcorr_taps().reshape(1, -1))
+
+
+def _energy_polynomial(n: int = wk.ENERGY_POINTS) -> Polynomial:
+    """Sum of squares over ``n`` formals (the VQ energy element)."""
+    formals = formal_inputs(n)
+    poly = Polynomial.zero()
+    for f in formals:
+        poly = poly + Polynomial.variable(f) ** 2
+    return poly
+
+
+_ENERGY_POLY = _energy_polynomial()
 
 
 # ----------------------------------------------------------------------
@@ -253,6 +285,39 @@ def inhouse_library() -> Library:
         input_format="q5.26", output_format="q5.26", accuracy=2e-6,
         cost=_synthesis_cost("fixed_fast"),
         description="in-house fixed subband synthesis (fast DCT-32)"))
+
+    # Non-MP3 workload elements (per-call tallies, from documentation).
+    lib.add(LibraryElement(
+        name="fx_fir16", library="IH", polynomials=_FIR_ROWS,
+        input_format="q16.15", output_format="q16.15", accuracy=5e-5,
+        cost=OperationTally(int_mac=128, shift=8, load=256, store=8, call=1),
+        description="in-house fixed 16-tap block FIR (8 samples/call)"))
+    lib.add(LibraryElement(
+        name="fx_biquad_iir8", library="IH", polynomials=_IIR_ROWS,
+        input_format="q16.15", output_format="q16.15", accuracy=8e-5,
+        cost=OperationTally(int_mac=40, shift=16, load=88, store=16, call=1),
+        description="in-house fixed biquad IIR (8-sample unrolled)"))
+    lib.add(LibraryElement(
+        name="fx_idct_row8", library="IH", polynomials=_IDCT_ROW_ROWS,
+        input_format="q16.15", output_format="q16.15", accuracy=2e-5,
+        cost=OperationTally(int_mac=64, shift=8, load=128, store=8, call=1),
+        description="in-house fixed 8-point IDCT row pass (direct form)"))
+    lib.add(LibraryElement(
+        name="fx_idct8x8", library="IH", polynomials=_IDCT2_ROWS,
+        input_format="q16.15", output_format="q16.15", accuracy=3e-5,
+        cost=OperationTally(int_mac=1024, shift=128, load=2176, store=128,
+                            call=1),
+        description="in-house fixed separable 8x8 2-D IDCT (two passes)"))
+    lib.add(LibraryElement(
+        name="fx_L_mac40", library="IH", polynomials=_XCORR_ROWS,
+        input_format="q16.15", output_format="q16.15", accuracy=6e-5,
+        cost=OperationTally(int_mac=40, load=80, store=1, call=1),
+        description="in-house L_mac loop: weighted 40-lag correlation"))
+    lib.add(LibraryElement(
+        name="fx_energy8", library="IH", polynomials=(_ENERGY_POLY,),
+        input_format="q16.15", output_format="q16.15", accuracy=4e-5,
+        cost=OperationTally(int_mac=8, load=8, store=1, call=1),
+        description="in-house fixed sum-of-squares energy (8 samples)"))
     return lib
 
 
@@ -270,6 +335,23 @@ def ipp_library() -> Library:
         input_format="q5.26", output_format="s16", accuracy=2e-6,
         cost=_synthesis_cost("ipp"),
         description="IPP polyphase synthesis filterbank (from documentation)"))
+    lib.add(LibraryElement(
+        name="ippsFIR_16tap_32s", library="IPP", polynomials=_FIR_ROWS,
+        input_format="q16.15", output_format="q16.15", accuracy=4e-6,
+        cost=OperationTally(int_mac=128, shift=8, load=96, store=8, call=1),
+        description="IPP block FIR, 16 taps (circular delay line)"))
+    lib.add(LibraryElement(
+        name="ippsFFT_RToPack_8_32s", library="IPP", polynomials=_RFFT_ROWS,
+        input_format="q16.15", output_format="q16.15", accuracy=3e-6,
+        cost=OperationTally(int_mac=20, int_alu=24, shift=16, load=32,
+                            store=8, call=1),
+        description="IPP 8-point real FFT, packed output (radix-2 fast)"))
+    lib.add(LibraryElement(
+        name="ippiDCT8x8Inv_16s", library="IPP", polynomials=_IDCT2_ROWS,
+        input_format="s16", output_format="s16", accuracy=2e-5,
+        cost=OperationTally(int_mac=464, int_alu=288, shift=256, load=832,
+                            store=128, call=1),
+        description="IPP fast 8x8 inverse DCT (AAN-style factorization)"))
     return lib
 
 
@@ -286,6 +368,47 @@ def reference_library() -> Library:
         input_format="double", output_format="double", accuracy=1e-12,
         cost=_synthesis_cost("float"),
         description="reference double-precision SubBandSynthesis"))
+
+    # Reference implementations of the non-MP3 workload blocks: the
+    # textbook double-precision loops, priced per call.  Every workload
+    # block has a REF element, so each one maps on the REF-only rung.
+    lib.add(LibraryElement(
+        name="float_FIR16", library="REF", polynomials=_FIR_ROWS,
+        input_format="double", output_format="double", accuracy=1e-12,
+        cost=OperationTally(fp_mul=128, fp_add=120, load=256, store=8,
+                            call=1),
+        description="reference double 16-tap block FIR (8 samples/call)"))
+    lib.add(LibraryElement(
+        name="float_BiquadIIR8", library="REF", polynomials=_IIR_ROWS,
+        input_format="double", output_format="double", accuracy=1e-12,
+        cost=OperationTally(fp_mul=40, fp_add=32, load=88, store=16, call=1),
+        description="reference double biquad IIR (8-sample direct form II)"))
+    lib.add(LibraryElement(
+        name="float_rFFT8", library="REF", polynomials=_RFFT_ROWS,
+        input_format="double", output_format="double", accuracy=1e-12,
+        cost=OperationTally(fp_mul=64, fp_add=56, load=128, store=8, call=1),
+        description="reference double 8-point real DFT (direct form)"))
+    lib.add(LibraryElement(
+        name="float_IDCT1D8", library="REF", polynomials=_IDCT_ROW_ROWS,
+        input_format="double", output_format="double", accuracy=1e-12,
+        cost=OperationTally(fp_mul=64, fp_add=56, load=128, store=8, call=1),
+        description="reference double 8-point IDCT row pass"))
+    lib.add(LibraryElement(
+        name="float_IDCT8x8", library="REF", polynomials=_IDCT2_ROWS,
+        input_format="double", output_format="double", accuracy=1e-12,
+        cost=OperationTally(fp_mul=1024, fp_add=896, load=2176, store=128,
+                            call=1),
+        description="reference double separable 8x8 2-D IDCT"))
+    lib.add(LibraryElement(
+        name="float_xcorr40", library="REF", polynomials=_XCORR_ROWS,
+        input_format="double", output_format="double", accuracy=1e-12,
+        cost=OperationTally(fp_mul=40, fp_add=39, load=80, store=1, call=1),
+        description="reference double weighted 40-lag correlation"))
+    lib.add(LibraryElement(
+        name="float_energy8", library="REF", polynomials=(_ENERGY_POLY,),
+        input_format="double", output_format="double", accuracy=1e-12,
+        cost=OperationTally(fp_mul=8, fp_add=7, load=8, store=1, call=1),
+        description="reference double sum-of-squares energy (8 samples)"))
     return lib
 
 

@@ -30,7 +30,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.errors import MappingError
-from repro.frontend.extract import ArrayInput, TargetBlock, extract_block
+from repro.frontend.extract import TargetBlock
 from repro.library.builtin import (
     inhouse_library,
     ipp_library,
@@ -44,10 +44,15 @@ from repro.mapping.pareto import BlockParetoResult, ParetoPoint
 from repro.mp3.compliance import ComplianceReport, check_compliance
 from repro.mp3.decoder import DecoderConfig, Mp3Decoder
 from repro.mp3.synth_stream import EncodedStream
-from repro.mp3.tables import IMDCT_COS_36, POLYPHASE_N
 from repro.platform.badge4 import Badge4
 from repro.platform.profiler import ProfileReport
 from repro.platform.registry import DEFAULT_REGISTRY, duplicate_labels
+from repro.workload import DEFAULT_WORKLOAD, DEFAULT_WORKLOAD_REGISTRY
+
+# Compatibility aliases: the MP3 block builders lived here before the
+# workload registry existed, and callers import them from the flow.
+from repro.workload.mp3 import imdct_block as _imdct_block  # noqa: F401
+from repro.workload.mp3 import matrixing_block as _matrixing_block  # noqa: F401
 
 __all__ = [
     "MethodologyFlow",
@@ -58,66 +63,16 @@ __all__ = [
     "methodology_blocks",
 ]
 
-#: Reference kernel for the IMDCT loop nest (Equation 1), in the
-#: frontend's restricted subset.  The cosine table arrives as constants.
-_IMDCT_KERNEL = """
-def inv_mdct_long(y, c):
-    out = [0] * 36
-    for i in range(36):
-        s = 0
-        for k in range(18):
-            s = s + c[i][k] * y[k]
-        out[i] = s
-    return out
-"""
-
-#: Reference kernel for the polyphase matrixing core.
-_MATRIXING_KERNEL = """
-def subband_matrixing(s, n):
-    v = [0] * 64
-    for i in range(64):
-        acc = 0
-        for k in range(32):
-            acc = acc + n[i][k] * s[k]
-        v[i] = acc
-    return v
-"""
-
 
 def methodology_blocks() -> dict[str, TargetBlock]:
     """Fresh extractions of the methodology's complex target blocks.
 
     The public handle on the Table 4/5 work set — the IMDCT loop nest
-    and the polyphase matrixing core — for batch-mapping them outside
-    the flow (README example, benchmarks).  Each call re-runs the
-    frontend, so callers own their copies.
+    and the polyphase matrixing core, i.e. the default (``mp3``)
+    workload of :mod:`repro.workload`, resolved through the registry.
+    Each call re-runs the frontend, so callers own their copies.
     """
-    return {
-        "inv_mdctL": _imdct_block(),
-        "SubBandSynthesis": _matrixing_block(),
-    }
-
-
-def _imdct_block() -> TargetBlock:
-    return extract_block(
-        _IMDCT_KERNEL,
-        [
-            ArrayInput("y", (18,)),
-            ArrayInput("c", (36, 18), values=IMDCT_COS_36.tolist()),
-        ],
-        name="inv_mdctL",
-    )
-
-
-def _matrixing_block() -> TargetBlock:
-    return extract_block(
-        _MATRIXING_KERNEL,
-        [
-            ArrayInput("s", (32,)),
-            ArrayInput("n", (64, 32), values=POLYPHASE_N.tolist()),
-        ],
-        name="SubBandSynthesis",
-    )
+    return DEFAULT_WORKLOAD_REGISTRY.blocks(DEFAULT_WORKLOAD)
 
 
 #: element name -> (DecoderConfig field, variant value)
@@ -198,6 +153,10 @@ class SweepReport:
     blocks: tuple[str, ...]
     entries: list[SweepEntry]
     stats: BatchStats
+    #: The workload-registry key the swept blocks came from (the label
+    #: only — explicit ``blocks`` overrides still sweep whatever was
+    #: passed, under the flow's workload label).
+    workload: str = DEFAULT_WORKLOAD
 
     def entry(self, platform: str, block: str, library: str) -> SweepEntry:
         """The cell for one (platform, block, library) coordinate."""
@@ -237,6 +196,7 @@ class SweepReport:
             "platforms": list(self.platforms),
             "libraries": list(self.libraries),
             "blocks": list(self.blocks),
+            "workload": self.workload,
             "entries": [
                 {
                     "platform": e.platform,
@@ -331,7 +291,10 @@ class MethodologyFlow:
     keeps the process-wide default tiers.  ``registry`` is the
     processor catalog :meth:`sweep` resolves platform keys against
     (sessions pass their configured one; the default registry
-    otherwise).
+    otherwise); ``workloads`` the workload catalog block sets resolve
+    against, and ``workload`` the key naming this flow's default block
+    set (``"mp3"`` unless told otherwise — ``blocks`` overrides the
+    block *objects* while keeping the label).
     """
 
     def __init__(
@@ -344,6 +307,8 @@ class MethodologyFlow:
         blocks: "Mapping[str, TargetBlock] | None" = None,
         tiers: "CacheTiers | None" = None,
         registry=None,
+        workload: str | None = None,
+        workloads=None,
     ):
         self.platform = platform or Badge4()
         self.threshold = critical_threshold_percent
@@ -352,7 +317,14 @@ class MethodologyFlow:
         self.executor = executor
         self.tiers = tiers
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
-        self._blocks = dict(blocks) if blocks is not None else methodology_blocks()
+        self.workloads = (
+            workloads if workloads is not None else DEFAULT_WORKLOAD_REGISTRY
+        )
+        self.workload = workload if workload is not None else DEFAULT_WORKLOAD
+        if blocks is not None:
+            self._blocks = dict(blocks)
+        else:
+            self._blocks = self.workloads.blocks(self.workload)
 
     # -- step 2: profiling ------------------------------------------------
     def profile(
@@ -447,6 +419,7 @@ class MethodologyFlow:
         libraries: "Iterable[Library] | None" = None,
         blocks: "Mapping[str, TargetBlock] | None" = None,
         *,
+        workload: "str | None" = None,
         tolerance: float = 1e-6,
         accuracy_budget: float = float("inf"),
         workers=_UNSET,
@@ -465,10 +438,13 @@ class MethodologyFlow:
         ``platforms`` accepts registry keys (strings) and/or live
         platform objects; the default is every registered processor
         (SA-1110 first).  ``libraries`` defaults to the paper's ladder
-        (LM+IH, then LM+IH+IPP, both over REF); ``blocks`` to the
-        methodology's complex blocks.  ``workers``/``cache_dir``/
-        ``executor`` default to the flow's own configuration, as do
-        the flow's bound cache tiers and processor registry.
+        (LM+IH, then LM+IH+IPP, both over REF); ``workload`` selects a
+        workload-registry block set (default: the flow's own, normally
+        ``mp3``), and an explicit ``blocks`` mapping overrides the
+        block objects while keeping the workload label.  ``workers``/
+        ``cache_dir``/``executor`` default to the flow's own
+        configuration, as do the flow's bound cache tiers and
+        processor registry.
         """
         resolved = self.registry.resolve(platforms)
         libs = list(libraries) if libraries is not None else _sweep_library_ladder()
@@ -480,7 +456,15 @@ class MethodologyFlow:
             raise MappingError(
                 f"sweep libraries must have unique names; duplicates: {duplicates}"
             )
-        block_map = dict(blocks if blocks is not None else self._blocks)
+        workload_key = workload if workload is not None else self.workload
+        if workload is not None:
+            self.workloads.get(workload_key)  # unknown keys fail fast
+        if blocks is not None:
+            block_map = dict(blocks)
+        elif workload_key == self.workload:
+            block_map = dict(self._blocks)
+        else:
+            block_map = self.workloads.blocks(workload_key)
 
         coords: list[tuple[str, Badge4, str, str]] = []
         items: list[BatchItem] = []
@@ -526,6 +510,7 @@ class MethodologyFlow:
             blocks=tuple(block_map),
             entries=entries,
             stats=batch.stats,
+            workload=workload_key,
         )
 
     def _variant_cycles(self, stage_field: str, variant: str) -> float:

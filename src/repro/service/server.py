@@ -8,11 +8,16 @@ serves:
 ====================  ======  =========================================
 ``/healthz``          GET     liveness probe
 ``/v1/platforms``     GET     the processor registry, as JSON
+``/v1/workloads``     GET     the workload registry, as JSON
 ``/v1/stats``         GET     cache tiers + single-flight counters
 ``/v1/map``           POST    scalar block mapping (cycles winner)
 ``/v1/pareto``        POST    the (cycles, energy, accuracy) front
 ``/v1/sweep``         POST    the multi-platform sweep, canonical JSON
 ====================  ======  =========================================
+
+``/v1/map``, ``/v1/pareto`` and ``/v1/sweep`` accept a ``workload``
+field selecting the workload-registry entry block names resolve in
+(default ``"mp3"``).
 
 Request lifecycle, stated once (and documented in
 ``docs/architecture.md``):
@@ -301,6 +306,7 @@ class MappingService:
     async def _dispatch(self, method: str, path: str, body: bytes):
         routes = {"/healthz": ("GET", self._get_health),
                   "/v1/platforms": ("GET", self._get_platforms),
+                  "/v1/workloads": ("GET", self._get_workloads),
                   "/v1/stats": ("GET", self._get_stats),
                   "/v1/map": ("POST", self._post_map),
                   "/v1/pareto": ("POST", self._post_pareto),
@@ -332,6 +338,12 @@ class MappingService:
                     "has_fpu": entry.spec.has_fpu,
                 } for entry in self.session.config.registry]}
 
+    def _get_workloads(self) -> dict:
+        # The session's payload verbatim — the same dict the CLI's
+        # `repro workloads --json` renders, which is what makes the
+        # two surfaces byte-comparable.
+        return self.session.workloads_payload()
+
     def _get_stats(self) -> dict:
         return {"service": {"host": self.host, "port": self.port,
                             "requests": self.requests,
@@ -359,7 +371,7 @@ class MappingService:
 
     async def _resolve_map(self, request: MapRequest):
         """Steps 2–5 of the request lifecycle for one block mapping."""
-        block = self.catalog.block(request.block)
+        block = self.catalog.block(request.block, request.workload)
         library = self.catalog.library(request.library)
         platform = self.catalog.platform(request.platform)
         key = _map_block_key(block, library, platform,
@@ -385,8 +397,12 @@ class MappingService:
         if request.libraries is not None:
             libraries = [self.catalog.library_combo(combo)
                          for combo in request.libraries]
-        blocks = self.catalog.block_subset(request.blocks)
-        key = ("service_sweep", platform_keys,
+        blocks = self.catalog.block_subset(request.blocks, request.workload)
+        # The workload key is part of the coalescing key even though the
+        # block fingerprints cover the work: the report *labels* itself
+        # with the workload, so same-blocks/different-label requests
+        # must not share a flight.
+        key = ("service_sweep", request.workload, platform_keys,
                tuple(fingerprint_library(lib) for lib in libraries or ()),
                request.libraries is None,
                tuple(fingerprint_block(b) for b in blocks.values()),
@@ -409,7 +425,8 @@ class MappingService:
         return self.session.flow().sweep(
             platforms=list(platform_keys), libraries=libraries,
             blocks=blocks, tolerance=request.tolerance,
-            accuracy_budget=request.accuracy_budget, **overrides)
+            accuracy_budget=request.accuracy_budget,
+            workload=request.workload, **overrides)
 
     def _offload(self, fn, *args):
         """Run ``fn`` on the request executor; awaitable result."""

@@ -1,0 +1,104 @@
+"""The DSP kernel suite workload: FIR, IIR biquad, real FFT.
+
+Three staples of embedded signal-processing loops, declared at the
+shapes the built-in libraries characterize (16-tap FIR over 8 output
+samples, 8-sample biquad, 8-point packed real FFT).  The block
+builders are parameterizable — ``fir_block(taps=...)`` and friends —
+so the property-based tests can vary coefficients and sizes; the
+workload entry pins the canonical shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend.extract import ArrayInput, TargetBlock, extract_block
+from repro.workload import kernels
+from repro.workload.registry import BlockSpec, Workload
+
+__all__ = ["DspKernelsWorkload", "fir_block", "iir_biquad_block", "rfft_block"]
+
+
+def fir_block(taps=None, n_out: int = kernels.FIR_OUTPUTS,
+              name: str = "fir16") -> TargetBlock:
+    """The sliding-window FIR: ``out[n] = sum_k h[k] x[n+k]``.
+
+    ``taps`` defaults to the canonical windowed-sinc low-pass; any
+    float sequence works (the property tests pass generated taps).
+    """
+    taps = np.asarray(kernels.fir_taps() if taps is None else taps,
+                      dtype=np.float64)
+    n_in = n_out + len(taps) - 1
+    return extract_block(
+        kernels.fir_kernel_source(n_out, len(taps)),
+        [
+            ArrayInput("x", (n_in,)),
+            ArrayInput("h", (len(taps),), values=taps.tolist()),
+        ],
+        name=name,
+    )
+
+
+def iir_biquad_block(b=None, a=None, n: int = kernels.IIR_LENGTH,
+                     name: str = "iir_biquad8") -> TargetBlock:
+    """The biquad recurrence over ``n`` samples, expanded symbolically."""
+    if b is None or a is None:
+        b, a = kernels.biquad_coefficients()
+    return extract_block(
+        kernels.iir_kernel_source(n),
+        [
+            ArrayInput("x", (n,)),
+            ArrayInput("b", (3,), values=list(b)),
+            ArrayInput("a", (2,), values=list(a)),
+        ],
+        name=name,
+    )
+
+
+def rfft_block(n: int = kernels.RFFT_POINTS,
+               name: str = "rfft8") -> TargetBlock:
+    """The ``n``-point real DFT, packed real output layout."""
+    matrix = kernels.rfft_matrix(n)
+    return extract_block(
+        kernels.matrix_kernel_source("rfft", n, n),
+        [
+            ArrayInput("x", (n,)),
+            ArrayInput("m", (n, n), values=matrix.tolist()),
+        ],
+        name=name,
+    )
+
+
+class DspKernelsWorkload(Workload):
+    """A front-end DSP chain: decimating FIR, biquad IIR, real FFT."""
+
+    key = "dsp"
+    title = "DSP kernel suite"
+    description = ("FIR/IIR filtering plus an 8-point real FFT: the "
+                   "inner loops of a generic software-defined "
+                   "signal-processing front end")
+
+    def block_specs(self) -> tuple[BlockSpec, ...]:
+        return (
+            BlockSpec(
+                name="fir16",
+                description="16-tap windowed-sinc FIR over 8 output samples",
+                n_outputs=kernels.FIR_OUTPUTS,
+                n_inputs=kernels.FIR_OUTPUTS + kernels.FIR_ORDER - 1,
+                builder=fir_block,
+            ),
+            BlockSpec(
+                name="iir_biquad8",
+                description="biquad IIR recurrence unrolled over 8 samples",
+                n_outputs=kernels.IIR_LENGTH,
+                n_inputs=kernels.IIR_LENGTH,
+                builder=iir_biquad_block,
+            ),
+            BlockSpec(
+                name="rfft8",
+                description="8-point real FFT (packed real output)",
+                n_outputs=kernels.RFFT_POINTS,
+                n_inputs=kernels.RFFT_POINTS,
+                builder=rfft_block,
+            ),
+        )

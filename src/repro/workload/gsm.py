@@ -1,0 +1,72 @@
+"""The GSM-style MAC pipeline workload.
+
+Two single-accumulator loops from speech coding: the long-term
+predictor's weighted cross-correlation over 40 lags, and the vector
+quantizer's energy (sum of squares) over an 8-sample window.  Both
+are scalar-output blocks, so unlike the big linear transforms they
+exercise the *decompose* path too: the correlation maps through the
+bounded search's linear-binding shortcut, and the energy block is a
+genuinely non-linear (degree-2) target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend.extract import ArrayInput, TargetBlock, extract_block
+from repro.workload import kernels
+from repro.workload.registry import BlockSpec, Workload
+
+__all__ = ["GsmMacWorkload", "xcorr_block", "energy_block"]
+
+
+def xcorr_block(taps=None, name: str = "ltp_xcorr40") -> TargetBlock:
+    """The weighted LTP cross-correlation: ``sum_k w[k] x[k]``."""
+    taps = np.asarray(kernels.xcorr_taps() if taps is None else taps,
+                      dtype=np.float64)
+    return extract_block(
+        kernels.xcorr_kernel_source(len(taps)),
+        [
+            ArrayInput("x", (len(taps),)),
+            ArrayInput("w", (len(taps),), values=taps.tolist()),
+        ],
+        name=name,
+    )
+
+
+def energy_block(n: int = kernels.ENERGY_POINTS,
+                 name: str = "vq_energy8") -> TargetBlock:
+    """The codebook-search energy: ``sum_k x[k]^2`` (degree 2)."""
+    return extract_block(
+        kernels.energy_kernel_source(n),
+        [ArrayInput("x", (n,))],
+        name=name,
+    )
+
+
+class GsmMacWorkload(Workload):
+    """GSM full-rate style speech coding: the MAC-bound search loops."""
+
+    key = "gsm_mac"
+    title = "GSM MAC pipeline"
+    description = ("Speech-codec search loops: the 40-lag long-term "
+                   "predictor cross-correlation and the 8-sample "
+                   "codebook energy, both single-MAC-accumulator bound")
+
+    def block_specs(self) -> tuple[BlockSpec, ...]:
+        return (
+            BlockSpec(
+                name="ltp_xcorr40",
+                description="weighted LTP cross-correlation over 40 lags",
+                n_outputs=1,
+                n_inputs=kernels.XCORR_LAG,
+                builder=xcorr_block,
+            ),
+            BlockSpec(
+                name="vq_energy8",
+                description="sum-of-squares energy over 8 samples",
+                n_outputs=1,
+                n_inputs=kernels.ENERGY_POINTS,
+                builder=energy_block,
+            ),
+        )

@@ -1,0 +1,75 @@
+"""The JPEG-style 2-D IDCT workload.
+
+The decode-side hot spot of every block-transform image codec: the
+8-point 1-D inverse DCT row pass, and the full separable 8x8 2-D IDCT
+written the way real decoders write it — two passes over the block
+(rows, then columns) sharing one basis matrix.  The frontend expands
+the two passes into one 64-output linear map, which is exactly
+``kron(C, C)`` — the polynomial representation the library's 2-D IDCT
+elements carry.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.extract import ArrayInput, TargetBlock, extract_block
+from repro.workload import kernels
+from repro.workload.registry import BlockSpec, Workload
+
+__all__ = ["JpegIdctWorkload", "idct_row_block", "idct_block"]
+
+
+def idct_row_block(n: int = kernels.IDCT_POINTS,
+                   name: str = "idct_row8") -> TargetBlock:
+    """The 1-D inverse DCT over one row of ``n`` coefficients."""
+    basis = kernels.idct_basis(n)
+    return extract_block(
+        kernels.matrix_kernel_source("idct_row", n, n),
+        [
+            ArrayInput("x", (n,)),
+            ArrayInput("m", (n, n), values=basis.tolist()),
+        ],
+        name=name,
+    )
+
+
+def idct_block(n: int = kernels.IDCT_POINTS,
+               name: str | None = None) -> TargetBlock:
+    """The separable two-pass ``n x n`` 2-D IDCT on a flattened block."""
+    basis = kernels.idct_basis(n)
+    return extract_block(
+        kernels.idct2_kernel_source(n),
+        [
+            ArrayInput("x", (n * n,)),
+            ArrayInput("c", (n, n), values=basis.tolist()),
+        ],
+        name=name if name is not None else f"idct{n}x{n}",
+    )
+
+
+class JpegIdctWorkload(Workload):
+    """Baseline JPEG decode: the inverse DCT stage."""
+
+    key = "jpeg_idct"
+    title = "JPEG 2-D IDCT"
+    description = ("Block-transform image decoding: the 8-point IDCT "
+                   "row pass and the separable 8x8 2-D IDCT, the "
+                   "dominant cost of baseline JPEG decode")
+
+    def block_specs(self) -> tuple[BlockSpec, ...]:
+        n = kernels.IDCT_POINTS
+        return (
+            BlockSpec(
+                name="idct_row8",
+                description="8-point 1-D inverse DCT (row pass)",
+                n_outputs=n,
+                n_inputs=n,
+                builder=idct_row_block,
+            ),
+            BlockSpec(
+                name="idct8x8",
+                description="separable 8x8 2-D inverse DCT (two passes)",
+                n_outputs=n * n,
+                n_inputs=n * n,
+                builder=idct_block,
+            ),
+        )

@@ -1,0 +1,259 @@
+"""Shared numeric kernels for the built-in workloads.
+
+One module owns every coefficient table the new workloads use — FIR
+taps, IIR impulse responses, DFT/DCT basis matrices, LTP correlation
+windows — so the two consumers that must agree on them *cannot drift*:
+
+* the workload block builders (:mod:`repro.workload.dsp` and friends)
+  feed these tables to the frontend as constant array inputs, and
+* the built-in library elements (:mod:`repro.library.builtin`) build
+  their polynomial representations from the same arrays via
+  ``_linear_rows``.
+
+That agreement is the whole point of the paper's matching step: an
+element maps a block because their polynomials coincide coefficient
+by coefficient, exactly as the MP3 blocks match the IMDCT/synthesis
+elements through the shared ``repro.mp3.tables`` constants.
+
+Everything here is deterministic (no RNG, no environment reads), so
+block fingerprints and sweep JSON stay byte-stable across processes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "FIR_ORDER",
+    "FIR_OUTPUTS",
+    "IIR_LENGTH",
+    "RFFT_POINTS",
+    "IDCT_POINTS",
+    "XCORR_LAG",
+    "ENERGY_POINTS",
+    "fir_taps",
+    "fir_matrix",
+    "biquad_coefficients",
+    "iir_impulse_matrix",
+    "rfft_matrix",
+    "idct_basis",
+    "idct2_matrix",
+    "xcorr_taps",
+    "matrix_kernel_source",
+    "fir_kernel_source",
+    "iir_kernel_source",
+    "idct2_kernel_source",
+    "xcorr_kernel_source",
+    "energy_kernel_source",
+]
+
+#: Canonical sizes of the built-in blocks (the library elements are
+#: characterized at exactly these shapes).
+FIR_ORDER = 16          # taps of the decimating low-pass
+FIR_OUTPUTS = 8         # output samples per call
+IIR_LENGTH = 8          # samples per biquad call
+RFFT_POINTS = 8         # real-FFT length (packed real output)
+IDCT_POINTS = 8         # 1-D IDCT length (JPEG uses 8)
+XCORR_LAG = 40          # GSM long-term-predictor correlation window
+ENERGY_POINTS = 8       # vector-quantizer energy window
+
+
+# ----------------------------------------------------------------------
+# Coefficient tables
+# ----------------------------------------------------------------------
+def fir_taps(n_taps: int = FIR_ORDER) -> np.ndarray:
+    """Hamming-windowed sinc low-pass taps (cutoff at fs/8)."""
+    k = np.arange(n_taps, dtype=np.float64)
+    center = (n_taps - 1) / 2.0
+    return np.hamming(n_taps) * np.sinc((k - center) / 4.0) / 4.0
+
+
+def fir_matrix(taps: np.ndarray, n_out: int = FIR_OUTPUTS) -> np.ndarray:
+    """The sliding-window FIR as a linear map: ``out[n] = sum_k h[k] x[n+k]``.
+
+    Shape ``(n_out, n_out + len(taps) - 1)`` — each row is the tap
+    vector shifted by one sample.
+    """
+    taps = np.asarray(taps, dtype=np.float64)
+    n_in = n_out + len(taps) - 1
+    matrix = np.zeros((n_out, n_in))
+    for n in range(n_out):
+        matrix[n, n:n + len(taps)] = taps
+    return matrix
+
+
+def biquad_coefficients() -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """``(b, a)`` of the canonical biquad: a stable dyadic low-pass.
+
+    ``y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] + a0 y[n-1] + a1 y[n-2]``.
+    All coefficients are dyadic rationals, so the float impulse-response
+    unroll in :func:`iir_impulse_matrix` is *exact* and the element
+    polynomials match the symbolically-expanded recurrence to the bit.
+    """
+    return (0.25, 0.5, 0.25), (0.5, -0.25)
+
+
+def iir_impulse_matrix(b=None, a=None, n: int = IIR_LENGTH) -> np.ndarray:
+    """The first ``n`` samples of the biquad as a (lower-triangular)
+    linear map from input to output — the recurrence, unrolled."""
+    if b is None or a is None:
+        b, a = biquad_coefficients()
+    matrix = np.zeros((n, n))
+    for j in range(n):
+        x = np.zeros(n)
+        x[j] = 1.0
+        y = np.zeros(n)
+        for i in range(n):
+            acc = b[0] * x[i]
+            if i >= 1:
+                acc += b[1] * x[i - 1] + a[0] * y[i - 1]
+            if i >= 2:
+                acc += b[2] * x[i - 2] + a[1] * y[i - 2]
+            y[i] = acc
+        matrix[:, j] = y
+    return matrix
+
+
+def rfft_matrix(n: int = RFFT_POINTS) -> np.ndarray:
+    """The real DFT as an ``n x n`` matrix, packed real output.
+
+    Row 0 is the DC term, rows ``2k-1``/``2k`` the real/imaginary
+    parts of bin ``k`` for ``k = 1 .. n/2-1``, and the last row the
+    Nyquist term — the layout fixed-point FFT routines return.
+    """
+    if n % 2 != 0:
+        raise ValueError(f"rfft_matrix needs an even length, got {n}")
+    i = np.arange(n, dtype=np.float64)
+    matrix = np.zeros((n, n))
+    matrix[0] = 1.0
+    for k in range(1, n // 2):
+        matrix[2 * k - 1] = np.cos(2.0 * math.pi * k * i / n)
+        matrix[2 * k] = -np.sin(2.0 * math.pi * k * i / n)
+    matrix[n - 1] = np.cos(math.pi * i)
+    return matrix
+
+
+def idct_basis(n: int = IDCT_POINTS) -> np.ndarray:
+    """The 1-D inverse DCT-II basis: ``C[i, u] = alpha(u) cos((2i+1)u pi / 2n)``."""
+    basis = np.zeros((n, n))
+    for i in range(n):
+        for u in range(n):
+            alpha = math.sqrt(1.0 / n) if u == 0 else math.sqrt(2.0 / n)
+            basis[i, u] = alpha * math.cos((2 * i + 1) * u * math.pi / (2 * n))
+    return basis
+
+
+def idct2_matrix(n: int = IDCT_POINTS) -> np.ndarray:
+    """The separable 2-D IDCT as one ``n^2 x n^2`` linear map.
+
+    Row index ``i*n + j`` (pixel), column ``u*n + v`` (coefficient):
+    exactly the composition of the row pass then column pass of the
+    two-pass kernel, i.e. ``kron(C, C)``.
+    """
+    basis = idct_basis(n)
+    return np.kron(basis, basis)
+
+
+def xcorr_taps(n: int = XCORR_LAG) -> np.ndarray:
+    """The GSM long-term-predictor weighting window over ``n`` lags."""
+    k = np.arange(n, dtype=np.float64)
+    return 0.5 + 0.4 * np.cos(2.0 * math.pi * k / n)
+
+
+# ----------------------------------------------------------------------
+# Kernel sources (the frontend's restricted subset)
+# ----------------------------------------------------------------------
+def matrix_kernel_source(fn_name: str, n_out: int, n_in: int) -> str:
+    """A dense matrix-vector MAC nest: the generic linear block."""
+    return f"""
+def {fn_name}(x, m):
+    out = [0] * {n_out}
+    for i in range({n_out}):
+        s = 0
+        for k in range({n_in}):
+            s = s + m[i][k] * x[k]
+        out[i] = s
+    return out
+"""
+
+
+def fir_kernel_source(n_out: int, n_taps: int) -> str:
+    """The sliding-window FIR loop nest (taps as constants)."""
+    return f"""
+def fir(x, h):
+    out = [0] * {n_out}
+    for n in range({n_out}):
+        s = 0
+        for k in range({n_taps}):
+            s = s + h[k] * x[n + k]
+        out[n] = s
+    return out
+"""
+
+
+def iir_kernel_source(n: int) -> str:
+    """The biquad recurrence itself (the realistic implementation form).
+
+    The ``if`` guards fold to constants during loop unrolling, so the
+    frontend expands the recurrence symbolically — the extracted block
+    is the same lower-triangular map :func:`iir_impulse_matrix` builds.
+    """
+    return f"""
+def iir_biquad(x, b, a):
+    y = [0] * {n}
+    for i in range({n}):
+        acc = b[0] * x[i]
+        if i >= 1:
+            acc = acc + b[1] * x[i - 1] + a[0] * y[i - 1]
+        if i >= 2:
+            acc = acc + b[2] * x[i - 2] + a[1] * y[i - 2]
+        y[i] = acc
+    return y
+"""
+
+
+def idct2_kernel_source(n: int) -> str:
+    """The separable two-pass 2-D IDCT (rows, then columns) on a
+    flattened ``n x n`` coefficient array."""
+    return f"""
+def idct2(x, c):
+    t = [0] * {n * n}
+    for i in range({n}):
+        for v in range({n}):
+            s = 0
+            for u in range({n}):
+                s = s + c[i][u] * x[u * {n} + v]
+            t[i * {n} + v] = s
+    out = [0] * {n * n}
+    for i in range({n}):
+        for j in range({n}):
+            s = 0
+            for v in range({n}):
+                s = s + c[j][v] * t[i * {n} + v]
+            out[i * {n} + j] = s
+    return out
+"""
+
+
+def xcorr_kernel_source(n: int) -> str:
+    """The weighted long-term-prediction correlation MAC loop."""
+    return f"""
+def ltp_xcorr(x, w):
+    acc = 0
+    for k in range({n}):
+        acc = acc + w[k] * x[k]
+    return acc
+"""
+
+
+def energy_kernel_source(n: int) -> str:
+    """The vector-quantizer energy (sum of squares) MAC loop."""
+    return f"""
+def vq_energy(x):
+    acc = 0
+    for k in range({n}):
+        acc = acc + x[k] * x[k]
+    return acc
+"""

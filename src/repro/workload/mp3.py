@@ -1,0 +1,94 @@
+"""The MP3 decoder workload — the paper's evaluation target.
+
+The two complex critical blocks of Section 4 (previously hardcoded in
+``mapping/flow.py``), now the registry's default entry: the 36-point
+IMDCT loop nest (Equation 1) and the polyphase matrixing core.  The
+cosine tables come from :mod:`repro.mp3.tables` — the same constants
+the library elements' polynomial rows use, which is what makes the
+blocks match them exactly.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.extract import ArrayInput, TargetBlock, extract_block
+from repro.mp3.tables import IMDCT_COS_36, POLYPHASE_N
+from repro.workload.registry import BlockSpec, Workload
+
+__all__ = ["Mp3Workload", "imdct_block", "matrixing_block"]
+
+#: Reference kernel for the IMDCT loop nest (Equation 1), in the
+#: frontend's restricted subset.  The cosine table arrives as constants.
+_IMDCT_KERNEL = """
+def inv_mdct_long(y, c):
+    out = [0] * 36
+    for i in range(36):
+        s = 0
+        for k in range(18):
+            s = s + c[i][k] * y[k]
+        out[i] = s
+    return out
+"""
+
+#: Reference kernel for the polyphase matrixing core.
+_MATRIXING_KERNEL = """
+def subband_matrixing(s, n):
+    v = [0] * 64
+    for i in range(64):
+        acc = 0
+        for k in range(32):
+            acc = acc + n[i][k] * s[k]
+        v[i] = acc
+    return v
+"""
+
+
+def imdct_block() -> TargetBlock:
+    """A fresh extraction of the IMDCT loop nest (``inv_mdctL``)."""
+    return extract_block(
+        _IMDCT_KERNEL,
+        [
+            ArrayInput("y", (18,)),
+            ArrayInput("c", (36, 18), values=IMDCT_COS_36.tolist()),
+        ],
+        name="inv_mdctL",
+    )
+
+
+def matrixing_block() -> TargetBlock:
+    """A fresh extraction of the polyphase matrixing core."""
+    return extract_block(
+        _MATRIXING_KERNEL,
+        [
+            ArrayInput("s", (32,)),
+            ArrayInput("n", (64, 32), values=POLYPHASE_N.tolist()),
+        ],
+        name="SubBandSynthesis",
+    )
+
+
+class Mp3Workload(Workload):
+    """The MPEG-1 Layer III decoder (Section 4 of the paper)."""
+
+    key = "mp3"
+    title = "MP3 decoder"
+    description = ("MPEG-1 Layer III decoding: the 36-point IMDCT loop "
+                   "nest (Eq. 1) and the polyphase matrixing core, the "
+                   "paper's Table 4/5 work set")
+
+    def block_specs(self) -> tuple[BlockSpec, ...]:
+        return (
+            BlockSpec(
+                name="inv_mdctL",
+                description="36-point inverse MDCT over 18 spectral lines",
+                n_outputs=36,
+                n_inputs=18,
+                builder=imdct_block,
+            ),
+            BlockSpec(
+                name="SubBandSynthesis",
+                description="64-point polyphase matrixing over 32 subbands",
+                n_outputs=64,
+                n_inputs=32,
+                builder=matrixing_block,
+            ),
+        )

@@ -1,0 +1,233 @@
+"""The pluggable workload registry: target applications as a catalog.
+
+The paper's methodology is workload-agnostic — characterize the
+libraries once, then identify and map the critical blocks of *any*
+embedded application.  The evaluation only exercises one (the MP3
+decoder), and so did this repro until now: the complex target blocks
+were hardcoded in ``mapping/flow.py``.  This module makes workloads
+data, not code, mirroring the processor registry
+(:mod:`repro.platform.registry`): a :class:`Workload` declares its
+critical blocks — name, shape, description, and a builder that runs
+the frontend — and a :class:`WorkloadRegistry` catalogs workloads
+under short stable keys that every surface (session, CLI, service,
+sweep reports) resolves against.
+
+Declaring a new workload is a subclass plus one ``register_workload``
+call:
+
+>>> from repro.workload import registered_workloads, workload_named
+>>> registered_workloads()[0]
+'mp3'
+>>> sorted(workload_named("mp3").block_names())
+['SubBandSynthesis', 'inv_mdctL']
+
+Block *extraction* (frontend symbolic execution) stays lazy:
+``block_names()`` and the catalog listings read the declarations only,
+so ``repro workloads`` and ``/v1/workloads`` answer without running
+the frontend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.frontend.extract import TargetBlock
+
+__all__ = [
+    "DEFAULT_WORKLOAD",
+    "BlockSpec",
+    "Workload",
+    "WorkloadEntry",
+    "WorkloadRegistry",
+    "DEFAULT_WORKLOAD_REGISTRY",
+    "register_workload",
+    "get_workload",
+    "workload_named",
+    "registered_workloads",
+]
+
+#: The registry's first entry and every surface's default: the paper's
+#: evaluation workload.
+DEFAULT_WORKLOAD = "mp3"
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One declared critical block of a workload.
+
+    ``builder`` runs the frontend and returns a fresh
+    :class:`~repro.frontend.extract.TargetBlock`; the declarative
+    fields (``name``, shape, ``description``) are readable without
+    calling it, so catalog listings never pay for extraction.
+    """
+
+    name: str
+    description: str
+    n_outputs: int
+    n_inputs: int
+    builder: Callable[[], TargetBlock] = field(repr=False, compare=False)
+
+    def build(self) -> TargetBlock:
+        """A fresh extraction, checked against the declaration."""
+        block = self.builder()
+        if block.name != self.name:
+            raise WorkloadError(
+                f"block builder for {self.name!r} returned a block named "
+                f"{block.name!r}; declarations and extractions must agree")
+        if len(block.outputs) != self.n_outputs:
+            raise WorkloadError(
+                f"block {self.name!r} declares {self.n_outputs} outputs "
+                f"but extracted {len(block.outputs)}")
+        return block
+
+
+class Workload:
+    """One target application: declared critical blocks plus metadata.
+
+    Subclasses set ``key`` (the registry handle), ``title`` and
+    ``description``, and implement :meth:`block_specs`.  Everything
+    else — stable name listing, checked extraction,
+    :meth:`methodology_blocks` — is derived here, so the conformance
+    suite (``tests/workload/conformance.py``) can hold every workload
+    to one contract.
+    """
+
+    key: str = ""
+    title: str = ""
+    description: str = ""
+
+    def block_specs(self) -> tuple[BlockSpec, ...]:
+        """The declared critical blocks, in stable order."""
+        raise NotImplementedError
+
+    def block_names(self) -> tuple[str, ...]:
+        """Declared block names, without running the frontend."""
+        return tuple(spec.name for spec in self.block_specs())
+
+    def methodology_blocks(self) -> dict[str, TargetBlock]:
+        """Fresh extractions of every declared block, by name.
+
+        Each call re-runs the frontend (callers own their copies —
+        the same contract :func:`repro.mapping.flow.methodology_blocks`
+        always had); sessions memoize through their
+        :class:`~repro.api.ResourceCatalog` instead.
+        """
+        specs = self.block_specs()
+        duplicates = {s.name for s in specs
+                      if [t.name for t in specs].count(s.name) > 1}
+        if duplicates:
+            raise WorkloadError(
+                f"workload {self.key!r} declares duplicate block name(s) "
+                f"{sorted(duplicates)}")
+        return {spec.name: spec.build() for spec in specs}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(key={self.key!r})"
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """One registered workload under its registry key."""
+
+    key: str
+    workload: Workload
+
+    def blocks(self) -> dict[str, TargetBlock]:
+        """Fresh extractions of the workload's blocks (see
+        :meth:`Workload.methodology_blocks`)."""
+        return self.workload.methodology_blocks()
+
+    def block_names(self) -> tuple[str, ...]:
+        return self.workload.block_names()
+
+
+class WorkloadRegistry:
+    """A named catalog of workloads.
+
+    Keys are short stable handles (``"mp3"``, ``"jpeg_idct"``, ...);
+    iteration order is registration order, so "every registered
+    workload" listings and CI matrices are deterministic — the same
+    contract as :class:`~repro.platform.registry.ProcessorRegistry`.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, WorkloadEntry] = {}
+
+    def register(self, workload: Workload, *,
+                 key: str | None = None,
+                 replace: bool = False) -> WorkloadEntry:
+        """Add (or, with ``replace=True``, overwrite) a workload.
+
+        ``key`` defaults to the workload's own ``key`` attribute.
+        """
+        key = key if key is not None else workload.key
+        if not key:
+            raise WorkloadError("registry key must be non-empty")
+        if key in self._entries and not replace:
+            raise WorkloadError(
+                f"workload {key!r} is already registered "
+                f"(pass replace=True to overwrite)")
+        entry = WorkloadEntry(key, workload)
+        self._entries[key] = entry
+        return entry
+
+    def get(self, key: str) -> WorkloadEntry:
+        """The entry registered under ``key`` (raises on unknown keys)."""
+        try:
+            return self._entries[key]
+        except KeyError:
+            known = ", ".join(self._entries) or "<empty registry>"
+            raise WorkloadError(
+                f"no workload registered as {key!r}; known: {known}") from None
+
+    def blocks(self, key: str) -> dict[str, TargetBlock]:
+        """Fresh extractions of the blocks of workload ``key``."""
+        return self.get(key).blocks()
+
+    def names(self) -> list[str]:
+        """Registered keys, in registration order."""
+        return list(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"WorkloadRegistry({self.names()!r})"
+
+
+#: The process-wide registry.  The MP3 decoder comes first: it is the
+#: paper's evaluation workload and every surface's default, so "all
+#: registered workloads" listings lead with it.  The built-in entries
+#: are registered by :mod:`repro.workload` on import.
+DEFAULT_WORKLOAD_REGISTRY = WorkloadRegistry()
+
+
+def register_workload(workload: Workload, *, key: str | None = None,
+                      replace: bool = False) -> WorkloadEntry:
+    """Register a workload in the default registry (see
+    :meth:`WorkloadRegistry.register`)."""
+    return DEFAULT_WORKLOAD_REGISTRY.register(workload, key=key,
+                                              replace=replace)
+
+
+def get_workload(key: str) -> WorkloadEntry:
+    """The default registry's entry for ``key``."""
+    return DEFAULT_WORKLOAD_REGISTRY.get(key)
+
+
+def workload_named(key: str) -> Workload:
+    """The workload object registered under ``key``."""
+    return DEFAULT_WORKLOAD_REGISTRY.get(key).workload
+
+
+def registered_workloads() -> list[str]:
+    """Keys of the default registry, in registration order."""
+    return DEFAULT_WORKLOAD_REGISTRY.names()

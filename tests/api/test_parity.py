@@ -89,3 +89,33 @@ class TestSweepParity:
             "--json",
         )
         assert cli_bytes == service_bytes
+
+
+class TestWorkloadsParity:
+    def test_cli_and_service_agree(self, live_service, capsys):
+        """`repro workloads --json` is byte-for-byte `/v1/workloads`."""
+        _service, client = live_service
+        status, service_bytes = client.request_bytes("GET", "/v1/workloads")
+        assert status == 200
+        assert _cli_json(capsys, "workloads", "--json") == service_bytes
+
+
+class TestNonMp3SweepParity:
+    def test_gsm_sweep_session_cli_and_service_agree(self, live_service,
+                                                     capsys):
+        """The workload acceptance criterion: a non-MP3 sweep's bytes
+        agree across session, CLI and service."""
+        _service, client = live_service
+        payload = {"platforms": ["SA-1110"], "workload": "gsm_mac"}
+        status, service_bytes = client.request_bytes("POST", "/v1/sweep",
+                                                     payload)
+        assert status == 200
+
+        report = default_session().sweep(platforms=["SA-1110"],
+                                         workload="gsm_mac")
+        assert report.workload == "gsm_mac"
+        assert report.to_json().encode("ascii") == service_bytes
+
+        cli_bytes = _cli_json(capsys, "sweep", "--platforms", "SA-1110",
+                              "--workload", "gsm_mac", "--json")
+        assert cli_bytes == service_bytes

@@ -43,6 +43,7 @@ class TestMap:
             "platform",
             "processor",
             "winner",
+            "workload",
         ]
         assert payload["processor"] == "StrongARM SA-1110"
         assert payload["matches"][0]["element"] == "tiny_butterfly_el"

@@ -1,13 +1,15 @@
-"""Public-API snapshot: ``repro.api.__all__`` and the CLI inventory.
+"""Public-API snapshot: ``repro.api.__all__``, ``repro.workload.__all__``
+and the CLI inventory.
 
-These are deliberate change detectors.  If a PR alters either surface,
-this file must be edited in the same PR — that is the point: the
-public surface changes deliberately, never as a side effect.
+These are deliberate change detectors.  If a PR alters any of these
+surfaces, this file must be edited in the same PR — that is the point:
+the public surface changes deliberately, never as a side effect.
 """
 
 import argparse
 
 import repro.api
+import repro.workload
 from repro.cli import build_parser
 
 #: The locked public API of ``repro.api``.
@@ -17,6 +19,7 @@ EXPECTED_API = [
     "CacheTiers",
     "DEFAULT_LIBRARY",
     "DEFAULT_PLATFORM",
+    "DEFAULT_WORKLOAD",
     "LIBRARY_TAGS",
     "MapRequest",
     "MapResult",
@@ -30,6 +33,20 @@ EXPECTED_API = [
     "default_session",
 ]
 
+#: The locked public API of ``repro.workload``.
+EXPECTED_WORKLOAD_API = [
+    "BlockSpec",
+    "DEFAULT_WORKLOAD",
+    "DEFAULT_WORKLOAD_REGISTRY",
+    "Workload",
+    "WorkloadEntry",
+    "WorkloadRegistry",
+    "get_workload",
+    "register_workload",
+    "registered_workloads",
+    "workload_named",
+]
+
 #: The locked CLI surface: subcommand -> sorted positional/option names.
 EXPECTED_CLI = {
     "map": [
@@ -39,6 +56,7 @@ EXPECTED_CLI = {
         "--library",
         "--platform",
         "--tolerance",
+        "--workload",
         "block",
     ],
     "pareto": [
@@ -48,6 +66,7 @@ EXPECTED_CLI = {
         "--library",
         "--platform",
         "--tolerance",
+        "--workload",
         "block",
     ],
     "sweep": [
@@ -58,6 +77,11 @@ EXPECTED_CLI = {
         "--libraries",
         "--platforms",
         "--tolerance",
+        "--workload",
+    ],
+    "workloads": [
+        "--cache-dir",
+        "--json",
     ],
     "platforms": [
         "--cache-dir",
@@ -100,12 +124,23 @@ def test_api_all_names_resolve():
         assert getattr(repro.api, name) is not None
 
 
+def test_workload_all_is_locked():
+    assert sorted(repro.workload.__all__) == EXPECTED_WORKLOAD_API
+
+
+def test_workload_all_names_resolve():
+    for name in repro.workload.__all__:
+        assert getattr(repro.workload, name) is not None
+
+
 def test_cli_inventory_is_locked():
     assert _cli_inventory() == EXPECTED_CLI
 
 
 def test_cli_subcommand_order_is_stable():
-    assert list(_cli_inventory()) == ["map", "pareto", "sweep", "platforms", "cache"]
+    assert list(_cli_inventory()) == [
+        "map", "pareto", "sweep", "workloads", "platforms", "cache"
+    ]
 
 
 def test_default_session_is_exported_callable():

@@ -1,0 +1,127 @@
+"""Catalog/workload agreement and the workload request plumbing.
+
+The regression this file exists for: the catalog's block listing used
+to hard-import ``methodology_blocks`` from the flow module, so it
+could only ever serve the MP3 set.  It now resolves *through the
+workload registry*, and these tests pin the agreement between what a
+workload declares, what the catalog serves, and what the session's
+request surfaces accept.
+"""
+
+import pytest
+
+from repro.api import DEFAULT_WORKLOAD, MappingSession, ResourceCatalog
+from repro.api.types import MapRequest, SweepRequest
+from repro.errors import ServiceError
+from repro.workload import DEFAULT_WORKLOAD_REGISTRY, get_workload
+
+from tests.api.conftest import tiny_block
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    """One catalog for the module: extraction is the expensive part."""
+    return ResourceCatalog()
+
+
+class TestCatalogWorkloadAgreement:
+    def test_default_blocks_are_the_mp3_set(self, catalog):
+        # The back-compat contract: no workload argument means the MP3
+        # set every pre-registry call site (service warm-up included)
+        # always saw.
+        assert DEFAULT_WORKLOAD == "mp3"
+        assert tuple(catalog.blocks()) == ("inv_mdctL", "SubBandSynthesis")
+        assert catalog.blocks() is catalog.blocks("mp3")
+
+    @pytest.mark.parametrize("key", DEFAULT_WORKLOAD_REGISTRY.names())
+    def test_catalog_serves_exactly_the_declared_blocks(self, catalog, key):
+        assert tuple(catalog.blocks(key)) == get_workload(key).block_names()
+
+    def test_blocks_are_memoized_per_workload(self, catalog):
+        assert catalog.blocks("gsm_mac") is catalog.blocks("gsm_mac")
+        first = catalog.block("ltp_xcorr40", "gsm_mac")
+        assert catalog.block("ltp_xcorr40", "gsm_mac") is first
+
+    def test_workload_keys_follow_registration_order(self, catalog):
+        assert list(catalog.workload_keys()) == \
+            DEFAULT_WORKLOAD_REGISTRY.names()
+
+    def test_unknown_workload_is_a_404(self, catalog):
+        with pytest.raises(ServiceError) as excinfo:
+            catalog.blocks("nope")
+        assert excinfo.value.status == 404
+        assert "nope" in excinfo.value.message
+
+    def test_block_from_the_wrong_workload_is_a_404(self, catalog):
+        with pytest.raises(ServiceError) as excinfo:
+            catalog.block("inv_mdctL", "gsm_mac")
+        assert excinfo.value.status == 404
+        assert "gsm_mac" in excinfo.value.message
+
+    def test_injected_blocks_seed_only_the_default_workload(self):
+        injected = {"tiny_butterfly": tiny_block()}
+        catalog = ResourceCatalog(blocks=injected)
+        assert tuple(catalog.blocks()) == ("tiny_butterfly",)
+        # Other workloads still resolve through the registry.
+        assert tuple(catalog.blocks("gsm_mac")) == (
+            "ltp_xcorr40", "vq_energy8")
+
+
+class TestSessionWorkloads:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return MappingSession()
+
+    def test_workloads_listing(self, session):
+        assert session.workloads() == DEFAULT_WORKLOAD_REGISTRY.names()
+
+    def test_workloads_payload_shape(self, session):
+        payload = session.workloads_payload()
+        assert payload["default"] == "mp3"
+        by_key = {w["key"]: w for w in payload["workloads"]}
+        assert list(by_key) == session.workloads()
+        for entry in by_key.values():
+            assert entry["title"] and entry["description"]
+            assert entry["blocks"] == list(
+                get_workload(entry["key"]).block_names())
+
+    def test_payload_lists_blocks_without_extraction(self):
+        # A fresh session must answer the listing from declarations
+        # alone — the catalog memo stays empty.
+        session = MappingSession()
+        session.workloads_payload()
+        assert session.catalog._blocks == {}
+
+    def test_map_resolves_in_the_requested_workload(self, session,
+                                                    isolated_cache_env):
+        result = session.map("vq_energy8", ("REF", "IH"),
+                             workload="gsm_mac")
+        assert result.mapped
+        assert result.request.workload == "gsm_mac"
+        payload = result.to_payload()
+        assert payload["workload"] == "gsm_mac"
+
+    def test_map_with_unknown_workload_is_a_404(self, session):
+        with pytest.raises(ServiceError) as excinfo:
+            session.map("vq_energy8", workload="nope")
+        assert excinfo.value.status == 404
+
+
+class TestRequestWorkloadField:
+    def test_map_request_default_is_elided_on_the_wire(self):
+        assert "workload" not in MapRequest(block="b").to_payload()
+        request = MapRequest(block="b", workload="dsp")
+        assert request.to_payload()["workload"] == "dsp"
+        parsed = MapRequest.from_payload({"block": "b", "workload": "dsp"})
+        assert parsed == request
+
+    def test_sweep_request_default_is_elided_on_the_wire(self):
+        assert "workload" not in SweepRequest().to_payload()
+        parsed = SweepRequest.from_payload({"workload": "jpeg_idct"})
+        assert parsed.workload == "jpeg_idct"
+        assert parsed.to_payload() == {"workload": "jpeg_idct"}
+
+    def test_non_string_workload_is_a_400(self):
+        with pytest.raises(ServiceError) as excinfo:
+            MapRequest.from_payload({"block": "b", "workload": 7})
+        assert excinfo.value.status == 400

@@ -121,7 +121,7 @@ class TestBuiltinLibraries:
         assert ref.get("float_SubBandSyn").n_outputs == 64
 
     def test_full_library_element_count(self):
-        assert len(full_library()) == 20
+        assert len(full_library()) == 36
 
     def test_accuracy_ladder(self):
         """double < float < fixed accuracy loss, as characterized."""

@@ -1,0 +1,165 @@
+"""Generic conformance checks every registered workload must pass.
+
+The idiom (one reusable checker class, instantiated per subject and
+driven by a thin parametrized test file) follows PyBaMM's
+``standard_model_tests``: the contract lives here, in one place, and
+``test_conformance.py`` holds every entry of
+:data:`repro.workload.DEFAULT_WORKLOAD_REGISTRY` to it.  Registering a
+new workload automatically enrolls it — there is nothing
+workload-specific in this module.
+
+The contract, in check order:
+
+1. metadata is well-formed (key/title/description, declared specs);
+2. declared block names/shapes agree with actual frontend extraction;
+3. extraction is deterministic (stable ``fingerprint_block`` digests);
+4. every block maps on the default platform with the full library;
+5. ``decompose`` terminates on each block's leading output;
+6. Pareto fronts are mutually non-dominated;
+7. a single-platform sweep's canonical JSON is byte-reproducible.
+"""
+
+from repro.frontend.extract import TargetBlock
+from repro.library.builtin import full_library
+from repro.mapping import (MethodologyFlow, decompose, fingerprint_block,
+                           map_block, map_block_pareto)
+from repro.platform import Badge4
+from repro.workload import WorkloadEntry
+
+__all__ = ["WorkloadConformance"]
+
+
+class WorkloadConformance:
+    """Runs the generic workload contract against one registry entry.
+
+    Extraction and the library are built lazily and reused across
+    checks, so a parametrized test file can call the checks one at a
+    time without re-running the frontend per check.
+    """
+
+    def __init__(self, entry: WorkloadEntry):
+        self.entry = entry
+        self.workload = entry.workload
+        self._blocks: "dict[str, TargetBlock] | None" = None
+        self._library = None
+        self._platform = None
+
+    # -- lazy shared state ----------------------------------------------
+    @property
+    def blocks(self) -> dict:
+        if self._blocks is None:
+            self._blocks = self.entry.blocks()
+        return self._blocks
+
+    @property
+    def library(self):
+        if self._library is None:
+            self._library = full_library()
+        return self._library
+
+    @property
+    def platform(self) -> Badge4:
+        if self._platform is None:
+            self._platform = Badge4()
+        return self._platform
+
+    # -- 1: metadata ----------------------------------------------------
+    def check_metadata(self) -> None:
+        assert self.entry.key, "registry key must be non-empty"
+        assert self.workload.title, f"{self.entry.key}: title must be set"
+        assert self.workload.description, (
+            f"{self.entry.key}: description must be set")
+        specs = self.workload.block_specs()
+        assert specs, f"{self.entry.key}: must declare at least one block"
+        names = [spec.name for spec in specs]
+        assert len(set(names)) == len(names), (
+            f"{self.entry.key}: duplicate block names {names}")
+        for spec in specs:
+            assert spec.name, f"{self.entry.key}: unnamed block spec"
+            assert spec.description, (
+                f"{self.entry.key}/{spec.name}: description must be set")
+            assert spec.n_outputs >= 1 and spec.n_inputs >= 1, (
+                f"{self.entry.key}/{spec.name}: degenerate shape "
+                f"({spec.n_outputs} out, {spec.n_inputs} in)")
+
+    # -- 2: declarations vs extraction ----------------------------------
+    def check_declarations_match_extraction(self) -> None:
+        names = self.entry.block_names()
+        assert tuple(self.blocks) == names, (
+            f"{self.entry.key}: extracted keys {tuple(self.blocks)} != "
+            f"declared names {names}")
+        for spec in self.workload.block_specs():
+            block = self.blocks[spec.name]
+            assert isinstance(block, TargetBlock)
+            assert block.name == spec.name
+            assert len(block.outputs) == spec.n_outputs, (
+                f"{self.entry.key}/{spec.name}: {len(block.outputs)} "
+                f"outputs extracted, {spec.n_outputs} declared")
+            assert len(block.input_variables) == spec.n_inputs, (
+                f"{self.entry.key}/{spec.name}: "
+                f"{len(block.input_variables)} inputs extracted, "
+                f"{spec.n_inputs} declared")
+
+    # -- 3: determinism -------------------------------------------------
+    def check_extraction_is_deterministic(self) -> None:
+        again = self.entry.blocks()
+        assert tuple(again) == tuple(self.blocks)
+        for name, block in self.blocks.items():
+            assert fingerprint_block(again[name]) == fingerprint_block(block), (
+                f"{self.entry.key}/{name}: extraction fingerprint drifted "
+                f"between two runs")
+
+    # -- 4: every block maps --------------------------------------------
+    def check_every_block_maps(self) -> None:
+        for name, block in self.blocks.items():
+            winner, matches = map_block(block, self.library, self.platform)
+            assert winner is not None, (
+                f"{self.entry.key}/{name}: no adequate element in the "
+                f"full library on the default platform")
+            assert winner in matches
+
+    # -- 5: decompose terminates ----------------------------------------
+    def check_decompose_terminates(self) -> None:
+        # Termination (not coverage) is the contract: multi-output
+        # blocks only map whole via map_block, and decompose's scalar
+        # search legitimately rejects rows with no scalar covering.
+        for name, block in self.blocks.items():
+            first = block.outputs[next(iter(block.outputs))]
+            result = decompose(first, self.library, self.platform)
+            assert result is not None, (
+                f"{self.entry.key}/{name}: decompose returned nothing")
+
+    # -- 6: Pareto fronts -----------------------------------------------
+    def check_fronts_mutually_non_dominated(self) -> None:
+        for name, block in self.blocks.items():
+            result = map_block_pareto(block, self.library, self.platform)
+            assert result.front, f"{self.entry.key}/{name}: empty front"
+            for p in result.front:
+                for q in result.front:
+                    assert p is q or not p.objectives.dominates(q.objectives), (
+                        f"{self.entry.key}/{name}: {p.element_name} "
+                        f"dominates {q.element_name} on its own front")
+
+    # -- 7: sweep bytes -------------------------------------------------
+    def check_sweep_json_is_byte_reproducible(self) -> None:
+        def one_sweep() -> str:
+            flow = MethodologyFlow(blocks=self.blocks,
+                                   workload=self.entry.key)
+            report = flow.sweep(platforms=["SA-1110"],
+                                libraries=[self.library])
+            assert report.workload == self.entry.key
+            return report.to_json()
+
+        cold, warm = one_sweep(), one_sweep()
+        assert cold == warm, (
+            f"{self.entry.key}: sweep JSON not byte-reproducible")
+
+    def run(self) -> None:
+        """Every check, in contract order (for ad-hoc / REPL use)."""
+        self.check_metadata()
+        self.check_declarations_match_extraction()
+        self.check_extraction_is_deterministic()
+        self.check_every_block_maps()
+        self.check_decompose_terminates()
+        self.check_fronts_mutually_non_dominated()
+        self.check_sweep_json_is_byte_reproducible()

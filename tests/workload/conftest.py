@@ -1,0 +1,23 @@
+"""Shared fixtures for the workload-registry test suite."""
+
+import pytest
+
+import repro.mapping.cache as cache_mod
+from repro.mapping import clear_mapping_caches
+
+
+@pytest.fixture
+def isolated_cache_env(monkeypatch):
+    """Cold in-memory caches, disk tier off, regardless of the host env.
+
+    The same cache-isolation protocol as the mapping suite's fixture:
+    conformance runs map real blocks through the default tiers, and
+    must neither read a warm host cache nor leave one behind.
+    """
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    cache_mod.DEFAULT_TIERS.configure(None)
+    clear_mapping_caches()
+    yield
+    clear_mapping_caches()
+    cache_mod.DEFAULT_TIERS.configure(follow_env=True)

@@ -1,0 +1,59 @@
+"""Every registered workload passes the generic conformance suite.
+
+Parametrized by registry key, so CI can run one workload's checks in
+isolation with ``pytest tests/workload -k <key>`` (the conformance
+matrix job does exactly that).  Registering a new workload enrolls it
+here with no test changes.
+"""
+
+import pytest
+
+from repro.workload import DEFAULT_WORKLOAD_REGISTRY, get_workload
+
+from tests.workload.conformance import WorkloadConformance
+
+WORKLOAD_KEYS = DEFAULT_WORKLOAD_REGISTRY.names()
+
+_SUITES: dict = {}
+
+
+def _suite(key: str) -> WorkloadConformance:
+    # One checker per workload for the whole module: extraction is the
+    # expensive part, and every check below shares it.
+    if key not in _SUITES:
+        _SUITES[key] = WorkloadConformance(get_workload(key))
+    return _SUITES[key]
+
+
+@pytest.fixture(autouse=True)
+def _isolated(isolated_cache_env):
+    yield
+
+
+def test_registry_has_the_builtin_workloads():
+    assert WORKLOAD_KEYS[0] == "mp3"
+    assert {"mp3", "dsp", "jpeg_idct", "gsm_mac"} <= set(WORKLOAD_KEYS)
+
+
+@pytest.mark.parametrize("key", WORKLOAD_KEYS)
+class TestWorkloadConformance:
+    def test_metadata_is_well_formed(self, key):
+        _suite(key).check_metadata()
+
+    def test_declarations_match_extraction(self, key):
+        _suite(key).check_declarations_match_extraction()
+
+    def test_extraction_is_deterministic(self, key):
+        _suite(key).check_extraction_is_deterministic()
+
+    def test_every_block_maps_on_the_default_platform(self, key):
+        _suite(key).check_every_block_maps()
+
+    def test_decompose_terminates_on_every_block(self, key):
+        _suite(key).check_decompose_terminates()
+
+    def test_fronts_are_mutually_non_dominated(self, key):
+        _suite(key).check_fronts_mutually_non_dominated()
+
+    def test_sweep_json_is_byte_reproducible(self, key):
+        _suite(key).check_sweep_json_is_byte_reproducible()

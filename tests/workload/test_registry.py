@@ -1,0 +1,142 @@
+"""Unit tests for the workload registry (no frontend extraction).
+
+These pin the registry contract itself — registration semantics,
+error messages, declaration-only listings — with toy workloads whose
+builders are sentinels, so the whole module runs in milliseconds.
+"""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.frontend.extract import TargetBlock
+from repro.symalg import Polynomial
+from repro.workload import (DEFAULT_WORKLOAD, BlockSpec, Workload,
+                            WorkloadRegistry, get_workload,
+                            registered_workloads, workload_named)
+
+
+def _tiny_block(name: str) -> TargetBlock:
+    x = Polynomial.variable("x_0")
+    return TargetBlock(name=name, outputs={"o0": x + 1},
+                       input_variables=("x_0",))
+
+
+def _spec(name: str, builder=None) -> BlockSpec:
+    return BlockSpec(name=name, description=f"toy block {name}",
+                     n_outputs=1, n_inputs=1,
+                     builder=builder or (lambda: _tiny_block(name)))
+
+
+class _ToyWorkload(Workload):
+    key = "toy"
+    title = "Toy workload"
+    description = "one tiny block"
+
+    def __init__(self, specs=None):
+        self._specs = tuple(specs) if specs is not None else (_spec("t0"),)
+
+    def block_specs(self):
+        return self._specs
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = WorkloadRegistry()
+        entry = registry.register(_ToyWorkload())
+        assert registry.get("toy") is entry
+        assert "toy" in registry
+        assert registry.names() == ["toy"]
+        assert len(registry) == 1
+
+    def test_key_defaults_to_the_workload_attribute(self):
+        registry = WorkloadRegistry()
+        registry.register(_ToyWorkload(), key="alias")
+        assert registry.names() == ["alias"]
+        assert registry.get("alias").workload.key == "toy"
+
+    def test_duplicate_key_raises_without_replace(self):
+        registry = WorkloadRegistry()
+        registry.register(_ToyWorkload())
+        with pytest.raises(WorkloadError, match="already registered"):
+            registry.register(_ToyWorkload())
+
+    def test_replace_overwrites(self):
+        registry = WorkloadRegistry()
+        registry.register(_ToyWorkload())
+        second = _ToyWorkload()
+        entry = registry.register(second, replace=True)
+        assert registry.get("toy") is entry
+        assert entry.workload is second
+
+    def test_empty_key_raises(self):
+        workload = _ToyWorkload()
+        workload.key = ""
+        with pytest.raises(WorkloadError, match="non-empty"):
+            WorkloadRegistry().register(workload)
+
+    def test_unknown_key_error_lists_known_keys(self):
+        registry = WorkloadRegistry()
+        registry.register(_ToyWorkload())
+        with pytest.raises(WorkloadError, match=r"'nope'.*toy"):
+            registry.get("nope")
+
+    def test_iteration_follows_registration_order(self):
+        registry = WorkloadRegistry()
+        a, b = _ToyWorkload(), _ToyWorkload()
+        registry.register(a, key="a")
+        registry.register(b, key="b")
+        assert [entry.key for entry in registry] == ["a", "b"]
+        assert "a" in repr(registry) and "b" in repr(registry)
+
+
+class TestDeclarations:
+    def test_block_names_never_run_the_builder(self):
+        def boom():
+            raise AssertionError("builder must not run for listings")
+
+        workload = _ToyWorkload([_spec("cheap", builder=boom)])
+        assert workload.block_names() == ("cheap",)
+
+    def test_build_checks_the_declared_name(self):
+        spec = _spec("declared", builder=lambda: _tiny_block("other"))
+        with pytest.raises(WorkloadError, match="must agree"):
+            spec.build()
+
+    def test_build_checks_the_declared_output_count(self):
+        spec = BlockSpec(name="t0", description="d", n_outputs=2,
+                         n_inputs=1, builder=lambda: _tiny_block("t0"))
+        with pytest.raises(WorkloadError, match="declares 2 outputs"):
+            spec.build()
+
+    def test_duplicate_block_names_raise(self):
+        workload = _ToyWorkload([_spec("dup"), _spec("dup")])
+        with pytest.raises(WorkloadError, match="duplicate block name"):
+            workload.methodology_blocks()
+
+    def test_methodology_blocks_returns_fresh_extractions(self):
+        workload = _ToyWorkload()
+        first = workload.methodology_blocks()
+        second = workload.methodology_blocks()
+        assert list(first) == ["t0"]
+        assert first["t0"] is not second["t0"]
+
+
+class TestDefaultRegistry:
+    def test_default_workload_is_mp3(self):
+        assert DEFAULT_WORKLOAD == "mp3"
+        assert registered_workloads()[0] == "mp3"
+
+    def test_module_helpers_resolve_builtins(self):
+        entry = get_workload("jpeg_idct")
+        assert entry.key == "jpeg_idct"
+        assert workload_named("jpeg_idct") is entry.workload
+
+    def test_builtin_declarations_are_stable(self):
+        assert get_workload("mp3").block_names() == (
+            "inv_mdctL", "SubBandSynthesis")
+        assert get_workload("dsp").block_names() == (
+            "fir16", "iir_biquad8", "rfft8")
+        assert get_workload("jpeg_idct").block_names() == (
+            "idct_row8", "idct8x8")
+        assert get_workload("gsm_mac").block_names() == (
+            "ltp_xcorr40", "vq_energy8")
