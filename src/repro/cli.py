@@ -18,6 +18,7 @@ on ``/v1/map`` for the same request — asserted in
 ``workloads``  the workload registry (block names per workload)
 ``platforms``  the processor registry
 ``cache``      session cache statistics / clearing
+``serve``      run the HTTP service (``python -m repro.service``)
 =============  =========================================================
 
 ``map``/``pareto``/``sweep`` take ``--workload`` to resolve block
@@ -171,6 +172,61 @@ def build_parser() -> argparse.ArgumentParser:
         "'clear' empties the session's tiers (memory + disk)",
     )
     add_session_options(p_cache)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the mapping service (HTTP/JSON front-end)"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port; 0 picks an ephemeral one (default: 8357)",
+    )
+    p_serve.add_argument(
+        "--map-workers",
+        type=int,
+        default=None,
+        help="share one process pool of N workers across all batch "
+        "submissions (default: in-thread serial)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="pin the persistent mapping cache tier to this directory",
+    )
+    p_serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="per-request wall-clock bound, seconds; expiry answers "
+        "503 + Retry-After (default: 300)",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="admission bound: shed requests past N in flight with "
+        "429 + Retry-After (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=None,
+        help="seconds advertised in Retry-After on 429/503 sheds (default: 1)",
+    )
+    p_serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=None,
+        help="seconds SIGTERM waits for in-flight work before stopping "
+        "(default: 30)",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="debug-level logging"
+    )
 
     return parser
 
@@ -326,6 +382,33 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Delegate to the service's own entry point (one arg-handling
+    # path, one serve loop), re-rendering only the flags the user set
+    # so its defaults stay authoritative.
+    from repro.service.__main__ import main as serve_main
+
+    argv = ["--host", args.host]
+    if args.port is not None:
+        argv += ["--port", str(args.port)]
+    if args.map_workers is not None:
+        argv += ["--map-workers", str(args.map_workers)]
+    if args.cache_dir is not None:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.request_timeout is not None:
+        argv += ["--request-timeout", str(args.request_timeout)]
+    if args.max_inflight is not None:
+        argv += ["--max-inflight", str(args.max_inflight)]
+    if args.retry_after is not None:
+        argv += ["--retry-after", str(args.retry_after)]
+    if args.drain_grace is not None:
+        argv += ["--drain-grace", str(args.drain_grace)]
+    if args.verbose:
+        argv += ["--verbose"]
+    serve_main(argv)
+    return 0
+
+
 _COMMANDS = {
     "map": _cmd_map,
     "pareto": _cmd_pareto,
@@ -333,6 +416,7 @@ _COMMANDS = {
     "workloads": _cmd_workloads,
     "platforms": _cmd_platforms,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
 }
 
 

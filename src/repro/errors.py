@@ -61,15 +61,25 @@ class ServiceError(ReproError):
     """A mapping-service request that cannot be served.
 
     Carries the HTTP status the service front-end should answer with
-    (400 for malformed requests, 404 for unknown resources, ...), so
-    validation code raises one exception type and the transport layer
-    owns the wire encoding.
+    (400 for malformed requests, 404 for unknown resources, 429/503
+    for shed load, ...), so validation code raises one exception type
+    and the transport layer owns the wire encoding.
+
+    ``retry_after`` (seconds) rides along on retryable refusals and
+    becomes the response's ``Retry-After`` header.  ``attempts`` is
+    filled by the *client* when it exhausts its retry budget: one
+    human-readable string per attempt (``"connection refused"``,
+    ``"503 after 0.05s"``, ...), so the terminal error tells the whole
+    story instead of just the last symptom.
     """
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, *,
+                 retry_after: "float | None" = None, attempts=None):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.retry_after = retry_after
+        self.attempts = tuple(attempts or ())
 
 
 class Mp3Error(ReproError):

@@ -23,8 +23,14 @@ Degradation is graceful by design:
 * ``workers`` absent/0/1 — everything runs serially in-process;
 * an item that fails to pickle — runs serially, counted in
   ``stats.pickle_fallbacks``;
-* a worker failure (broken pool, unpicklable result) — the affected
-  items are recomputed serially in the parent.
+* a failed job (worker raised, unpicklable result) — the affected item
+  is recomputed serially in the parent (``stats.worker_retries``);
+* a *dead pool* (a worker OOM-killed or crashed hard, breaking the
+  whole ``ProcessPoolExecutor``) — the items that never ran get one
+  fresh pool (``stats.pool_respawns``) before the serial fallback, so
+  a single crashed worker does not serialize the entire remainder.
+  Caller-owned executors are never respawned; their broken items go
+  straight to the serial path.
 
 Parallel and serial runs produce identical results: the work functions
 are pure, and every value is derived from the same fingerprinted
@@ -41,7 +47,7 @@ from __future__ import annotations
 
 import inspect
 import pickle
-from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -57,6 +63,7 @@ from repro.mapping.decompose import (
     map_block,
 )
 from repro.platform.badge4 import Badge4
+from repro.resilience import inject
 from repro.symalg.polynomial import Polynomial
 
 __all__ = ["BatchItem", "BatchStats", "BatchReport", "run_batch"]
@@ -155,6 +162,7 @@ class BatchStats:
     serial_jobs: int = 0  # cold items executed in-process
     pickle_fallbacks: int = 0  # items that could not cross the boundary
     worker_retries: int = 0  # worker failures recomputed serially
+    pool_respawns: int = 0  # dead pools replaced with a fresh one
     workers: int = 1  # effective worker count
 
 
@@ -224,7 +232,12 @@ def _execute_job(blob: bytes):
     into the LRU *and* the disk tier exactly once (a worker-side
     write-through would store the same payload twice).  The return
     value is the LRU-shaped cache value for the item's kind.
+
+    The ``batch.worker`` fault site fires here — in the worker, never
+    on the serial fallback path — so chaos tests can kill or fail
+    workers while the parent-side recovery always has a clean retry.
     """
+    inject("batch.worker")
     kind, payload, lib_name, lib_blob, spec, knobs = pickle.loads(blob)
     library = Library(lib_name, pickle.loads(lib_blob))
     platform = Badge4(processor=spec) if spec is not None else Badge4()
@@ -414,25 +427,63 @@ def _run_parallel(
         stats.serial_jobs += 1
         return
 
-    retry: list[tuple[tuple, object, BatchItem]] = []
-    try:
-        if executor is not None:
-            # Caller-owned pool: submit straight into it, never shut
-            # it down — a broken injected pool degrades serially like
-            # a broken private one.
-            retry = _collect_jobs(executor, jobs, resolved, stats, tier, tiers)
-        else:
-            with ProcessPoolExecutor(max_workers=min(stats.workers, len(jobs))) as pool:
-                retry = _collect_jobs(pool, jobs, resolved, stats, tier, tiers)
-    except Exception:
-        # The pool itself failed (e.g. fork refused): everything not
-        # yet resolved runs serially.
-        retry = [job[:3] for job in jobs if job[0] not in resolved]
+    if executor is not None:
+        # Caller-owned pool: submit straight into it, never shut it
+        # down, never respawn it (its lifetime belongs to the owner) —
+        # items a broken injected pool orphans degrade serially like
+        # any other worker failure.
+        serial, respawn = _collect_jobs(executor, jobs, resolved, stats, tier, tiers)
+        serial.extend(job[:3] for job in respawn)
+    else:
+        serial = _run_private_pool(jobs, resolved, stats, tier, tiers)
 
-    for key, digest, item in retry:
+    for key, digest, item in serial:
         stats.worker_retries += 1
         resolved[key] = _compute_cold(item, key, digest, tier, tiers, default_platform)
         stats.serial_jobs += 1
+
+
+def _run_private_pool(
+    jobs: "Sequence[tuple[tuple, object, BatchItem, bytes]]",
+    resolved: dict,
+    stats: BatchStats,
+    tier,
+    tiers: CacheTiers,
+) -> "list[tuple[tuple, object, BatchItem]]":
+    """Run packed jobs in a fresh process pool, respawning it once.
+
+    A worker that dies hard (OOM-killed, segfaulted, ``os._exit``)
+    breaks the *whole* ``ProcessPoolExecutor``: every outstanding
+    future raises ``BrokenProcessPool`` even though those items never
+    ran and are not individually at fault.  They get one fresh pool —
+    counted in ``stats.pool_respawns`` — before falling back serially;
+    a second breakage (the culprit item rode along, or the host really
+    is out of memory) sends the remainder to the serial path, whose
+    items are returned for the caller to recompute.
+    """
+    serial: list[tuple[tuple, object, BatchItem]] = []
+    pending = list(jobs)
+    for round_index in range(2):
+        workers = min(stats.workers, len(pending))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                round_serial, respawn = _collect_jobs(
+                    pool, pending, resolved, stats, tier, tiers
+                )
+        except Exception:
+            # The pool itself failed wholesale (e.g. fork refused):
+            # everything not yet resolved runs serially.
+            serial.extend(job[:3] for job in pending if job[0] not in resolved)
+            return serial
+        serial.extend(round_serial)
+        if not respawn:
+            return serial
+        if round_index == 0:
+            stats.pool_respawns += 1
+            pending = respawn
+        else:
+            serial.extend(job[:3] for job in respawn)
+    return serial
 
 
 def _collect_jobs(
@@ -442,20 +493,37 @@ def _collect_jobs(
     stats: BatchStats,
     tier,
     tiers: CacheTiers,
-) -> "list[tuple[tuple, object, BatchItem]]":
-    """Submit packed jobs to ``pool``; return the items needing retry."""
-    retry: list[tuple[tuple, object, BatchItem]] = []
-    futures = [
-        (key, digest, item, pool.submit(_execute_job, blob))
-        for key, digest, item, blob in jobs
-    ]
-    for key, digest, item, future in futures:
+) -> "tuple[list, list]":
+    """Submit packed jobs to ``pool``; classify what needs retrying.
+
+    Returns ``(serial, respawn)``: ``serial`` holds items whose *job*
+    failed (the work itself raised — rerun it in-process, where a
+    deterministic failure will surface to the caller), ``respawn``
+    holds items (with their packed blobs) whose *pool* died under them
+    (``BrokenExecutor`` — the work may never have run, so a fresh pool
+    is worth one try).  Submission is guarded too: a pool that breaks
+    mid-batch refuses every later ``submit`` with the same exception.
+    """
+    serial: list[tuple[tuple, object, BatchItem]] = []
+    respawn: list[tuple[tuple, object, BatchItem, bytes]] = []
+    futures = []
+    for key, digest, item, blob in jobs:
+        try:
+            futures.append((key, digest, item, blob, pool.submit(_execute_job, blob)))
+        except BrokenExecutor:
+            respawn.append((key, digest, item, blob))
+        except Exception:
+            serial.append((key, digest, item))
+    for key, digest, item, blob, future in futures:
         try:
             value = future.result()
+        except BrokenExecutor:
+            respawn.append((key, digest, item, blob))
+            continue
         except Exception:
-            retry.append((key, digest, item))
+            serial.append((key, digest, item))
             continue
         _merge(item.kind, key, digest, value, tier, tiers)
         resolved[key] = value
         stats.parallel_jobs += 1
-    return retry
+    return serial, respawn

@@ -46,8 +46,9 @@ Disk keys cannot use Python ``hash`` (randomized per process); they
 are sha256 digests of a canonical text encoding of the fingerprint key
 (see :func:`stable_digest`) joined with the schema version, so bumping
 :data:`SCHEMA_VERSION` invalidates every stale entry at once.  A
-corrupted or unreadable store is *ignored* (every lookup misses, every
-write is dropped) — the cache must never break the computation.
+corrupted or unreadable store trips a circuit breaker (every lookup
+misses, every write is dropped, and the store is re-probed after a
+cooldown) — the cache must never break the computation.
 
 Caching contract
 ----------------
@@ -82,6 +83,7 @@ from repro.library.catalog import Library
 from repro.library.element import LibraryElement
 from repro.platform.badge4 import Badge4
 from repro.platform.tally import OperationTally
+from repro.resilience import CircuitBreaker, inject
 from repro.symalg.polynomial import Polynomial
 
 __all__ = [
@@ -397,32 +399,61 @@ class DiskCache:
 
     One table of ``(key, schema, payload)`` rows.  Every operation is
     failure-tolerant by design: a locked database skips the operation,
-    a corrupted file marks the store broken (all lookups miss, all
-    writes drop) without raising, and :meth:`clear` deletes the file —
-    which also repairs a broken store.  Connections are opened lazily
-    and re-opened after a ``fork`` (sqlite connections must not cross
+    failures never raise, and :meth:`clear` deletes the file — which
+    also repairs a broken store.  Connections are opened lazily and
+    re-opened after a ``fork`` (sqlite connections must not cross
     process boundaries).
+
+    Failure policy is a :class:`~repro.resilience.CircuitBreaker`
+    rather than a permanent "broken" flag: a store that cannot even be
+    opened (corrupt file) trips the circuit immediately, and
+    ``failure_threshold`` consecutive operation failures (locked,
+    I/O-error, corruption discovered mid-read) open it too.  While the
+    circuit is open every lookup misses and every write drops — the
+    mapping layer serves memory-only — and after ``cooldown`` seconds
+    the next access probes the store (half-open) and closes the
+    circuit again on success.  A transiently-locked or repaired store
+    therefore heals without operator action; breaker state is visible
+    in :meth:`stats` and on every stats surface above it.
+
+    The ``disk_cache.read`` / ``disk_cache.write`` fault sites
+    (:func:`repro.resilience.inject`) sit inside the sqlite error
+    handling, so chaos tests drive exactly the degradation paths real
+    corruption would.
 
     Thread-safe: one connection is shared under an instance lock
     (``check_same_thread=False``), because the service front-end's
     worker threads all consult the same tier — sqlite would otherwise
     raise ``ProgrammingError`` (a ``DatabaseError`` subclass) from any
-    non-opening thread and permanently mark the store broken.
+    non-opening thread.
     """
 
-    def __init__(self, path: "str | os.PathLike[str]"):
+    def __init__(
+        self,
+        path: "str | os.PathLike[str]",
+        *,
+        failure_threshold: int = 3,
+        cooldown: float = 5.0,
+        clock=None,
+    ):
         self.path = Path(path)
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self._conn: sqlite3.Connection | None = None
         self._pid: int | None = None
-        self._broken = False
+        breaker_kwargs = {} if clock is None else {"clock": clock}
+        self.breaker = CircuitBreaker(
+            failure_threshold=failure_threshold,
+            cooldown=cooldown,
+            name=str(self.path),
+            **breaker_kwargs,
+        )
         self._lock = threading.RLock()
 
     # -- connection management -----------------------------------------
     def _connection(self) -> sqlite3.Connection | None:
-        if self._broken:
+        if not self.breaker.allow():
             return None
         pid = os.getpid()
         if self._conn is not None and self._pid == pid:
@@ -443,8 +474,19 @@ class DiskCache:
                 " payload BLOB NOT NULL)"
             )
             conn.commit()
+        except sqlite3.OperationalError:
+            # Locked / transiently unopenable: count toward the
+            # threshold, it may clear on its own.
+            self.breaker.record_failure()
+            return None
+        except sqlite3.DatabaseError:
+            # The file is not (or no longer) a database: open the
+            # circuit now — counting to the threshold against a store
+            # that cannot even be opened is pointless retries.
+            self.breaker.trip()
+            return None
         except (sqlite3.Error, OSError):
-            self._broken = True
+            self.breaker.record_failure()
             return None
         self._conn, self._pid = conn, pid
         return conn
@@ -463,17 +505,16 @@ class DiskCache:
                 self.misses += 1
                 return None
             try:
+                inject("disk_cache.read")
                 row = conn.execute(
                     "SELECT schema, payload FROM entries WHERE key = ?",
                     (digest,),
                 ).fetchone()
-            except sqlite3.OperationalError:  # locked/busy: just miss
+            except sqlite3.DatabaseError:  # locked, busy, or corrupted
+                self.breaker.record_failure()
                 self.misses += 1
                 return None
-            except sqlite3.DatabaseError:  # corrupted: stop trying
-                self._broken = True
-                self.misses += 1
-                return None
+            self.breaker.record_success()
             if row is None or row[0] != SCHEMA_VERSION:
                 self.misses += 1
                 return None
@@ -493,20 +534,21 @@ class DiskCache:
                 return
             try:
                 payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-            except Exception:  # unpicklable value: skip
+            except Exception:  # unpicklable value: skip (not a store fault)
                 return
             try:
+                inject("disk_cache.write")
                 conn.execute(
                     "INSERT OR REPLACE INTO entries (key, schema, payload)"
                     " VALUES (?, ?, ?)",
                     (digest, SCHEMA_VERSION, payload),
                 )
                 conn.commit()
-                self.writes += 1
-            except sqlite3.OperationalError:  # locked/busy: drop write
-                pass
-            except sqlite3.DatabaseError:
-                self._broken = True
+            except sqlite3.DatabaseError:  # locked, busy, or corrupted
+                self.breaker.record_failure()
+                return
+            self.breaker.record_success()
+            self.writes += 1
 
     def clear(self) -> None:
         """Delete the store file (also repairs a broken store)."""
@@ -518,7 +560,7 @@ class DiskCache:
                     pass
             self._conn = None
             self._pid = None
-            self._broken = False
+            self.breaker.reset()
             for suffix in ("", "-wal", "-shm"):
                 try:
                     os.unlink(f"{self.path}{suffix}")
@@ -534,9 +576,12 @@ class DiskCache:
             if conn is None:
                 return 0
             try:
-                return conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+                count = conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
             except sqlite3.Error:
+                self.breaker.record_failure()
                 return 0
+            self.breaker.record_success()
+            return count
 
     def stats(self) -> dict:
         """Disk-tier statistics, including the observed hit rate."""
@@ -549,7 +594,8 @@ class DiskCache:
             "misses": self.misses,
             "writes": self.writes,
             "hit_rate": (self.hits / lookups) if lookups else 0.0,
-            "broken": self._broken,
+            "broken": self.breaker.state != CircuitBreaker.CLOSED,
+            "breaker": self.breaker.stats(),
         }
 
 

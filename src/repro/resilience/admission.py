@@ -1,0 +1,97 @@
+"""Admission control: bounded in-flight work with shed accounting.
+
+The service's request executor is a fixed-size pool; without a bound
+on *admitted* work, an overload burst queues behind it unboundedly and
+every client times out at once (the worst failure mode: maximum work,
+zero answers).  :class:`AdmissionController` is the counter that turns
+that into load shedding: requests beyond ``max_inflight`` are refused
+immediately with a retryable status, so the service keeps answering
+the work it has already accepted at full speed.
+
+Per-endpoint admitted/shed counters feed the ``/v1/stats`` surface —
+the numbers an operator watches to size ``max_inflight`` and that the
+overload benchmark (``benchmarks/bench_resilience.py``) records.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """A bounded in-flight gate with per-endpoint accounting.
+
+    ``max_inflight=None`` disables the bound (every request admits)
+    while still counting, so the stats surface is shaped identically
+    with and without admission control configured.
+
+    >>> gate = AdmissionController(max_inflight=1)
+    >>> gate.try_acquire("/v1/map")
+    True
+    >>> gate.try_acquire("/v1/map")           # over the bound: shed
+    False
+    >>> gate.release("/v1/map")
+    >>> stats = gate.stats()
+    >>> stats["admitted"], stats["shed"], stats["inflight"]
+    (1, 1, 0)
+    """
+
+    def __init__(self, max_inflight: "int | None" = None):
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = max_inflight
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._endpoints: "dict[str, dict[str, int]]" = {}
+
+    def _entry(self, endpoint: str) -> dict:
+        entry = self._endpoints.get(endpoint)
+        if entry is None:
+            entry = self._endpoints[endpoint] = {"admitted": 0, "shed": 0}
+        return entry
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently admitted and not yet released."""
+        with self._lock:
+            return self._inflight
+
+    def try_acquire(self, endpoint: str) -> bool:
+        """Admit one request for ``endpoint``, or refuse (``False``)
+        when the in-flight bound is reached.  An admitted request must
+        be paired with exactly one :meth:`release`."""
+        with self._lock:
+            entry = self._entry(endpoint)
+            if self.max_inflight is not None and self._inflight >= self.max_inflight:
+                entry["shed"] += 1
+                return False
+            self._inflight += 1
+            entry["admitted"] += 1
+            return True
+
+    def release(self, endpoint: str) -> None:
+        """Return an admitted request's slot."""
+        with self._lock:
+            self._inflight -= 1
+
+    def shed(self, endpoint: str) -> None:
+        """Count a shed that bypassed :meth:`try_acquire` (the drain
+        path refuses before consulting the bound)."""
+        with self._lock:
+            self._entry(endpoint)["shed"] += 1
+
+    def stats(self) -> dict:
+        """Totals plus the per-endpoint breakdown, canonically sorted."""
+        with self._lock:
+            endpoints = {
+                name: dict(entry) for name, entry in sorted(self._endpoints.items())
+            }
+            return {
+                "max_inflight": self.max_inflight,
+                "inflight": self._inflight,
+                "admitted": sum(e["admitted"] for e in endpoints.values()),
+                "shed": sum(e["shed"] for e in endpoints.values()),
+                "endpoints": endpoints,
+            }

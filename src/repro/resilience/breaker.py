@@ -1,0 +1,176 @@
+"""A circuit breaker: stop hammering a failing dependency, probe back.
+
+The mapping layer's disk tier is an *optional* accelerator: a corrupt
+or locked sqlite store must degrade throughput, never correctness.
+Before this layer, the tier had exactly two states — working, or
+permanently "broken" until a manual :meth:`~repro.mapping.cache.DiskCache.clear`.
+The breaker replaces that cliff with the classic three-state machine:
+
+::
+
+            failure >= threshold, or trip()
+    CLOSED ────────────────────────────────► OPEN
+      ▲                                        │ cooldown elapsed
+      │ record_success()                       ▼
+      └─────────────────────────────────── HALF_OPEN
+                      record_failure() ────► OPEN (re-stamped)
+
+* **closed** — normal operation; consecutive failures are counted and
+  any success resets the count.
+* **open** — every :meth:`allow` is refused (callers serve from their
+  other tiers) until ``cooldown`` seconds pass.
+* **half-open** — after the cooldown, calls are allowed through as
+  probes; the first success closes the breaker, the first failure
+  re-opens it and restarts the cooldown.
+
+The clock is injectable so the state machine is unit-testable without
+sleeping, and every transition is counted for the stats surfaces
+(``CacheTiers.stats()["disk"]["breaker"]``, ``/v1/stats``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open probe.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive :meth:`record_failure` calls (with no intervening
+        success) that open the circuit.
+    cooldown:
+        Seconds the circuit stays open before a probe is allowed.
+    clock:
+        Monotonic time source (injectable for tests).
+    name:
+        Label carried in :meth:`stats` for multi-breaker surfaces.
+
+    >>> now = [0.0]
+    >>> breaker = CircuitBreaker(failure_threshold=2, cooldown=10.0,
+    ...                          clock=lambda: now[0])
+    >>> breaker.record_failure(); breaker.record_failure()
+    >>> breaker.allow(), breaker.state
+    (False, 'open')
+    >>> now[0] = 11.0
+    >>> breaker.allow(), breaker.state        # cooldown over: probe
+    (True, 'half_open')
+    >>> breaker.record_success(); breaker.state
+    'closed'
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown: float = 5.0,
+        clock=time.monotonic,
+        name: str = "",
+    ):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self.trips = 0
+        self.probes = 0
+
+    # -- the gate ---------------------------------------------------------
+    def allow(self) -> bool:
+        """May the caller touch the dependency right now?
+
+        Open circuits refuse until the cooldown elapses, then flip to
+        half-open and let calls through as probes.  The caller promises
+        to report the outcome via :meth:`record_success` /
+        :meth:`record_failure` — that report is what resolves the
+        probe.
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self._clock() - self._opened_at < self.cooldown:
+                    return False
+                self._state = self.HALF_OPEN
+                self.probes += 1
+            return True  # half-open: probing
+
+    # -- outcome reports --------------------------------------------------
+    def record_success(self) -> None:
+        """A dependency call worked: close and reset the failure run."""
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        """A dependency call failed: count it; open on the threshold.
+
+        In half-open state a single failure re-opens immediately — the
+        probe answered "still down".
+        """
+        with self._lock:
+            self._failures += 1
+            if self._state == self.HALF_OPEN or self._failures >= self.failure_threshold:
+                self._open()
+
+    def trip(self) -> None:
+        """Force the circuit open now (e.g. on detected corruption —
+        there is no point counting to the threshold against a store
+        that cannot even be opened)."""
+        with self._lock:
+            self._open()
+
+    def reset(self) -> None:
+        """Back to closed with a clean failure run (a repaired store)."""
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+
+    def _open(self) -> None:
+        # Caller holds the lock.  Re-stamping an already-open breaker
+        # restarts the cooldown but is not a new trip.
+        if self._state != self.OPEN:
+            self.trips += 1
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+
+    # -- observability ----------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"closed"`` / ``"open"`` / ``"half_open"`` (raw, as last
+        transitioned — an elapsed cooldown shows up on the next
+        :meth:`allow`)."""
+        with self._lock:
+            return self._state
+
+    def stats(self) -> dict:
+        """The breaker's observable state, for stats surfaces."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "failures": self._failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown": self.cooldown,
+                "trips": self.trips,
+                "probes": self.probes,
+            }
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"CircuitBreaker({self.state}{label}, failures={self._failures})"

@@ -1,0 +1,91 @@
+"""Retry policy: capped exponential backoff with jitter.
+
+One frozen dataclass owns every retry knob the client tier uses, so
+the backoff schedule is a value (comparable, documentable, pinnable in
+tests) rather than a scatter of constants.  The jitter draw comes from
+a caller-supplied ``random.Random``, which keeps chaos tests
+deterministic: a seeded client produces a byte-stable attempt history.
+
+The schedule is the textbook one: ``base_delay * multiplier**attempt``
+capped at ``max_delay``, then spread by ``±jitter`` (a fraction) so a
+thundering herd of clients retrying a shedding service decorrelates
+instead of re-arriving in lockstep.  A server-supplied ``Retry-After``
+hint is honored as a *floor* — the server knows its drain/overload
+horizon better than the client's geometry does.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client retries transient failures.
+
+    ``attempts`` is the *total* number of tries (1 = no retries).
+    ``retry_statuses`` are the HTTP answers worth retrying — the
+    shedding statuses the service emits under overload (429) and drain
+    or timeout (503).  Connection-level errors (refused, reset, DNS)
+    are always considered transient.
+
+    >>> policy = RetryPolicy(attempts=4, base_delay=0.1, max_delay=1.0,
+    ...                      jitter=0.0)
+    >>> [policy.backoff(n) for n in range(4)]
+    [0.1, 0.2, 0.4, 0.8]
+    >>> policy.backoff(10)                    # capped
+    1.0
+    >>> policy.backoff(0, retry_after=0.5)    # server hint is a floor
+    0.5
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    retry_statuses: tuple = (429, 503)
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff(
+        self,
+        attempt: int,
+        rng: "random.Random | None" = None,
+        *,
+        retry_after: "float | None" = None,
+    ) -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based).
+
+        ``rng`` supplies the jitter draw (omit it — or set
+        ``jitter=0`` — for the deterministic midpoint schedule);
+        ``retry_after`` is the server's hint, honored as a floor.
+        """
+        delay = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        if retry_after is not None and retry_after > delay:
+            delay = float(retry_after)
+        return delay
+
+    def retryable_status(self, status: int) -> bool:
+        """Is ``status`` a shed the caller should wait out and retry?"""
+        return status in self.retry_statuses
+
+
+#: The client tier's default: 3 tries, 50ms/100ms backoff (capped 2s),
+#: ±25% jitter.  Small on purpose — the service's single-flight and
+#: cache tiers make repeats cheap, so patience beyond a few tries
+#: belongs to the caller, not the transport.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -1,7 +1,10 @@
 """``python -m repro.service`` — run the mapping service.
 
-Binds the asyncio HTTP front-end and serves until SIGINT/SIGTERM, then
-shuts down gracefully (in-flight requests finish, executors drain).
+Binds the asyncio HTTP front-end and serves until a signal arrives.
+SIGTERM (the orchestrator's stop) *drains*: new requests are refused
+with 503 + ``Retry-After`` while in-flight work gets up to
+``--drain-grace`` seconds to finish.  SIGINT (an operator's ^C) skips
+the grace window and shuts down immediately.
 """
 
 from __future__ import annotations
@@ -33,7 +36,19 @@ def _parser() -> argparse.ArgumentParser:
                         help="pin the persistent mapping cache tier "
                              "to this directory")
     parser.add_argument("--request-timeout", type=float, default=300.0,
-                        help="per-request wall-clock bound, seconds "
+                        help="per-request wall-clock bound, seconds; "
+                             "expiry answers 503 + Retry-After "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-inflight", type=int, default=None,
+                        help="admission bound: shed requests past N "
+                             "in flight with 429 + Retry-After "
+                             "(default: unbounded)")
+    parser.add_argument("--retry-after", type=float, default=1.0,
+                        help="seconds advertised in Retry-After on "
+                             "429/503 sheds (default: %(default)s)")
+    parser.add_argument("--drain-grace", type=float, default=30.0,
+                        help="seconds SIGTERM waits for in-flight "
+                             "work before stopping "
                              "(default: %(default)s)")
     parser.add_argument("--verbose", action="store_true",
                         help="debug-level logging")
@@ -43,22 +58,33 @@ def _parser() -> argparse.ArgumentParser:
 async def _serve(args: argparse.Namespace) -> None:
     service = MappingService(
         host=args.host, port=args.port, map_workers=args.map_workers,
-        cache_dir=args.cache_dir, request_timeout=args.request_timeout)
+        cache_dir=args.cache_dir, request_timeout=args.request_timeout,
+        max_inflight=args.max_inflight, retry_after_hint=args.retry_after,
+        drain_grace=args.drain_grace)
     await service.start()
     print(f"repro.service listening on "
           f"http://{service.host}:{service.port}", flush=True)
 
     stop = asyncio.Event()
+    mode = {"drain": False}
     loop = asyncio.get_running_loop()
-    for sig in (signal.SIGINT, signal.SIGTERM):
-        try:
-            loop.add_signal_handler(sig, stop.set)
-        except NotImplementedError:      # platforms without signal fds
-            pass
+
+    def _stop(drain: bool) -> None:
+        mode["drain"] = drain
+        stop.set()
+
+    try:
+        loop.add_signal_handler(signal.SIGINT, _stop, False)
+        loop.add_signal_handler(signal.SIGTERM, _stop, True)
+    except NotImplementedError:          # platforms without signal fds
+        pass
     try:
         await stop.wait()
     finally:
-        await service.shutdown()
+        if mode["drain"]:
+            await service.drain()
+        else:
+            await service.shutdown()
 
 
 def main(argv=None) -> None:

@@ -14,16 +14,30 @@ validation can never drift apart.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 
 from repro.errors import ServiceError
+from repro.resilience import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.service.protocol import (DEFAULT_LIBRARY, DEFAULT_PLATFORM,
                                     MapRequest, SweepRequest,
                                     canonical_json)
 
 __all__ = ["ServiceClient"]
+
+
+def _retry_after_hint(headers) -> "float | None":
+    """The response's ``Retry-After`` seconds, when present and sane."""
+    value = headers.get("Retry-After") if headers is not None else None
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None          # HTTP-date form: let the backoff decide
+    return seconds if seconds >= 0 else None
 
 
 class ServiceClient:
@@ -35,36 +49,92 @@ class ServiceClient:
     :meth:`request` and :meth:`request_bytes` expose the raw
     ``(status, payload)`` layer for tests and smoke checks that assert
     on status codes and exact bytes.
+
+    Transient failure is handled here, once, for every caller: the
+    transport retries connection-level errors (refused, reset, DNS)
+    with the capped jittered backoff of ``retry`` (a
+    :class:`~repro.resilience.RetryPolicy`), and the high-level
+    methods additionally retry the service's shedding statuses
+    (429/503), honoring its ``Retry-After`` hint as a floor.  A
+    request that exhausts the budget raises
+    :class:`~repro.errors.ServiceError` carrying the full attempt
+    history — never a raw ``urllib`` exception.  ``retry_seed`` pins
+    the jitter sequence for deterministic tests.
     """
 
     def __init__(self, base_url: str = "http://127.0.0.1:8357",
-                 timeout: float = 60.0):
+                 timeout: float = 60.0, *,
+                 retry: "RetryPolicy | None" = None,
+                 retry_seed: "int | None" = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
+        self._rng = random.Random(retry_seed)
 
     # -- transport -------------------------------------------------------
-    def request_bytes(self, method: str, path: str,
-                      payload=None) -> "tuple[int, bytes]":
-        """``(status, raw body bytes)`` of one request."""
-        data = canonical_json(payload) if payload is not None else None
+    def _request_once(self, method: str, url: str, data):
+        """One wire round trip: ``(status, headers, raw body bytes)``."""
         req = urllib.request.Request(
-            self.base_url + path, data=data, method=method,
+            url, data=data, method=method,
             headers={"Content-Type": "application/json"})
         try:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return resp.status, resp.read()
+                return resp.status, resp.headers, resp.read()
         except urllib.error.HTTPError as err:
             with err:
-                return err.code, err.read()
+                return err.code, err.headers, err.read()
 
-    def request(self, method: str, path: str,
-                payload=None) -> "tuple[int, object]":
+    def request_bytes(self, method: str, path: str, payload=None, *,
+                      retry_statuses=()) -> "tuple[int, bytes]":
+        """``(status, raw body bytes)`` of one request.
+
+        Connection-level errors are retried per the client's policy
+        and, exhausted, raise :class:`~repro.errors.ServiceError`
+        (status 503) naming the URL and every attempt.  Statuses are
+        returned as-is — tests assert on 429/503 through this layer —
+        unless listed in ``retry_statuses``, which is how the
+        high-level methods opt into waiting out shed load.
+        """
+        data = canonical_json(payload) if payload is not None else None
+        url = self.base_url + path
+        policy = self.retry
+        attempts: "list[str]" = []
+        for attempt in range(policy.attempts):
+            last = attempt + 1 >= policy.attempts
+            try:
+                status, headers, body = self._request_once(method, url, data)
+            except (urllib.error.URLError, ConnectionError,
+                    TimeoutError, OSError) as err:
+                reason = getattr(err, "reason", None) or err
+                attempts.append(f"connection error: {reason}")
+                if last:
+                    raise ServiceError(
+                        503,
+                        f"{method} {url} failed after {len(attempts)} "
+                        f"attempt(s): {reason}",
+                        attempts=attempts) from err
+            else:
+                if status not in retry_statuses or last:
+                    return status, body
+                attempts.append(f"shed with {status}")
+                hint = _retry_after_hint(headers)
+                time.sleep(policy.backoff(attempt, self._rng,
+                                          retry_after=hint))
+                continue
+            time.sleep(policy.backoff(attempt, self._rng))
+        raise AssertionError("unreachable: retry loop always returns")
+
+    def request(self, method: str, path: str, payload=None, *,
+                retry_statuses=()) -> "tuple[int, object]":
         """``(status, parsed JSON)``; malformed response JSON raises."""
-        status, body = self.request_bytes(method, path, payload)
+        status, body = self.request_bytes(method, path, payload,
+                                          retry_statuses=retry_statuses)
         return status, json.loads(body)
 
     def _call(self, method: str, path: str, payload=None):
-        status, parsed = self.request(method, path, payload)
+        status, parsed = self.request(
+            method, path, payload,
+            retry_statuses=self.retry.retry_statuses)
         if status != 200:
             message = parsed.get("error", str(parsed)) \
                 if isinstance(parsed, dict) else str(parsed)
@@ -121,7 +191,8 @@ class ServiceClient:
         while True:
             try:
                 return self.health()
-            except (urllib.error.URLError, ConnectionError, OSError):
+            except (ServiceError, urllib.error.URLError,
+                    ConnectionError, OSError):
                 if time.monotonic() >= end:
                     raise
                 time.sleep(interval)

@@ -22,23 +22,35 @@ field selecting the workload-registry entry block names resolve in
 Request lifecycle, stated once (and documented in
 ``docs/architecture.md``):
 
-1. **parse** — strict JSON validation into request dataclasses
+1. **admit** — the request passes the
+   :class:`~repro.resilience.AdmissionController`: past
+   ``max_inflight`` it is shed immediately with ``429`` +
+   ``Retry-After`` (a draining service answers ``503``), so overload
+   costs the cheapest possible work;
+2. **parse** — strict JSON validation into request dataclasses
    (:mod:`repro.service.protocol`); malformed input answers 400,
    unknown resources 404, nothing heavy has run yet;
-2. **fingerprint** — the request resolves to the *same* cache key a
+3. **fingerprint** — the request resolves to the *same* cache key a
    direct ``map_block`` call builds, digested with
    :func:`~repro.mapping.cache.stable_digest`;
-3. **single-flight** — concurrent identical requests coalesce onto one
+4. **single-flight** — concurrent identical requests coalesce onto one
    in-flight computation (:mod:`repro.service.singleflight`);
-4. **batch engine** — the flight leader dispatches the work off the
+5. **batch engine** — the flight leader dispatches the work off the
    event loop onto a worker-thread executor, where it runs through
    :func:`~repro.mapping.batch.run_batch` (optionally fanning cold
    items across a shared, service-owned process pool);
-5. **cache write-through** — the engine merges results into the LRU
+6. **cache write-through** — the engine merges results into the LRU
    and disk tiers, so the next identical request — this process or the
    next — is a cache hit, not a computation;
-6. **canonical JSON** — responses are rendered byte-stably, so cold,
+7. **canonical JSON** — responses are rendered byte-stably, so cold,
    warm and coalesced answers are byte-identical.
+
+Failure is part of the contract: a timed-out dispatch answers ``503``
+with a ``Retry-After`` hint (not a hung or severed connection), a
+draining service answers ``503`` and closes, a shed request answers
+``429`` — a client sees exactly ``200 | 4xx | 503``, never silence.
+The ``service.accept`` / ``service.dispatch`` fault sites
+(:func:`repro.resilience.inject`) let the chaos suite prove that.
 
 The server is stdlib-only by design (asyncio streams + a minimal
 HTTP/1.1 reader): the repo's no-new-dependencies rule applies to the
@@ -49,6 +61,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import math
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
@@ -59,6 +72,7 @@ from repro.mapping.cache import (SCHEMA_VERSION, fingerprint_block,
                                  fingerprint_library, stable_digest)
 from repro.mapping.decompose import _map_block_key
 from repro.mapping.pareto import BlockParetoResult
+from repro.resilience import AdmissionController, inject
 from repro.service.protocol import (MapRequest, SweepRequest,
                                     canonical_json, map_response,
                                     pareto_response, parse_json_body,
@@ -74,7 +88,8 @@ DEFAULT_PORT = 8357
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 413: "Payload Too Large",
-            500: "Internal Server Error"}
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
 
 
 class MappingService:
@@ -110,7 +125,19 @@ class MappingService:
         overriding ``cache_dir``.  The one object that owns the
         service's cross-cutting state: cache tiers, catalog, defaults.
     request_timeout:
-        Per-request wall-clock bound, seconds.
+        Per-request wall-clock bound, seconds.  Expiry answers ``503``
+        with a ``Retry-After`` hint — slow work is shed like overload,
+        because to the client it is the same condition.
+    max_inflight:
+        Admission bound: at most this many requests are in dispatch at
+        once; excess requests are shed immediately with ``429`` +
+        ``Retry-After`` instead of queueing behind the executor.
+        ``None`` (the default) admits everything, unchanged from
+        before admission control existed.
+    retry_after_hint:
+        Seconds advertised in ``Retry-After`` on 429/503 sheds.
+    drain_grace:
+        Default grace window :meth:`drain` waits for in-flight work.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
@@ -119,11 +146,18 @@ class MappingService:
                  session: "MappingSession | None" = None,
                  request_threads: int = 4,
                  request_timeout: float = 300.0,
-                 max_request_bytes: int = 1 << 20):
+                 max_request_bytes: int = 1 << 20,
+                 max_inflight: "int | None" = None,
+                 retry_after_hint: float = 1.0,
+                 drain_grace: float = 30.0):
         self.host = host
         self.port = port
         self.request_timeout = request_timeout
         self.max_request_bytes = max_request_bytes
+        self.retry_after_hint = retry_after_hint
+        self.drain_grace = drain_grace
+        self.admission = AdmissionController(max_inflight)
+        self.draining = False
         self.requests = 0
         self.errors = 0
         self._map_workers = map_workers
@@ -141,6 +175,13 @@ class MappingService:
             self.session = MappingSession(SessionConfig.from_env(cache_dir=cache_dir))
         self.catalog = self.session.catalog
         self.flight = SingleFlight()
+        self._routes = {"/healthz": ("GET", self._get_health),
+                        "/v1/platforms": ("GET", self._get_platforms),
+                        "/v1/workloads": ("GET", self._get_workloads),
+                        "/v1/stats": ("GET", self._get_stats),
+                        "/v1/map": ("POST", self._post_map),
+                        "/v1/pareto": ("POST", self._post_pareto),
+                        "/v1/sweep": ("POST", self._post_sweep)}
 
     # -- lifecycle -------------------------------------------------------
     async def start(self) -> None:
@@ -191,6 +232,27 @@ class MappingService:
             self._request_executor = None
         logger.info("service stopped")
 
+    async def drain(self, grace: "float | None" = None) -> None:
+        """The SIGTERM path: stop admitting, finish in-flight, stop.
+
+        From the first moment of the drain every new request is
+        answered ``503`` + ``Retry-After`` (with the usual
+        ``Connection: close``); admitted work gets up to ``grace``
+        seconds (default :attr:`drain_grace`) to finish before
+        :meth:`shutdown` tears the listener down.  Idempotent, like
+        :meth:`shutdown`.
+        """
+        if grace is None:
+            grace = self.drain_grace
+        self.draining = True
+        logger.info("draining: refusing new work, %d in flight",
+                    self.admission.inflight)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + grace
+        while self.admission.inflight and loop.time() < deadline:
+            await asyncio.sleep(0.05)
+        await self.shutdown()
+
     # -- connection handling ---------------------------------------------
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
@@ -217,6 +279,7 @@ class MappingService:
         # clean error response, instead of a second response racing a
         # partially-written one onto the wire.
         try:
+            inject("service.accept")
             parsed = await asyncio.wait_for(self._read_request(reader),
                                             self.request_timeout)
         except asyncio.TimeoutError:
@@ -226,26 +289,51 @@ class MappingService:
             return
         except ServiceError as err:
             self.errors += 1
-            await self._respond(writer, err.status, {"error": err.message})
+            await self._respond(writer, err.status, {"error": err.message},
+                                retry_after=err.retry_after)
             return
         if parsed is None:       # peer connected and went away: no reply
             return
         method, path, body = parsed
+        endpoint = path if path in self._routes else "other"
         self.requests += 1
+        if self.draining:
+            # Refusing with 503 + Retry-After (and the usual
+            # Connection: close) lets well-behaved clients fail over
+            # instead of piling onto a stopping process.
+            self.errors += 1
+            self.admission.shed(endpoint)
+            await self._respond(writer, 503, {"error": "service is draining"},
+                                retry_after=self.retry_after_hint)
+            return
+        if not self.admission.try_acquire(endpoint):
+            self.errors += 1
+            await self._respond(writer, 429,
+                                {"error": "service is over capacity"},
+                                retry_after=self.retry_after_hint)
+            return
+        retry_after = None
         try:
             status, payload = await asyncio.wait_for(
                 self._dispatch(method, path, body), self.request_timeout)
         except asyncio.TimeoutError:
-            status, payload = 500, {"error": "request timed out"}
+            # Work still grinding past the bound is overload by
+            # another name: shed it retryably rather than answering
+            # 500 (a fault) or leaving the connection hanging.
+            status, payload = 503, {"error": "request timed out"}
+            retry_after = self.retry_after_hint
         except ServiceError as err:
             status, payload = err.status, {"error": err.message}
+            retry_after = err.retry_after
         except Exception as exc:
             logger.exception("request %s %s failed", method, path)
             status = 500
             payload = {"error": f"internal error: {type(exc).__name__}"}
+        finally:
+            self.admission.release(endpoint)
         if status >= 400:
             self.errors += 1
-        await self._respond(writer, status, payload)
+        await self._respond(writer, status, payload, retry_after=retry_after)
 
     async def _read_request(self, reader: asyncio.StreamReader):
         """``(method, path, body)`` of one request, or ``None`` on a
@@ -285,16 +373,21 @@ class MappingService:
         return method.upper(), path, body
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       payload) -> None:
+                       payload, *, retry_after: "float | None" = None) -> None:
         try:
             body = canonical_json(payload)
         except ValueError:
             status, body = 500, canonical_json(
                 {"error": "non-finite value in response"})
         reason = _REASONS.get(status, "Error")
+        # Retry-After is integral seconds per RFC 9110; rounding up
+        # keeps a sub-second hint from becoming "retry immediately".
+        hint = (f"Retry-After: {max(1, math.ceil(retry_after))}\r\n"
+                if retry_after is not None else "")
         head = (f"HTTP/1.1 {status} {reason}\r\n"
                 f"Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{hint}"
                 f"Connection: close\r\n\r\n").encode("ascii")
         try:
             writer.write(head + body)
@@ -304,14 +397,7 @@ class MappingService:
 
     # -- routing ---------------------------------------------------------
     async def _dispatch(self, method: str, path: str, body: bytes):
-        routes = {"/healthz": ("GET", self._get_health),
-                  "/v1/platforms": ("GET", self._get_platforms),
-                  "/v1/workloads": ("GET", self._get_workloads),
-                  "/v1/stats": ("GET", self._get_stats),
-                  "/v1/map": ("POST", self._post_map),
-                  "/v1/pareto": ("POST", self._post_pareto),
-                  "/v1/sweep": ("POST", self._post_sweep)}
-        route = routes.get(path)
+        route = self._routes.get(path)
         if route is None:
             raise ServiceError(404, f"no such endpoint {path!r}")
         expected, handler = route
@@ -350,7 +436,9 @@ class MappingService:
                             "errors": self.errors,
                             "map_workers": self._map_workers or 1,
                             "schema_version": SCHEMA_VERSION,
-                            "singleflight": self.flight.stats()},
+                            "singleflight": self.flight.stats(),
+                            "admission": self.admission.stats(),
+                            "draining": self.draining},
                 "caches": self.session.stats()}
 
     # -- POST endpoints ---------------------------------------------------
@@ -383,6 +471,10 @@ class MappingService:
         return winner, matches, platform
 
     def _map_work(self, request: MapRequest, block, library, platform):
+        # The dispatch fault site fires on the executor thread: an
+        # injected delay stalls the *work* (surfacing as a clean 503
+        # timeout), never the event loop.
+        inject("service.dispatch")
         report = self.session.batch(
             [BatchItem.for_block(block, library, platform,
                                  tolerance=request.tolerance,
@@ -415,6 +507,7 @@ class MappingService:
 
     def _sweep_work(self, request: SweepRequest, platform_keys,
                     libraries, blocks):
+        inject("service.dispatch")
         # The session's memoized flow: bound to its tiers and catalog.
         # Only override the flow's executor when the service owns a
         # map pool — an explicit None would *disable* a session-

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import asyncio
 
+from repro.errors import ServiceError
+
 __all__ = ["SingleFlight"]
 
 
@@ -35,7 +37,10 @@ class SingleFlight:
     :func:`asyncio.shield`, so one cancelled request can never cancel
     the shared computation under its coalesced peers; failures
     propagate to every waiter and are forgotten (the next request
-    retries).
+    retries).  A shared computation that is itself cancelled (leader
+    torn down mid-flight) surfaces to every waiter as a retryable
+    :class:`~repro.errors.ServiceError` (503) — an answer, never a
+    hang or a severed connection.
     """
 
     def __init__(self) -> None:
@@ -66,7 +71,20 @@ class SingleFlight:
                 lambda _task: self._inflight.pop(key, None))
         else:
             self.coalesced += 1
-        return await asyncio.shield(task)
+        try:
+            return await asyncio.shield(task)
+        except asyncio.CancelledError:
+            if task.cancelled():
+                # The *shared* computation was cancelled (the leader's
+                # handler died mid-flight, or shutdown reaped it) —
+                # distinct from this waiter being cancelled.  Translate
+                # to a retryable refusal: followers must get an answer,
+                # never an escaped CancelledError that severs their
+                # connection with no response.
+                raise ServiceError(
+                    503, "shared computation was cancelled; retry",
+                    retry_after=1.0) from None
+            raise
 
     def stats(self) -> dict:
         """``{"started", "coalesced", "in_flight"}`` counters."""

@@ -92,6 +92,17 @@ EXPECTED_CLI = {
         "--json",
         "action",
     ],
+    "serve": [
+        "--cache-dir",
+        "--drain-grace",
+        "--host",
+        "--map-workers",
+        "--max-inflight",
+        "--port",
+        "--request-timeout",
+        "--retry-after",
+        "--verbose",
+    ],
 }
 
 
@@ -139,7 +150,7 @@ def test_cli_inventory_is_locked():
 
 def test_cli_subcommand_order_is_stable():
     assert list(_cli_inventory()) == [
-        "map", "pareto", "sweep", "workloads", "platforms", "cache"
+        "map", "pareto", "sweep", "workloads", "platforms", "cache", "serve"
     ]
 
 

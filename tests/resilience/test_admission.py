@@ -1,0 +1,57 @@
+"""The admission controller: bounded in-flight work, shed accounting."""
+
+import pytest
+
+from repro.resilience import AdmissionController
+
+
+class TestBound:
+    def test_admits_up_to_the_bound_then_sheds(self):
+        gate = AdmissionController(max_inflight=2)
+        assert gate.try_acquire("/v1/map")
+        assert gate.try_acquire("/v1/map")
+        assert not gate.try_acquire("/v1/map")
+        assert gate.inflight == 2
+
+    def test_release_frees_a_slot(self):
+        gate = AdmissionController(max_inflight=1)
+        assert gate.try_acquire("/v1/map")
+        assert not gate.try_acquire("/v1/stats")
+        gate.release("/v1/map")
+        assert gate.try_acquire("/v1/stats")
+
+    def test_unbounded_admits_everything_but_still_counts(self):
+        gate = AdmissionController()
+        for _ in range(100):
+            assert gate.try_acquire("/v1/map")
+        stats = gate.stats()
+        assert stats["max_inflight"] is None
+        assert stats["admitted"] == 100
+        assert stats["inflight"] == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            AdmissionController(max_inflight=0)
+
+
+class TestAccounting:
+    def test_per_endpoint_breakdown_is_sorted(self):
+        gate = AdmissionController(max_inflight=1)
+        gate.try_acquire("/v1/sweep")
+        gate.try_acquire("/v1/map")      # shed: slot held
+        gate.shed("/healthz")            # drain-path shed
+        stats = gate.stats()
+        assert list(stats["endpoints"]) == ["/healthz", "/v1/map",
+                                            "/v1/sweep"]
+        assert stats["endpoints"]["/v1/sweep"] == {"admitted": 1, "shed": 0}
+        assert stats["endpoints"]["/v1/map"] == {"admitted": 0, "shed": 1}
+        assert stats["endpoints"]["/healthz"] == {"admitted": 0, "shed": 1}
+        assert stats["admitted"] == 1
+        assert stats["shed"] == 2
+
+    def test_stats_shape_identical_with_and_without_bound(self):
+        bounded = AdmissionController(max_inflight=4)
+        unbounded = AdmissionController()
+        for gate in (bounded, unbounded):
+            gate.try_acquire("/v1/map")
+        assert set(bounded.stats()) == set(unbounded.stats())

@@ -1,0 +1,127 @@
+"""The circuit breaker's state machine, on an injected clock."""
+
+import pytest
+
+from repro.resilience import CircuitBreaker
+
+
+def _breaker(**kwargs):
+    now = [0.0]
+    defaults = dict(failure_threshold=3, cooldown=10.0,
+                    clock=lambda: now[0])
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults), now
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker, _now = _breaker()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_success_resets_the_failure_run(self):
+        breaker, _now = _breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"   # never 3 *consecutive*
+
+    def test_threshold_opens(self):
+        breaker, _now = _breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.stats()["trips"] == 1
+
+
+class TestOpen:
+    def test_refuses_until_cooldown(self):
+        breaker, now = _breaker()
+        breaker.trip()
+        now[0] = 9.9
+        assert not breaker.allow()
+        now[0] = 10.0
+        assert breaker.allow()
+        assert breaker.state == "half_open"
+        assert breaker.stats()["probes"] == 1
+
+    def test_trip_forces_open_immediately(self):
+        breaker, _now = _breaker()
+        breaker.trip()
+        assert breaker.state == "open"
+        assert breaker.stats()["failures"] == 0   # no counting involved
+
+    def test_restamping_an_open_breaker_is_not_a_new_trip(self):
+        breaker, now = _breaker(failure_threshold=1)
+        breaker.record_failure()
+        now[0] = 5.0
+        breaker.record_failure()       # already open: re-stamp only
+        assert breaker.stats()["trips"] == 1
+        now[0] = 14.9                  # cooldown restarted at t=5
+        assert not breaker.allow()
+        now[0] = 15.0
+        assert breaker.allow()
+
+
+class TestHalfOpen:
+    def test_probe_success_closes(self):
+        breaker, now = _breaker()
+        breaker.trip()
+        now[0] = 10.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, now = _breaker()
+        breaker.trip()
+        now[0] = 10.0
+        assert breaker.allow()
+        breaker.record_failure()       # one failure re-opens half-open
+        assert breaker.state == "open"
+        assert breaker.stats()["trips"] == 2
+        now[0] = 19.9
+        assert not breaker.allow()
+        now[0] = 20.0
+        assert breaker.allow()
+
+    def test_half_open_allows_every_caller(self):
+        # No single-probe gate: a probe that never reports back must
+        # not wedge the breaker shut for everyone else.
+        breaker, now = _breaker()
+        breaker.trip()
+        now[0] = 10.0
+        assert breaker.allow()
+        assert breaker.allow()
+        assert breaker.allow()
+
+
+class TestLifecycleAndStats:
+    def test_reset_closes_and_clears(self):
+        breaker, _now = _breaker(failure_threshold=1)
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.stats()["failures"] == 0
+        assert breaker.allow()
+
+    def test_stats_shape(self):
+        breaker, _now = _breaker()
+        assert breaker.stats() == {
+            "state": "closed", "failures": 0, "failure_threshold": 3,
+            "cooldown": 10.0, "trips": 0, "probes": 0,
+        }
+
+    def test_repr_names_the_dependency(self):
+        breaker = CircuitBreaker(name="/tmp/store.sqlite")
+        assert "store.sqlite" in repr(breaker)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(cooldown=-1.0)

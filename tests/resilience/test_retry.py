@@ -1,0 +1,64 @@
+"""The retry policy's backoff geometry and validation."""
+
+import random
+
+import pytest
+
+from repro.resilience import DEFAULT_RETRY_POLICY, RetryPolicy
+
+
+class TestBackoffSchedule:
+    def test_exponential_then_capped(self):
+        policy = RetryPolicy(attempts=6, base_delay=0.1, max_delay=1.0,
+                             multiplier=2.0, jitter=0.0)
+        assert [policy.backoff(n) for n in range(6)] == [
+            0.1, 0.2, 0.4, 0.8, 1.0, 1.0]
+
+    def test_retry_after_is_a_floor_not_a_cap(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=2.0, jitter=0.0)
+        assert policy.backoff(0, retry_after=0.5) == 0.5
+        # ... but a hint *below* the computed delay does not shrink it.
+        assert policy.backoff(4, retry_after=0.5) == 1.6
+        assert policy.backoff(5, retry_after=0.5) == 2.0   # cap still caps
+
+    def test_jitter_is_bounded_and_seed_deterministic(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=10.0, jitter=0.25)
+        draws = [policy.backoff(2, random.Random(7)) for _ in range(32)]
+        assert all(d == draws[0] for d in draws)      # seeded: replayable
+        rng = random.Random(7)
+        spread = [policy.backoff(2, rng) for _ in range(256)]
+        center = 0.1 * 2.0 ** 2
+        assert all(center * 0.75 <= d <= center * 1.25 for d in spread)
+        assert max(spread) > min(spread)              # jitter actually jitters
+
+    def test_no_rng_means_midpoint_schedule(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.25)
+        assert policy.backoff(0) == 0.1
+
+
+class TestPolicyValue:
+    def test_retryable_statuses(self):
+        policy = RetryPolicy()
+        assert policy.retryable_status(429)
+        assert policy.retryable_status(503)
+        assert not policy.retryable_status(500)
+        assert not policy.retryable_status(200)
+
+    def test_default_policy_is_small_and_jittered(self):
+        assert DEFAULT_RETRY_POLICY.attempts == 3
+        assert DEFAULT_RETRY_POLICY.retry_statuses == (429, 503)
+        assert DEFAULT_RETRY_POLICY.jitter > 0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RetryPolicy().attempts = 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.0)

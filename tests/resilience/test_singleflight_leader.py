@@ -1,0 +1,92 @@
+"""Single-flight under leader failure: followers get answers, not hangs.
+
+The coalescing layer shares one computation among many waiters, which
+concentrates risk: if the leader's computation dies, every follower is
+riding on it.  These tests pin the contract that a dead leader produces
+an *error response* at every waiter — never a wedged connection — and
+that the flight is forgotten so the next request recomputes cleanly.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.resilience import FaultPlan, FaultRule, inject
+from repro.service.singleflight import SingleFlight
+
+
+async def _drain_until(flight, predicate, rounds: int = 500):
+    for _ in range(rounds):
+        if predicate(flight):
+            return
+        await asyncio.sleep(0)
+    raise AssertionError(f"never reached state; stats={flight.stats()}")
+
+
+DISPATCH_FAULTS = [
+    pytest.param(FaultRule("service.dispatch", error=RuntimeError, times=1),
+                 RuntimeError, id="plain-exception"),
+    pytest.param(FaultRule("service.dispatch",
+                           error=lambda: ServiceError(500, "boom"), times=1),
+                 ServiceError, id="service-error"),
+]
+
+
+class TestLeaderFailure:
+    @pytest.mark.parametrize("rule, expected", DISPATCH_FAULTS)
+    def test_every_waiter_sees_the_leaders_error(self, rule, expected,
+                                                 chaos_seed):
+        """An injected dispatch fault in the shared computation reaches
+        all coalesced waiters, and the next run recomputes fresh."""
+        async def scenario():
+            flight = SingleFlight()
+            gate = asyncio.Event()
+
+            async def compute():
+                await gate.wait()
+                inject("service.dispatch")
+                return "mapped"
+
+            plan = FaultPlan([rule], seed=chaos_seed)
+            with plan.activate():
+                tasks = [asyncio.create_task(flight.run("k", compute))
+                         for _ in range(5)]
+                await _drain_until(flight, lambda f: f.coalesced == 4)
+                gate.set()
+                results = await asyncio.gather(*tasks,
+                                               return_exceptions=True)
+                assert all(isinstance(r, expected) for r in results)
+                assert flight.in_flight == 0
+                # times=1: the fault is spent, a retry succeeds.
+                assert await flight.run("k", compute) == "mapped"
+                counts = plan.counts()
+                assert counts["fired"]["service.dispatch"] == 1
+                assert counts["hits"]["service.dispatch"] == 2
+        asyncio.run(scenario())
+
+    def test_cancelled_shared_computation_yields_retryable_503(self):
+        """Cancelling the shared task itself (shutdown reaping it, say)
+        answers every waiter with a retryable 503 — not an escaped
+        CancelledError that would sever their connections."""
+        async def scenario():
+            flight = SingleFlight()
+            gate = asyncio.Event()
+
+            async def compute():
+                await gate.wait()
+                return "never"
+
+            waiters = [asyncio.create_task(flight.run("k", compute))
+                       for _ in range(3)]
+            await _drain_until(flight, lambda f: f.coalesced == 2)
+            flight._inflight["k"].cancel()
+            results = await asyncio.gather(*waiters, return_exceptions=True)
+            assert all(isinstance(r, ServiceError) for r in results)
+            assert {r.status for r in results} == {503}
+            assert all(r.retry_after == 1.0 for r in results)
+            assert flight.in_flight == 0
+            gate.set()
+            # ... and the key is free again for a fresh flight.
+            assert await flight.run("k", compute) == "never"
+        asyncio.run(scenario())

@@ -9,6 +9,7 @@ import urllib.error
 
 import pytest
 
+from repro.errors import ServiceError
 from repro.mapping import MethodologyFlow, map_block, map_block_pareto
 from repro.platform.registry import DEFAULT_REGISTRY
 from repro.service import MappingService, ServiceClient, ServiceThread
@@ -218,13 +219,67 @@ class TestErrorPaths:
         assert service.errors == before + 1
 
 
+class TestTimeouts:
+    def test_expired_request_timeout_is_503_with_retry_after(self):
+        """A request that outlives ``request_timeout`` is shed like
+        overload: 503, a ``Retry-After`` hint on the wire, and the
+        usual ``Connection: close`` — never a hung socket."""
+        gate = threading.Event()
+        service = MappingService(port=0, executor=GatedExecutor(gate),
+                                 request_timeout=0.3, retry_after_hint=2.0)
+        thread = ServiceThread(service)
+        thread.__enter__()
+        try:
+            conn = http.client.HTTPConnection(service.host, service.port,
+                                              timeout=30)
+            try:
+                body = b'{"block": "inv_mdctL"}'
+                conn.request("POST", "/v1/map", body=body,
+                             headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+                assert response.status == 503
+                assert response.getheader("Retry-After") == "2"
+                assert response.getheader("Connection") == "close"
+                assert "timed out" in json.loads(response.read())["error"]
+            finally:
+                conn.close()
+        finally:
+            gate.set()       # free the stuck work so shutdown drains
+            thread.__exit__(None, None, None)
+
+
+class TestClientRetries:
+    def test_connection_errors_wrap_in_service_error_with_history(self):
+        """Nothing listens on port 9: the client retries its budget,
+        then raises ServiceError naming the URL and every attempt."""
+        from repro.resilience import RetryPolicy
+
+        client = ServiceClient("http://127.0.0.1:9", timeout=1,
+                               retry=RetryPolicy(attempts=2,
+                                                 base_delay=0.01,
+                                                 jitter=0.0))
+        with pytest.raises(ServiceError) as excinfo:
+            client.health()
+        err = excinfo.value
+        assert err.status == 503
+        assert "http://127.0.0.1:9/healthz" in err.message
+        assert "2 attempt(s)" in err.message
+        assert len(err.attempts) == 2
+        assert all("connection error" in note for note in err.attempts)
+
+
 class TestGracefulShutdown:
     def test_shutdown_refuses_new_connections(self, cold_caches):
+        # The client retries connection errors, then wraps the terminal
+        # failure in ServiceError — a stopped service surfaces as that,
+        # never a raw urllib exception.
         with ServiceThread(MappingService(port=0)) as thread:
             client = ServiceClient(thread.base_url, timeout=10)
             client.wait_healthy()
-        with pytest.raises((urllib.error.URLError, ConnectionError)):
+        with pytest.raises(ServiceError) as excinfo:
             client.health()
+        assert excinfo.value.status == 503
+        assert excinfo.value.attempts
 
     def test_shutdown_drains_inflight_requests(self, cold_caches):
         gate = threading.Event()

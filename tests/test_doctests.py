@@ -17,6 +17,10 @@ MODULES = [
     "repro.mapping.cache",
     "repro.mapping.pareto",
     "repro.platform.registry",
+    "repro.resilience.faults",
+    "repro.resilience.breaker",
+    "repro.resilience.retry",
+    "repro.resilience.admission",
     "repro.api",
     "repro.api.session",
 ]
