@@ -1,0 +1,159 @@
+"""Fleet scaling benchmark: warm throughput at 1, 2 and 4 workers.
+
+The tentpole question of the fleet front, answered with numbers: does
+putting N pre-forked workers behind one port multiply warm throughput?
+Each worker count boots a real :class:`~repro.service.fleet.
+FleetSupervisor` (forked processes, SO_REUSEPORT or shared-socket —
+whichever this host supports, recorded in the payload) against one
+*shared, pre-warmed* disk cache, so every fleet serves the same warm
+work and the measurement isolates the serving path, not the solver.
+
+The request mix is deliberately many distinct payloads (blocks x
+platforms): a single hot key would consistently hash onto one shard
+owner and measure nothing but that worker.  Warm requests are served
+by whichever worker accepts (the router's cache peek), so throughput
+should scale with workers — on a multi-core host.  The ">= 2x at 4
+workers" acceptance assertion is therefore gated behind
+``REPRO_SCALE_ASSERT=1`` (CI's scale job sets it on its multi-core
+runner); the committed JSON records honest numbers for whatever
+``cpu_count`` ran it.
+
+``REPRO_BENCH_SCALE_SMOKE=1`` shrinks the load and skips the 2-worker
+point for CI smoke runs.  Byte parity is asserted at every fleet
+size.  Results land in ``BENCH_service_scale.json`` at the repo root.
+"""
+
+import hashlib
+import json
+import os
+import statistics
+import threading
+import time
+
+from _scenarios import REPO_ROOT
+
+from repro.service import FleetSupervisor, ServiceClient
+from repro.service.protocol import canonical_json
+
+OUTPUT = REPO_ROOT / "BENCH_service_scale.json"
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SCALE_SMOKE"))
+WORKER_COUNTS = (1, 4) if SMOKE else (1, 2, 4)
+LOAD_THREADS = 4 if SMOKE else 8
+REQUESTS_PER_THREAD = 10 if SMOKE else 40
+
+#: Distinct payloads (block x platform), so the consistent-hash
+#: router spreads ownership instead of funnelling one hot key.
+PAYLOADS = [
+    {"block": block, "platform": platform}
+    for block in ("inv_mdctL", "SubBandSynthesis")
+    for platform in ("SA-1110", "ARM7TDMI", "ARM926", "DSP")
+]
+
+
+def _hammer(base_url: str, bodies) -> "tuple[float, list, dict]":
+    """Round-robin the payload mix from LOAD_THREADS client threads;
+    returns (elapsed, latencies, failures-by-status)."""
+    latencies: "list[float]" = []
+    failures: "dict[int, int]" = {}
+    lock = threading.Lock()
+
+    def run(offset: int) -> None:
+        client = ServiceClient(base_url)
+        for i in range(REQUESTS_PER_THREAD):
+            body = bodies[(offset + i) % len(bodies)]
+            start = time.perf_counter()
+            status, _reply = client.request_bytes("POST", "/v1/map", body)
+            elapsed = time.perf_counter() - start
+            with lock:
+                if status == 200:
+                    latencies.append(elapsed)
+                else:
+                    failures[status] = failures.get(status, 0) + 1
+
+    threads = [threading.Thread(target=run, args=(offset,))
+               for offset in range(LOAD_THREADS)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start, latencies, failures
+
+
+def test_fleet_scaling_benchmark(report, tmp_path):
+    cache_dir = tmp_path / "shared-cache"
+    bodies = [canonical_json(payload) for payload in PAYLOADS]
+    reference: "dict[bytes, bytes]" = {}
+    scenarios = {}
+    strategy = None
+
+    for workers in WORKER_COUNTS:
+        supervisor = FleetSupervisor(workers=workers, port=0,
+                                     cache_dir=str(cache_dir))
+        with supervisor:
+            strategy = supervisor.strategy
+            base_url = f"http://127.0.0.1:{supervisor.port}"
+            client = ServiceClient(base_url)
+            client.wait_healthy()
+            # Warm pass: the first fleet pays the cold solves into the
+            # shared disk tier; later fleets only verify byte parity.
+            for body in bodies:
+                status, reply = client.request_bytes("POST", "/v1/map",
+                                                     body)
+                assert status == 200, reply
+                if body in reference:
+                    assert reply == reference[body], \
+                        f"bytes drifted at {workers} workers"
+                else:
+                    reference[body] = reply
+            elapsed, latencies, failures = _hammer(base_url, bodies)
+            assert not failures, failures
+            metrics = client.metrics()
+            assert metrics["service"]["workers"] == workers
+        total = len(latencies)
+        scenarios[f"workers_{workers}"] = {
+            "workers": workers,
+            "threads": LOAD_THREADS,
+            "requests": total,
+            "seconds": elapsed,
+            "requests_per_second": total / elapsed,
+            "warm_median_seconds": statistics.median(latencies),
+            "warm_p99_seconds": sorted(latencies)[
+                max(0, int(0.99 * total) - 1)],
+        }
+
+    rps = {workers: scenarios[f"workers_{workers}"]["requests_per_second"]
+           for workers in WORKER_COUNTS}
+    speedup = rps[WORKER_COUNTS[-1]] / rps[1]
+    if os.environ.get("REPRO_SCALE_ASSERT"):
+        assert speedup >= 2.0, (
+            f"{WORKER_COUNTS[-1]}-worker fleet is only {speedup:.2f}x "
+            f"the 1-worker throughput (need >= 2x)")
+
+    digest = hashlib.sha256(b"".join(
+        reference[body] for body in bodies)).hexdigest()
+    payload = {
+        "bench": "service_scale",
+        "workload": f"POST /v1/map over {len(PAYLOADS)} distinct "
+                    "(block, platform) payloads against a pre-forked "
+                    "fleet, shared pre-warmed disk tier",
+        "smoke": SMOKE,
+        "cpu_count": os.cpu_count(),
+        "socket_strategy": strategy,
+        "responses_sha256": digest,
+        "scenarios": scenarios,
+        "derived": {
+            "speedup_max_vs_one_worker": speedup,
+            "scale_assert_enforced":
+                bool(os.environ.get("REPRO_SCALE_ASSERT")),
+            "byte_parity": "every fleet size asserted byte-identical "
+                           "responses for all payloads",
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    summary = ", ".join(
+        f"{workers}w {rps[workers]:.0f} req/s" for workers in WORKER_COUNTS)
+    report(f"\nFleet scale bench ({strategy}, {os.cpu_count()} cpu): "
+           f"{summary}; {WORKER_COUNTS[-1]}-worker speedup "
+           f"{speedup:.2f}x -> {OUTPUT.name}")

@@ -1,0 +1,180 @@
+"""CI perf-regression gate: fresh bench JSON vs committed baselines.
+
+Compares the service benchmarks a run just produced against the
+committed baselines (``git show HEAD:<file>`` by default, or files in
+``--baseline-dir``) and fails — exit 1 with a table — when a tracked
+metric regressed by more than ``--threshold`` (default 25%, loose
+enough to ride out runner noise, tight enough to catch a real
+serving-path regression).
+
+Tracked metrics:
+
+========================  ==========================================
+``BENCH_service.json``    warm throughput (requests_per_second, up
+                          is better); warm median latency (down is
+                          better)
+``BENCH_service_scale.json``  per-worker-count warm throughput and
+                          median latency, same directions
+========================  ==========================================
+
+Only *regressions* fail; improvements are reported and pass.  A
+missing baseline (first run of a new bench) passes with a note, so
+adding a benchmark never turns the gate red.  Usage::
+
+    python benchmarks/check_regression.py
+    python benchmarks/check_regression.py --threshold 0.30
+    python benchmarks/check_regression.py --baseline-dir /tmp/base \
+        --current-dir /tmp/fresh
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+BENCH_FILES = ("BENCH_service.json", "BENCH_service_scale.json")
+
+
+def service_metrics(payload: dict) -> "dict[str, tuple[float, str]]":
+    """``{metric name: (value, direction)}`` from BENCH_service.json;
+    direction is 'up' (bigger is better) or 'down'."""
+    scenarios = payload.get("scenarios", {})
+    metrics = {}
+    throughput = scenarios.get("throughput", {})
+    if "requests_per_second" in throughput:
+        metrics["warm_throughput_rps"] = (
+            float(throughput["requests_per_second"]), "up")
+    warm = scenarios.get("warm", {})
+    if "median_seconds" in warm:
+        metrics["warm_median_latency_s"] = (
+            float(warm["median_seconds"]), "down")
+    return metrics
+
+
+def scale_metrics(payload: dict) -> "dict[str, tuple[float, str]]":
+    """Per-worker-count metrics from BENCH_service_scale.json."""
+    metrics = {}
+    for name, scenario in sorted(payload.get("scenarios", {}).items()):
+        if "requests_per_second" in scenario:
+            metrics[f"{name}_throughput_rps"] = (
+                float(scenario["requests_per_second"]), "up")
+        if "warm_median_seconds" in scenario:
+            metrics[f"{name}_median_latency_s"] = (
+                float(scenario["warm_median_seconds"]), "down")
+    return metrics
+
+
+EXTRACTORS = {"BENCH_service.json": service_metrics,
+              "BENCH_service_scale.json": scale_metrics}
+
+
+def compare(baseline: dict, current: dict,
+            threshold: float) -> "list[dict]":
+    """Rows for every metric present in both payloads.
+
+    A row regresses when the current value is worse than baseline by
+    more than ``threshold`` (relative): lower throughput, higher
+    latency.
+    """
+    rows = []
+    for name, (base_value, direction) in baseline.items():
+        if name not in current:
+            continue
+        value = current[name][0]
+        if base_value == 0:
+            change = 0.0
+        elif direction == "up":
+            change = (value - base_value) / base_value
+        else:                      # down: a higher value is worse
+            change = (base_value - value) / base_value
+        rows.append({"metric": name, "baseline": base_value,
+                     "current": value, "direction": direction,
+                     "change": change,
+                     "regressed": change < -threshold})
+    return rows
+
+
+def load_baseline(filename: str, baseline_dir: "pathlib.Path | None",
+                  ref: str) -> "dict | None":
+    """The committed (or --baseline-dir) payload, or ``None``."""
+    if baseline_dir is not None:
+        path = baseline_dir / filename
+        if not path.is_file():
+            return None
+        return json.loads(path.read_text())
+    result = subprocess.run(
+        ["git", "show", f"{ref}:{filename}"], cwd=REPO_ROOT,
+        capture_output=True, text=True)
+    if result.returncode != 0:
+        return None
+    return json.loads(result.stdout)
+
+
+def check(current_dir: pathlib.Path,
+          baseline_dir: "pathlib.Path | None", ref: str,
+          threshold: float, out=sys.stdout) -> int:
+    """Run the gate; returns the process exit code."""
+    failures = 0
+    compared = 0
+    for filename in BENCH_FILES:
+        current_path = current_dir / filename
+        if not current_path.is_file():
+            print(f"{filename}: no fresh result; skipped", file=out)
+            continue
+        baseline_payload = load_baseline(filename, baseline_dir, ref)
+        if baseline_payload is None:
+            print(f"{filename}: no baseline (new benchmark?); passes",
+                  file=out)
+            continue
+        extractor = EXTRACTORS[filename]
+        rows = compare(extractor(baseline_payload),
+                       extractor(json.loads(current_path.read_text())),
+                       threshold)
+        print(f"\n{filename} (threshold {threshold:.0%}):", file=out)
+        for row in rows:
+            compared += 1
+            arrow = "better" if row["change"] >= 0 else "worse"
+            verdict = "REGRESSED" if row["regressed"] else "ok"
+            print(f"  {row['metric']:<34} {row['baseline']:>12.5g} -> "
+                  f"{row['current']:>12.5g}  {row['change']:>+7.1%} "
+                  f"{arrow:<6} {verdict}", file=out)
+            if row["regressed"]:
+                failures += 1
+    if failures:
+        print(f"\n{failures} metric(s) regressed past the "
+              f"{threshold:.0%} threshold", file=out)
+        return 1
+    print(f"\nno regressions across {compared} compared metric(s)",
+          file=out)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when fresh service benchmarks regress past "
+                    "a threshold vs the committed baselines.")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative regression that fails the gate "
+                             "(default: %(default)s)")
+    parser.add_argument("--current-dir", type=pathlib.Path,
+                        default=REPO_ROOT,
+                        help="directory holding the fresh BENCH_*.json "
+                             "(default: repo root)")
+    parser.add_argument("--baseline-dir", type=pathlib.Path, default=None,
+                        help="read baselines from this directory "
+                             "instead of `git show REF:FILE`")
+    parser.add_argument("--ref", default="HEAD",
+                        help="git ref the committed baselines are read "
+                             "from (default: %(default)s)")
+    args = parser.parse_args(argv)
+    return check(args.current_dir, args.baseline_dir, args.ref,
+                 args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -352,6 +352,47 @@ class MappingSession:
             workloads=self.config.workloads,
         )
 
+    def cached_map(self, key: tuple, digest: "str | None" = None):
+        """The cached ``(winner, matches)`` for a prebuilt map key, or
+        ``None`` — memory, then the shared disk tier; never computes.
+
+        The fleet front's shard router peeks here before forwarding:
+        a warm hit (this worker's LRU, or any worker's write-through
+        into the shared sqlite tier) is served locally, so only cold
+        work pays the cross-worker hop.  ``key`` is the tuple
+        :func:`repro.mapping.decompose._map_block_key` builds;
+        ``digest`` optionally carries its precomputed
+        :func:`~repro.mapping.cache.stable_digest`.
+        """
+        return self.tiers.lookup_map_block(key, digest)
+
+    def cache_counters(self) -> dict:
+        """Flat, summable cache counters for cross-worker aggregation.
+
+        The fleet's ``GET /metrics`` endpoint merges one of these per
+        worker by elementwise addition, so the dict carries only
+        numbers: LRU size/hit/miss/eviction counts per tier and the
+        disk tier's hit/miss/write counts (``enabled`` is 0/1 — the
+        merged value counts workers with persistence on).  The full,
+        non-summable shape (paths, hit rates, breaker state) stays on
+        :meth:`stats`.
+        """
+        stats = self.tiers.stats()
+        counters = {}
+        for tier in ("decompose", "map_block"):
+            counters[tier] = {
+                field: stats[tier][field]
+                for field in ("size", "hits", "misses", "evictions")
+            }
+        disk = stats["disk"]
+        counters["disk"] = {
+            "enabled": 1 if disk.get("enabled") else 0,
+            "hits": disk.get("hits", 0),
+            "misses": disk.get("misses", 0),
+            "writes": disk.get("writes", 0),
+        }
+        return counters
+
     # -- observability / lifecycle ----------------------------------------
     def stats(self) -> dict:
         """This session's cache statistics, in the canonical shape.

@@ -186,6 +186,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind port; 0 picks an ephemeral one (default: 8357)",
     )
     p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fork N worker processes behind the port (the fleet "
+        "front; SIGHUP rolls them over one at a time; default: one "
+        "in-process service)",
+    )
+    p_serve.add_argument(
         "--map-workers",
         type=int,
         default=None,
@@ -391,6 +399,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     argv = ["--host", args.host]
     if args.port is not None:
         argv += ["--port", str(args.port)]
+    if args.workers is not None:
+        argv += ["--workers", str(args.workers)]
     if args.map_workers is not None:
         argv += ["--map-workers", str(args.map_workers)]
     if args.cache_dir is not None:

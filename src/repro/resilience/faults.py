@@ -21,6 +21,10 @@ defends):
 ``batch.worker``        a batch work item executing in a pool worker
 ``service.dispatch``    the service's heavy work, on its executor thread
 ``service.accept``      a service connection handler, before reading
+``fleet.worker``        a fleet worker about to serve a public request;
+                        any raise here kills the worker process
+                        (``os._exit``), exercising crashed-worker
+                        respawn and shard-router fallback
 ======================  ================================================
 
 With no plan active, :func:`inject` is one module-global read and a
@@ -60,6 +64,7 @@ FAULT_SITES = (
     "batch.worker",
     "service.dispatch",
     "service.accept",
+    "fleet.worker",
 )
 
 

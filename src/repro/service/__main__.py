@@ -5,6 +5,13 @@ SIGTERM (the orchestrator's stop) *drains*: new requests are refused
 with 503 + ``Retry-After`` while in-flight work gets up to
 ``--drain-grace`` seconds to finish.  SIGINT (an operator's ^C) skips
 the grace window and shuts down immediately.
+
+``--workers N`` (N >= 2) runs the multi-process fleet front instead:
+a :class:`~repro.service.fleet.FleetSupervisor` forks N worker
+processes behind one port (SO_REUSEPORT where available, a shared
+inherited socket otherwise).  SIGTERM/SIGINT stop the fleet as above;
+SIGHUP additionally triggers a graceful rolling restart — workers are
+drained and replaced one at a time, so the port never goes dark.
 """
 
 from __future__ import annotations
@@ -13,7 +20,9 @@ import argparse
 import asyncio
 import logging
 import signal
+import threading
 
+from repro.service.fleet import FleetSupervisor
 from repro.service.server import DEFAULT_PORT, MappingService
 
 
@@ -28,6 +37,11 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--port", type=int, default=DEFAULT_PORT,
                         help="bind port; 0 picks an ephemeral one "
                              "(default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="fork N worker processes behind the port "
+                             "(the fleet front; SIGHUP rolls them "
+                             "over one at a time; default: one "
+                             "in-process service)")
     parser.add_argument("--map-workers", type=int, default=None,
                         help="share one process pool of N workers "
                              "across all batch submissions (default: "
@@ -87,11 +101,62 @@ async def _serve(args: argparse.Namespace) -> None:
             await service.shutdown()
 
 
+def _serve_fleet(args: argparse.Namespace) -> None:
+    """The --workers N path: supervise, answer signals, never serve."""
+    supervisor = FleetSupervisor(
+        workers=args.workers, host=args.host, port=args.port,
+        cache_dir=args.cache_dir, map_workers=args.map_workers,
+        request_timeout=args.request_timeout,
+        max_inflight=args.max_inflight,
+        retry_after_hint=args.retry_after,
+        drain_grace=args.drain_grace)
+    supervisor.start()
+    supervisor.wait_ready()
+    # Same prefix as the single-process line: CI smoke steps parse the
+    # bound port out of "listening on http://HOST:PORT".
+    print(f"repro.service listening on "
+          f"http://{supervisor.host}:{supervisor.port} "
+          f"({supervisor.workers} workers, {supervisor.strategy})",
+          flush=True)
+
+    wake = threading.Event()
+    state = {"stop": False, "drain": True, "hup": False}
+
+    def _on_signal(signum, _frame) -> None:
+        if signum == signal.SIGHUP:
+            state["hup"] = True
+        else:
+            state["stop"] = True
+            state["drain"] = signum == signal.SIGTERM
+        wake.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT, signal.SIGHUP):
+        signal.signal(signum, _on_signal)
+    try:
+        while True:
+            wake.wait()
+            wake.clear()
+            if state["stop"]:
+                break
+            if state["hup"]:
+                state["hup"] = False
+                supervisor.rolling_restart()
+                print("repro.service fleet rolled", flush=True)
+    finally:
+        supervisor.stop(drain=state["drain"])
+
+
 def main(argv=None) -> None:
     args = _parser().parse_args(argv)
     logging.basicConfig(
         level=logging.DEBUG if args.verbose else logging.INFO,
         format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    if args.workers and args.workers > 1:
+        try:
+            _serve_fleet(args)
+        except KeyboardInterrupt:
+            pass
+        return
     try:
         asyncio.run(_serve(args))
     except KeyboardInterrupt:

@@ -94,8 +94,15 @@ class ServiceClient:
         returned as-is — tests assert on 429/503 through this layer —
         unless listed in ``retry_statuses``, which is how the
         high-level methods opt into waiting out shed load.
+
+        ``payload`` may be pre-rendered bytes, sent verbatim — the
+        byte-parity tests use this to replay one exact wire body
+        against several servers.
         """
-        data = canonical_json(payload) if payload is not None else None
+        if isinstance(payload, (bytes, bytearray)):
+            data = bytes(payload)
+        else:
+            data = canonical_json(payload) if payload is not None else None
         url = self.base_url + path
         policy = self.retry
         attempts: "list[str]" = []
@@ -150,6 +157,10 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._call("GET", "/v1/stats")
+
+    def metrics(self) -> dict:
+        """Latency histograms + counters; fleet-wide behind a fleet."""
+        return self._call("GET", "/metrics")
 
     def map_block(self, block: str, library=DEFAULT_LIBRARY,
                   platform: str = DEFAULT_PLATFORM, *,

@@ -1,0 +1,243 @@
+"""Service metrics: per-endpoint latency histograms, mergeable across
+a fleet.
+
+The operational surface ROADMAP item 1 asks for: every request a
+:class:`~repro.service.server.MappingService` answers is recorded in a
+fixed-bucket latency histogram keyed by endpoint, together with a
+status-class tally.  The representation is chosen for *mergeability* —
+bucket counts and counters add elementwise — because the fleet front
+(:mod:`repro.service.fleet`) answers ``GET /metrics`` by summing the
+snapshots of every live worker into one fleet-wide view.
+
+Design points:
+
+* **Fixed log-spaced bounds** (:data:`BUCKET_BOUNDS_SECONDS`, upper
+  bounds in seconds, ``inf``-terminated).  Fixed bounds are what make
+  two workers' histograms — or tonight's and last night's — addable
+  without resampling.
+* **Quantiles are estimates**: :meth:`LatencyHistogram.quantile`
+  interpolates inside the winning bucket.  Good enough to watch p50 /
+  p99 drift; the benchmarks record exact timings.
+* **Plain-dict snapshots**: everything returned here is canonical-JSON
+  renderable (no NaN/inf in values; the terminal bucket bound is the
+  string ``"inf"`` on the wire).
+
+>>> hist = LatencyHistogram()
+>>> hist.observe(0.004)
+>>> hist.observe(0.004)
+>>> hist.observe(2.0)
+>>> hist.count, round(hist.sum_seconds, 3)
+(3, 2.008)
+>>> merged = merge_histograms([hist.snapshot(), hist.snapshot()])
+>>> merged["count"]
+6
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = ["BUCKET_BOUNDS_SECONDS", "LatencyHistogram",
+           "MetricsRegistry", "merge_histograms", "merge_metrics",
+           "merge_counters"]
+
+#: Upper bucket bounds, seconds.  Spans the service's dynamic range:
+#: ~0.5ms warm cache hits up to the 300s default request timeout; the
+#: terminal bucket is unbounded.  Changing these bounds changes the
+#: /metrics wire shape — treat like a schema bump.
+BUCKET_BOUNDS_SECONDS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, float("inf"),
+)
+
+#: The wire rendering of the bounds (canonical JSON refuses non-finite
+#: floats, so the terminal bound travels as a string).
+BUCKET_BOUNDS_WIRE = tuple(
+    "inf" if bound == float("inf") else bound
+    for bound in BUCKET_BOUNDS_SECONDS)
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram (counts per upper bound).
+
+    Buckets are *non-cumulative* — ``buckets[i]`` counts observations
+    in ``(bounds[i-1], bounds[i]]`` — which keeps merging a plain
+    elementwise sum.  Thread-safe: the service observes from its event
+    loop, but tests and future callers may not.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.buckets = [0] * len(BUCKET_BOUNDS_SECONDS)
+        self.count = 0
+        self.sum_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation."""
+        index = bisect_left(BUCKET_BOUNDS_SECONDS, seconds)
+        if index >= len(self.buckets):      # inf bound: unreachable,
+            index = len(self.buckets) - 1   # kept as a guard
+        with self._lock:
+            self.buckets[index] += 1
+            self.count += 1
+            self.sum_seconds += seconds
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile seconds (linear inside the bucket).
+
+        Zero when empty; the terminal (unbounded) bucket reports its
+        lower bound — an under-estimate, flagged by the bucket counts
+        themselves.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            total = self.count
+            buckets = list(self.buckets)
+        return _bucket_quantile(buckets, total, q)
+
+    def snapshot(self) -> dict:
+        """A mergeable plain-dict view (see :func:`merge_histograms`)."""
+        with self._lock:
+            return {"count": self.count,
+                    "sum_seconds": self.sum_seconds,
+                    "buckets": list(self.buckets)}
+
+
+def _bucket_quantile(buckets, total: int, q: float) -> float:
+    if not total:
+        return 0.0
+    rank = q * total
+    seen = 0
+    for index, bucket in enumerate(buckets):
+        if not bucket:
+            continue
+        if seen + bucket >= rank:
+            upper = BUCKET_BOUNDS_SECONDS[index]
+            lower = BUCKET_BOUNDS_SECONDS[index - 1] if index else 0.0
+            if upper == float("inf"):
+                return lower
+            fraction = (rank - seen) / bucket
+            return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        seen += bucket
+    return BUCKET_BOUNDS_SECONDS[-2]        # numeric guard
+
+
+def _histogram_payload(snapshot: dict) -> dict:
+    """The /metrics rendering of one histogram snapshot."""
+    return {"count": snapshot["count"],
+            "sum_seconds": snapshot["sum_seconds"],
+            "buckets": list(snapshot["buckets"]),
+            "p50_seconds": _bucket_quantile(snapshot["buckets"],
+                                            snapshot["count"], 0.50),
+            "p99_seconds": _bucket_quantile(snapshot["buckets"],
+                                            snapshot["count"], 0.99)}
+
+
+class MetricsRegistry:
+    """Per-endpoint request metrics for one service process.
+
+    ``observe(endpoint, seconds, status)`` is the single recording
+    call the request loop makes; :meth:`snapshot` renders the
+    canonical per-endpoint payload ``GET /metrics`` serves (histogram
+    + status-class counts), in the shape :func:`merge_metrics`
+    aggregates across fleet workers.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: "dict[str, dict]" = {}
+
+    def _entry(self, endpoint: str) -> dict:
+        entry = self._endpoints.get(endpoint)
+        if entry is None:
+            entry = self._endpoints[endpoint] = {
+                "latency": LatencyHistogram(), "statuses": {}}
+        return entry
+
+    def observe(self, endpoint: str, seconds: float, status: int) -> None:
+        """Record one answered request."""
+        with self._lock:
+            entry = self._entry(endpoint)
+        entry["latency"].observe(seconds)
+        klass = f"{status // 100}xx"
+        with self._lock:
+            entry["statuses"][klass] = entry["statuses"].get(klass, 0) + 1
+
+    def snapshot(self) -> dict:
+        """``{endpoint: {latency payload + statuses}}``, sorted."""
+        with self._lock:
+            items = sorted(self._endpoints.items())
+        endpoints = {}
+        for endpoint, entry in items:
+            payload = _histogram_payload(entry["latency"].snapshot())
+            with self._lock:
+                payload["statuses"] = dict(sorted(entry["statuses"].items()))
+            endpoints[endpoint] = payload
+        return endpoints
+
+
+# ----------------------------------------------------------------------
+# Merging: the fleet-aggregation primitives
+# ----------------------------------------------------------------------
+def merge_histograms(snapshots) -> dict:
+    """Elementwise sum of histogram snapshots, quantiles recomputed."""
+    merged = {"count": 0, "sum_seconds": 0.0,
+              "buckets": [0] * len(BUCKET_BOUNDS_SECONDS)}
+    for snapshot in snapshots:
+        merged["count"] += snapshot.get("count", 0)
+        merged["sum_seconds"] += snapshot.get("sum_seconds", 0.0)
+        for index, value in enumerate(snapshot.get("buckets", ())):
+            if index < len(merged["buckets"]):
+                merged["buckets"][index] += value
+    return _histogram_payload(merged)
+
+
+def merge_counters(dicts) -> dict:
+    """Recursive sum of numeric counter dicts (non-numeric: last wins).
+
+    The shape every worker reports is identical, so summing values at
+    equal paths is the whole aggregation story — admission counters,
+    single-flight counters and cache hit/miss counts all merge through
+    this one helper.
+    """
+    merged: dict = {}
+    for entry in dicts:
+        if not isinstance(entry, dict):
+            continue
+        for key, value in entry.items():
+            if isinstance(value, bool):
+                merged[key] = value
+            elif isinstance(value, (int, float)):
+                merged[key] = merged.get(key, 0) + value
+            elif isinstance(value, dict):
+                seen = merged.get(key)
+                merged[key] = merge_counters(
+                    [seen if isinstance(seen, dict) else {}, value])
+            else:
+                merged[key] = value
+    return merged
+
+
+def merge_metrics(endpoint_snapshots) -> dict:
+    """Merge per-endpoint snapshots from several workers into one.
+
+    Input: an iterable of :meth:`MetricsRegistry.snapshot` dicts.
+    Output: the same shape, histograms bucket-summed and status
+    classes added — the fleet-wide ``endpoints`` payload.
+    """
+    by_endpoint: "dict[str, list]" = {}
+    for snapshot in endpoint_snapshots:
+        if not isinstance(snapshot, dict):
+            continue
+        for endpoint, payload in snapshot.items():
+            by_endpoint.setdefault(endpoint, []).append(payload)
+    merged = {}
+    for endpoint in sorted(by_endpoint):
+        payloads = by_endpoint[endpoint]
+        entry = merge_histograms(payloads)
+        entry["statuses"] = merge_counters(
+            [p.get("statuses", {}) for p in payloads])
+        merged[endpoint] = entry
+    return merged

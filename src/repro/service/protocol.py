@@ -13,6 +13,11 @@ delegating to the api layer so a service response and a
 
 The historic names (``ServiceCatalog``, ``map_response``, ...) are
 re-exported unchanged for existing imports.
+
+Canonical JSON is also what makes the fleet's shard routing sound:
+``canonical_json(json.loads(body)) == body`` for any canonical body,
+so a response relayed worker-to-worker re-renders byte-identical to
+one served directly (pinned by the fleet parity tests).
 """
 
 from __future__ import annotations

@@ -7,6 +7,7 @@ serves:
 
 ====================  ======  =========================================
 ``/healthz``          GET     liveness probe
+``/metrics``          GET     per-endpoint latency histograms + counters
 ``/v1/platforms``     GET     the processor registry, as JSON
 ``/v1/workloads``     GET     the workload registry, as JSON
 ``/v1/stats``         GET     cache tiers + single-flight counters
@@ -14,6 +15,11 @@ serves:
 ``/v1/pareto``        POST    the (cycles, energy, accuracy) front
 ``/v1/sweep``         POST    the multi-platform sweep, canonical JSON
 ====================  ======  =========================================
+
+The multi-process front (``python -m repro.service --workers N``) puts
+N of these services behind one port; see :mod:`repro.service.fleet`
+for the shard router, the supervisor, and the fleet-wide ``/metrics``
+aggregation.
 
 ``/v1/map``, ``/v1/pareto`` and ``/v1/sweep`` accept a ``workload``
 field selecting the workload-registry entry block names resolve in
@@ -60,6 +66,7 @@ service tier too.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import logging
 import math
 import threading
@@ -73,6 +80,7 @@ from repro.mapping.cache import (SCHEMA_VERSION, fingerprint_block,
 from repro.mapping.decompose import _map_block_key
 from repro.mapping.pareto import BlockParetoResult
 from repro.resilience import AdmissionController, inject
+from repro.service.metrics import BUCKET_BOUNDS_WIRE, MetricsRegistry
 from repro.service.protocol import (MapRequest, SweepRequest,
                                     canonical_json, map_response,
                                     pareto_response, parse_json_body,
@@ -138,6 +146,11 @@ class MappingService:
         Seconds advertised in ``Retry-After`` on 429/503 sheds.
     drain_grace:
         Default grace window :meth:`drain` waits for in-flight work.
+    listen_socket:
+        A pre-bound (not yet listening) socket to serve on instead of
+        binding ``host``/``port``.  The fleet seam: the supervisor
+        binds the shared/SO_REUSEPORT sockets before forking, and each
+        worker passes its inherited socket here.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
@@ -149,7 +162,8 @@ class MappingService:
                  max_request_bytes: int = 1 << 20,
                  max_inflight: "int | None" = None,
                  retry_after_hint: float = 1.0,
-                 drain_grace: float = 30.0):
+                 drain_grace: float = 30.0,
+                 listen_socket=None):
         self.host = host
         self.port = port
         self.request_timeout = request_timeout
@@ -166,7 +180,9 @@ class MappingService:
         self._owns_request_executor = executor is None
         self._map_executor: "ProcessPoolExecutor | None" = None
         self._server: "asyncio.base_events.Server | None" = None
+        self._listen_socket = listen_socket
         self._handlers: "set[asyncio.Task]" = set()
+        self.metrics = MetricsRegistry()
         if session is not None:
             self.session = session
         elif cache_dir is None:
@@ -176,6 +192,7 @@ class MappingService:
         self.catalog = self.session.catalog
         self.flight = SingleFlight()
         self._routes = {"/healthz": ("GET", self._get_health),
+                        "/metrics": ("GET", self._get_metrics),
                         "/v1/platforms": ("GET", self._get_platforms),
                         "/v1/workloads": ("GET", self._get_workloads),
                         "/v1/stats": ("GET", self._get_stats),
@@ -206,8 +223,12 @@ class MappingService:
         # warming must not depend on it.
         await asyncio.get_running_loop().run_in_executor(
             None, self.catalog.blocks)
-        self._server = await asyncio.start_server(
-            self._handle, self.host, self.port)
+        if self._listen_socket is not None:
+            self._server = await asyncio.start_server(
+                self._handle, sock=self._listen_socket)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
         logger.info("serving on http://%s:%s", self.host, self.port)
 
@@ -297,17 +318,35 @@ class MappingService:
         method, path, body = parsed
         endpoint = path if path in self._routes else "other"
         self.requests += 1
+        started = asyncio.get_running_loop().time()
         if self.draining:
             # Refusing with 503 + Retry-After (and the usual
             # Connection: close) lets well-behaved clients fail over
             # instead of piling onto a stopping process.
             self.errors += 1
             self.admission.shed(endpoint)
+            self._observe(endpoint, started, 503)
             await self._respond(writer, 503, {"error": "service is draining"},
                                 retry_after=self.retry_after_hint)
             return
+        # The fleet-routing hook: a worker that is not a request's
+        # shard owner answers with the owner's relayed response
+        # instead of dispatching locally.  Routed-out requests bypass
+        # the *local* admission gate deliberately — the owning
+        # worker's gate is the one that must decide, and its 429
+        # relays back through here.
+        routed = await self._route(method, path, body)
+        if routed is not None:
+            status, payload, retry_after = routed
+            if status >= 400:
+                self.errors += 1
+            self._observe(endpoint, started, status)
+            await self._respond(writer, status, payload,
+                                retry_after=retry_after)
+            return
         if not self.admission.try_acquire(endpoint):
             self.errors += 1
+            self._observe(endpoint, started, 429)
             await self._respond(writer, 429,
                                 {"error": "service is over capacity"},
                                 retry_after=self.retry_after_hint)
@@ -333,7 +372,24 @@ class MappingService:
             self.admission.release(endpoint)
         if status >= 400:
             self.errors += 1
+        self._observe(endpoint, started, status)
         await self._respond(writer, status, payload, retry_after=retry_after)
+
+    async def _route(self, method: str, path: str, body: bytes):
+        """Shard-routing hook: ``None`` means "handle locally".
+
+        The base service always handles locally; the fleet's
+        :class:`~repro.service.fleet.FleetWorker` overrides this with
+        the consistent-hash router and returns a
+        ``(status, payload, retry_after)`` triple relayed from the
+        owning worker when the request belongs elsewhere.
+        """
+        return None
+
+    def _observe(self, endpoint: str, started: float, status: int) -> None:
+        """Record one answered request in the latency metrics."""
+        elapsed = asyncio.get_running_loop().time() - started
+        self.metrics.observe(endpoint, elapsed, status)
 
     async def _read_request(self, reader: asyncio.StreamReader):
         """``(method, path, body)`` of one request, or ``None`` on a
@@ -404,7 +460,12 @@ class MappingService:
         if method != expected:
             raise ServiceError(405, f"{path} expects {expected}")
         if expected == "GET":
-            return 200, handler()
+            result = handler()
+            if inspect.isawaitable(result):
+                # The fleet's aggregating /metrics handler is async
+                # (it consults peers); plain GET handlers stay sync.
+                result = await result
+            return 200, result
         return 200, await handler(parse_json_body(body))
 
     # -- GET endpoints ----------------------------------------------------
@@ -429,6 +490,23 @@ class MappingService:
         # `repro workloads --json` renders, which is what makes the
         # two surfaces byte-comparable.
         return self.session.workloads_payload()
+
+    def _get_metrics(self):
+        """The ``/metrics`` payload: per-endpoint latency histograms
+        plus the admitted/shed/coalesced counters, in the mergeable
+        shape documented in ``docs/architecture.md`` ("Fleet front").
+        A single-process service reports ``workers: 1``; the fleet
+        overrides this with the cross-worker aggregate.
+        """
+        return {"service": {"workers": 1,
+                            "schema_version": SCHEMA_VERSION},
+                "bucket_bounds_seconds": list(BUCKET_BOUNDS_WIRE),
+                "endpoints": self.metrics.snapshot(),
+                "requests": self.requests,
+                "errors": self.errors,
+                "admission": self.admission.stats(),
+                "singleflight": self.flight.stats(),
+                "caches": self.session.cache_counters()}
 
     def _get_stats(self) -> dict:
         return {"service": {"host": self.host, "port": self.port,
@@ -457,13 +535,21 @@ class MappingService:
                                                 matches)
         return pareto_response(request, result)
 
-    async def _resolve_map(self, request: MapRequest):
-        """Steps 2–5 of the request lifecycle for one block mapping."""
+    def _map_key(self, request: MapRequest):
+        """``(cache key, block, library, platform)`` for one map or
+        pareto request — the same key a direct ``map_block`` call
+        builds, shared by the single-flight layer and the fleet's
+        shard router (both digest it with ``stable_digest``)."""
         block = self.catalog.block(request.block, request.workload)
         library = self.catalog.library(request.library)
         platform = self.catalog.platform(request.platform)
         key = _map_block_key(block, library, platform,
                              request.tolerance, request.accuracy_budget)
+        return key, block, library, platform
+
+    async def _resolve_map(self, request: MapRequest):
+        """Steps 2–5 of the request lifecycle for one block mapping."""
+        key, block, library, platform = self._map_key(request)
         winner, matches = await self.flight.run(
             stable_digest(key),
             lambda: self._offload(self._map_work, request, block,
@@ -482,8 +568,9 @@ class MappingService:
             executor=self._map_executor)
         return report.results[0]
 
-    async def _post_sweep(self, payload) -> dict:
-        request = SweepRequest.from_payload(payload)
+    def _sweep_key(self, request: SweepRequest):
+        """``(coalescing key, platform keys, libraries, blocks)`` for
+        one sweep request; the fleet router digests the same key."""
         platform_keys = self.catalog.platform_keys(request.platforms)
         libraries = None
         if request.libraries is not None:
@@ -499,6 +586,11 @@ class MappingService:
                request.libraries is None,
                tuple(fingerprint_block(b) for b in blocks.values()),
                request.tolerance, request.accuracy_budget)
+        return key, platform_keys, libraries, blocks
+
+    async def _post_sweep(self, payload) -> dict:
+        request = SweepRequest.from_payload(payload)
+        key, platform_keys, libraries, blocks = self._sweep_key(request)
         report = await self.flight.run(
             stable_digest(key),
             lambda: self._offload(self._sweep_work, request,

@@ -102,6 +102,7 @@ EXPECTED_CLI = {
         "--request-timeout",
         "--retry-after",
         "--verbose",
+        "--workers",
     ],
 }
 

@@ -15,7 +15,8 @@ import time
 
 from repro.errors import ServiceError
 from repro.resilience import FaultPlan, FaultRule
-from repro.service import MappingService, ServiceClient, ServiceThread
+from repro.service import (FleetSupervisor, MappingService, ServiceClient,
+                           ServiceThread)
 
 from ..service.conftest import GatedExecutor
 
@@ -215,3 +216,87 @@ class TestDrain:
         finally:
             gate.set()
             thread.__exit__(None, None, None)
+
+
+class TestFleetChaos:
+    """Chaos against the multi-process fleet (CI's ``mode: fleet``
+    matrix cell; selected with ``-k fleet``).
+
+    The ``fleet.worker`` site is armed in the *parent* before the
+    supervisor forks, so every worker inherits the active plan — the
+    only way a test can reach into processes it never constructs.  A
+    firing rule kills the worker mid-request (``os._exit``); the
+    client sees a severed connection, retries, and must end up with
+    the same clean contract the single-process suite pins: statuses
+    in {200, 429, 503}, every 200 byte-identical to fault-free.
+    """
+
+    PAYLOADS = [
+        {"block": "inv_mdctL"},
+        {"block": "inv_mdctL", "platform": "DSP"},
+        {"block": "SubBandSynthesis", "platform": "ARM926"},
+    ]
+
+    def test_worker_kills_stay_inside_the_status_contract(
+            self, tmp_path, chaos_seed):
+        plan = FaultPlan([
+            # Each worker's inherited plan copy draws its own stream;
+            # times=2 bounds the kills per worker so the run always
+            # converges while still exercising respawn.
+            FaultRule("fleet.worker", probability=0.10, times=2,
+                      error=lambda: RuntimeError("injected: worker kill")),
+            FaultRule("service.dispatch", probability=0.2, delay=0.02),
+        ], seed=chaos_seed)
+        supervisor = FleetSupervisor(
+            workers=2, port=0, cache_dir=str(tmp_path / "cache"),
+            respawn_backoff=0.05, drain_grace=5.0)
+        statuses, chaos_bodies = [], []
+        with plan.activate():
+            with supervisor:
+                client = ServiceClient(
+                    f"http://127.0.0.1:{supervisor.port}")
+                client.wait_healthy()
+                for _round in range(6):
+                    for payload in self.PAYLOADS:
+                        status, body = client.request_bytes(
+                            "POST", "/v1/map", payload)
+                        statuses.append(status)
+                        if status == 200:
+                            key = json.dumps(payload, sort_keys=True)
+                            chaos_bodies.append((key, body))
+                # Reference-byte replay on the same fleet.  The
+                # nested empty plan disarms the *parent* (so workers
+                # respawned from here on come up chaos-free); already
+                # -running workers may spend what is left of their
+                # kill budget, which the client's connection retries
+                # absorb — the 200 bytes are what must not change.
+                clean = {}
+                with FaultPlan([], seed=chaos_seed).activate():
+                    for payload in self.PAYLOADS:
+                        status, body = client.request_bytes(
+                            "POST", "/v1/map", payload)
+                        assert status == 200
+                        clean[json.dumps(payload, sort_keys=True)] = body
+                for key, body in chaos_bodies:
+                    assert body == clean[key]
+                assert set(statuses) <= {200, 429, 503}
+                assert 200 in statuses
+                final = supervisor.status()
+                assert all(final["alive"])
+
+    def test_fleet_drain_refuses_new_work_cleanly(self, tmp_path):
+        """SIGTERM-style stop mid-traffic: the PR-7 drain machinery
+        runs per worker, and the port closes without a hung client."""
+        supervisor = FleetSupervisor(
+            workers=2, port=0, cache_dir=str(tmp_path / "cache"),
+            drain_grace=5.0)
+        supervisor.start()
+        try:
+            supervisor.wait_ready()
+            client = ServiceClient(f"http://127.0.0.1:{supervisor.port}")
+            client.wait_healthy()
+            assert client.request_bytes(
+                "POST", "/v1/map", {"block": "inv_mdctL"})[0] == 200
+        finally:
+            supervisor.stop(drain=True)
+        assert supervisor.status()["alive"] == [False, False]

@@ -1,0 +1,136 @@
+"""The CI perf-regression gate, exercised as CI runs it (subprocess).
+
+``benchmarks/check_regression.py`` must fail (exit 1) exactly when a
+tracked warm-throughput or warm-latency metric is worse than its
+baseline by more than the threshold, and must never fail on missing
+baselines or improvements.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "benchmarks" / "check_regression.py"
+
+
+def _service_payload(rps: float, warm_median: float) -> dict:
+    return {"bench": "service",
+            "scenarios": {"throughput": {"requests_per_second": rps},
+                          "warm": {"median_seconds": warm_median}}}
+
+
+def _scale_payload(rps_by_workers: dict) -> dict:
+    return {"bench": "service_scale",
+            "scenarios": {
+                f"workers_{n}": {"requests_per_second": rps,
+                                 "warm_median_seconds": 1.0 / rps}
+                for n, rps in rps_by_workers.items()}}
+
+
+def _run_gate(baseline_dir, current_dir, *extra):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT),
+         "--baseline-dir", str(baseline_dir),
+         "--current-dir", str(current_dir), *extra],
+        capture_output=True, text=True)
+
+
+def _write(directory, service=None, scale=None):
+    directory.mkdir(exist_ok=True)
+    if service is not None:
+        (directory / "BENCH_service.json").write_text(
+            json.dumps(service))
+    if scale is not None:
+        (directory / "BENCH_service_scale.json").write_text(
+            json.dumps(scale))
+
+
+def test_unchanged_results_pass(tmp_path):
+    _write(tmp_path / "base", _service_payload(140.0, 0.005),
+           _scale_payload({1: 100.0, 4: 250.0}))
+    _write(tmp_path / "cur", _service_payload(140.0, 0.005),
+           _scale_payload({1: 100.0, 4: 250.0}))
+    result = _run_gate(tmp_path / "base", tmp_path / "cur")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "no regressions" in result.stdout
+
+
+def test_throughput_regression_fails(tmp_path):
+    _write(tmp_path / "base", _service_payload(140.0, 0.005))
+    _write(tmp_path / "cur", _service_payload(90.0, 0.005))  # -36%
+    result = _run_gate(tmp_path / "base", tmp_path / "cur")
+    assert result.returncode == 1
+    assert "REGRESSED" in result.stdout
+    assert "warm_throughput_rps" in result.stdout
+
+
+def test_latency_regression_fails(tmp_path):
+    _write(tmp_path / "base", _service_payload(140.0, 0.005))
+    _write(tmp_path / "cur", _service_payload(140.0, 0.009))  # +80%
+    result = _run_gate(tmp_path / "base", tmp_path / "cur")
+    assert result.returncode == 1
+    assert "warm_median_latency_s" in result.stdout
+
+
+def test_scale_bench_per_worker_metrics_are_gated(tmp_path):
+    _write(tmp_path / "base", None, _scale_payload({1: 100.0, 4: 250.0}))
+    _write(tmp_path / "cur", None, _scale_payload({1: 100.0, 4: 150.0}))
+    result = _run_gate(tmp_path / "base", tmp_path / "cur")
+    assert result.returncode == 1
+    assert "workers_4_throughput_rps" in result.stdout
+
+
+def test_regression_inside_threshold_passes(tmp_path):
+    _write(tmp_path / "base", _service_payload(140.0, 0.005))
+    _write(tmp_path / "cur", _service_payload(120.0, 0.0058))  # ~-14%
+    result = _run_gate(tmp_path / "base", tmp_path / "cur")
+    assert result.returncode == 0, result.stdout
+
+
+def test_custom_threshold_applies(tmp_path):
+    _write(tmp_path / "base", _service_payload(140.0, 0.005))
+    _write(tmp_path / "cur", _service_payload(120.0, 0.005))  # ~-14%
+    result = _run_gate(tmp_path / "base", tmp_path / "cur",
+                       "--threshold", "0.10")
+    assert result.returncode == 1
+
+
+def test_improvements_pass_and_report_better(tmp_path):
+    _write(tmp_path / "base", _service_payload(140.0, 0.005))
+    _write(tmp_path / "cur", _service_payload(300.0, 0.002))
+    result = _run_gate(tmp_path / "base", tmp_path / "cur")
+    assert result.returncode == 0
+    assert "better" in result.stdout
+
+
+def test_missing_baseline_passes_with_note(tmp_path):
+    _write(tmp_path / "base")                      # no baselines at all
+    _write(tmp_path / "cur", _service_payload(140.0, 0.005))
+    result = _run_gate(tmp_path / "base", tmp_path / "cur")
+    assert result.returncode == 0
+    assert "no baseline" in result.stdout
+
+
+def test_missing_current_results_are_skipped(tmp_path):
+    _write(tmp_path / "base", _service_payload(140.0, 0.005))
+    _write(tmp_path / "cur")                       # bench never ran
+    result = _run_gate(tmp_path / "base", tmp_path / "cur")
+    assert result.returncode == 0
+    assert "skipped" in result.stdout
+
+
+def test_committed_baseline_via_git_show():
+    """The default `git show HEAD:FILE` baseline path must work
+    against the real repo.  No verdict assertion: the working-tree
+    BENCH files may hold fresh numbers from a local bench run, and
+    perf must never gate the tier-1 suite — only the plumbing is
+    pinned (clean exit, a comparison or a clear note, no traceback)."""
+    result = subprocess.run(
+        [sys.executable, str(SCRIPT), "--ref", "HEAD"],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+    assert result.returncode in (0, 1), result.stdout + result.stderr
+    assert "Traceback" not in result.stderr
+    assert ("BENCH_service.json" in result.stdout
+            or "skipped" in result.stdout)

@@ -23,6 +23,8 @@ MODULES = [
     "repro.resilience.admission",
     "repro.api",
     "repro.api.session",
+    "repro.service.metrics",
+    "repro.service.fleet",
 ]
 
 
