@@ -15,6 +15,8 @@ Tracked metrics:
                           better)
 ``BENCH_service_scale.json``  per-worker-count warm throughput and
                           median latency, same directions
+``BENCH_codegen.json``    compiled-kernel throughput and speedup over
+                          the interpreter (both up is better)
 ========================  ==========================================
 
 Only *regressions* fail; improvements are reported and pass.  A
@@ -37,7 +39,8 @@ import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-BENCH_FILES = ("BENCH_service.json", "BENCH_service_scale.json")
+BENCH_FILES = ("BENCH_service.json", "BENCH_service_scale.json",
+               "BENCH_codegen.json")
 
 
 def service_metrics(payload: dict) -> "dict[str, tuple[float, str]]":
@@ -69,8 +72,22 @@ def scale_metrics(payload: dict) -> "dict[str, tuple[float, str]]":
     return metrics
 
 
+def codegen_metrics(payload: dict) -> "dict[str, tuple[float, str]]":
+    """Generated-kernel metrics from BENCH_codegen.json."""
+    metrics = {}
+    throughput = payload.get("throughput", {})
+    if "compiled_vectors_per_second" in throughput:
+        metrics["compiled_vectors_per_second"] = (
+            float(throughput["compiled_vectors_per_second"]), "up")
+    if "compiled_speedup_x" in throughput:
+        metrics["compiled_speedup_x"] = (
+            float(throughput["compiled_speedup_x"]), "up")
+    return metrics
+
+
 EXTRACTORS = {"BENCH_service.json": service_metrics,
-              "BENCH_service_scale.json": scale_metrics}
+              "BENCH_service_scale.json": scale_metrics,
+              "BENCH_codegen.json": codegen_metrics}
 
 
 def compare(baseline: dict, current: dict,

@@ -31,6 +31,7 @@ from repro.api.types import (
     MapResult,
     ParetoResult,
     SweepRequest,
+    VerifyResult,
     canonical_json,
 )
 from repro.mapping.batch import BatchItem, BatchReport
@@ -45,6 +46,7 @@ __all__ = [
     "MapResult",
     "ParetoResult",
     "SweepRequest",
+    "VerifyResult",
     "SweepReport",
     "ResourceCatalog",
     "CacheTiers",

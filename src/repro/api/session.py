@@ -23,7 +23,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.api.catalog import ResourceCatalog
 from repro.api.config import SessionConfig
-from repro.api.types import MapRequest, MapResult, ParetoResult
+from repro.api.types import MapRequest, MapResult, ParetoResult, VerifyResult
 from repro.frontend.extract import TargetBlock
 from repro.library.catalog import Library
 from repro.mapping.batch import BatchItem, BatchReport, run_batch
@@ -183,6 +183,7 @@ class MappingSession:
         tolerance: "float | None" = None,
         accuracy_budget: "float | None" = None,
         workload: "str | None" = None,
+        measure: bool = False,
     ) -> ParetoResult:
         """Multi-objective mapping: the (cycles, energy, accuracy) front.
 
@@ -190,6 +191,13 @@ class MappingSession:
         value); energy is scored fresh per call — the derived-front
         contract — so fronts can never be served stale across
         energy-model changes.
+
+        ``measure=True`` runs every candidate's generated kernel on
+        the workload's deterministic stimulus and attaches
+        ``measured_accuracy``/``snr_db`` to each front point (see
+        :mod:`repro.codegen.verify`).  Measurement is derived like
+        energy — never cached, never part of the cache key — and the
+        default (unmeasured) wire bytes are unchanged.
         """
         tolerance, accuracy_budget = self._knobs(tolerance, accuracy_budget)
         workload_key = self._resolve_workload(workload)
@@ -204,10 +212,74 @@ class MappingSession:
             accuracy_budget=accuracy_budget,
             workload=workload_key,
         )
+        stimulus = None
+        if measure:
+            from repro.codegen.verify import stimulus_for_block
+
+            stimulus = stimulus_for_block(block_obj, workload_key)
         result = _map_block_pareto_cached(
-            block_obj, library_obj, platform_obj, tolerance, accuracy_budget, self.tiers
+            block_obj,
+            library_obj,
+            platform_obj,
+            tolerance,
+            accuracy_budget,
+            self.tiers,
+            measure=measure,
+            stimulus=stimulus,
         )
         return ParetoResult(request=request, result=result)
+
+    def verify(
+        self,
+        block,
+        library=None,
+        platform=None,
+        *,
+        tolerance: "float | None" = None,
+        accuracy_budget: "float | None" = None,
+        workload: "str | None" = None,
+        stimulus=None,
+    ) -> VerifyResult:
+        """Measure the scalar winner's generated kernel (the accuracy loop).
+
+        Maps the block exactly like :meth:`map` (same cache lines),
+        generates fixed-point code for the winning element
+        (:mod:`repro.codegen`), runs it against the exact float64
+        reference on the workload's deterministic stimulus, and reports
+        RMS / max error / SNR classified into the ISO 11172-4
+        compliance bands.  ``stimulus`` overrides the input vectors.
+        Returns a typed :class:`~repro.api.VerifyResult` whose
+        ``to_json()`` is the service's ``/v1/verify`` wire format.
+        """
+        tolerance, accuracy_budget = self._knobs(tolerance, accuracy_budget)
+        workload_key = self._resolve_workload(workload)
+        block_name, block_obj = self._resolve_block(block, workload_key)
+        tags, library_obj = self._resolve_library(library)
+        label, platform_obj = self._resolve_platform(platform)
+        request = MapRequest(
+            block=block_name,
+            library=tags,
+            platform=label,
+            tolerance=tolerance,
+            accuracy_budget=accuracy_budget,
+            workload=workload_key,
+        )
+        winner, _matches = _map_block_cached(
+            block_obj, library_obj, platform_obj, tolerance, accuracy_budget, self.tiers
+        )
+        measurement = None
+        if winner is not None:
+            from repro.codegen.verify import measure_match, stimulus_for_block
+
+            vectors = (
+                tuple(stimulus)
+                if stimulus is not None
+                else stimulus_for_block(block_obj, workload_key)
+            )
+            measurement = measure_match(block_obj, winner, stimulus=vectors)
+        return VerifyResult(
+            request=request, platform=platform_obj, measurement=measurement
+        )
 
     def decompose(
         self,

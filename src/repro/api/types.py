@@ -38,11 +38,13 @@ __all__ = [
     "DEFAULT_LIBRARY",
     "DEFAULT_PLATFORM",
     "DEFAULT_WORKLOAD",
+    "ACCURACY_BUDGET_MESSAGE",
     "canonical_json",
     "MapRequest",
     "SweepRequest",
     "MapResult",
     "ParetoResult",
+    "VerifyResult",
 ]
 
 #: Library tags a request may combine, in canonical order.
@@ -53,6 +55,12 @@ DEFAULT_LIBRARY = ("REF", "LM", "IH", "IPP")
 
 #: The paper's processor, and the registry's first entry.
 DEFAULT_PLATFORM = "SA-1110"
+
+#: The one wording for a negative accuracy budget, shared verbatim by
+#: the CLI (argparse error) and the service (HTTP 400) so both
+#: surfaces refuse identically instead of silently returning an empty
+#: front.
+ACCURACY_BUDGET_MESSAGE = "field 'accuracy_budget' must be a nonnegative number"
 
 
 def canonical_json(payload) -> bytes:
@@ -95,6 +103,13 @@ def _number(payload: dict, key: str, default: float) -> float:
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise ServiceError(400, f"field {key!r} must be a number")
     return float(value)
+
+
+def _accuracy_budget(payload: dict, default: float) -> float:
+    value = _number(payload, "accuracy_budget", default)
+    if value < 0 or math.isnan(value):
+        raise ServiceError(400, ACCURACY_BUDGET_MESSAGE)
+    return value
 
 
 def _string_tuple(payload: dict, key: str, default) -> tuple:
@@ -156,7 +171,7 @@ class MapRequest:
             library=_string_tuple(payload, "library", DEFAULT_LIBRARY),
             platform=_string(payload, "platform", DEFAULT_PLATFORM),
             tolerance=_number(payload, "tolerance", 1e-6),
-            accuracy_budget=_number(payload, "accuracy_budget", math.inf),
+            accuracy_budget=_accuracy_budget(payload, math.inf),
             workload=_string(payload, "workload", DEFAULT_WORKLOAD),
         )
 
@@ -212,7 +227,7 @@ class SweepRequest:
             libraries=_string_tuple(payload, "libraries", None),
             blocks=_string_tuple(payload, "blocks", None),
             tolerance=_number(payload, "tolerance", 1e-6),
-            accuracy_budget=_number(payload, "accuracy_budget", math.inf),
+            accuracy_budget=_accuracy_budget(payload, math.inf),
             workload=_string(payload, "workload", DEFAULT_WORKLOAD),
         )
 
@@ -313,7 +328,27 @@ class ParetoResult:
         return winner.element.name if winner is not None else None
 
     def to_payload(self) -> dict:
-        """The wire payload: the front of the shared cached match list."""
+        """The wire payload: the front of the shared cached match list.
+
+        ``measured_accuracy``/``snr_db`` appear on a front entry only
+        when the underlying point carries a measurement (sessions pass
+        ``measure=True``), so unmeasured responses stay byte-identical
+        to the pre-codegen wire format.
+        """
+        front = []
+        for p in self.front:
+            entry = {
+                "element": p.element_name,
+                "element_library": p.library,
+                "cycles": p.objectives.cycles,
+                "energy_j": p.objectives.energy_j,
+                "accuracy": p.objectives.accuracy,
+            }
+            if p.objectives.measured_accuracy is not None:
+                entry["measured_accuracy"] = p.objectives.measured_accuracy
+            if p.objectives.snr_db is not None:
+                entry["snr_db"] = p.objectives.snr_db
+            front.append(entry)
         return {
             "block": self.request.block,
             "platform": self.request.platform,
@@ -321,18 +356,48 @@ class ParetoResult:
             "library": "+".join(self.request.library),
             "workload": self.request.workload,
             "winner": self.winner_name,
-            "front": [
-                {
-                    "element": p.element_name,
-                    "element_library": p.library,
-                    "cycles": p.objectives.cycles,
-                    "energy_j": p.objectives.energy_j,
-                    "accuracy": p.objectives.accuracy,
-                }
-                for p in self.front
-            ],
+            "front": front,
         }
 
     def to_json(self) -> bytes:
         """Canonical bytes — identical to the ``/v1/pareto`` response body."""
+        return canonical_json(self.to_payload())
+
+
+@dataclass(frozen=True)
+class VerifyResult:
+    """A measured-accuracy outcome for one mapped block.
+
+    Pairs the request with the scalar winner's
+    :class:`~repro.codegen.verify.BlockMeasurement` (or ``None`` for
+    an unmapped block).  ``to_json()`` is the service's ``/v1/verify``
+    wire format, byte for byte — same contract as the other results.
+    """
+
+    request: MapRequest
+    platform: Badge4
+    measurement: "object | None"
+
+    @property
+    def mapped(self) -> bool:
+        """True iff some adequate element covers the block."""
+        return self.measurement is not None
+
+    def to_payload(self) -> dict:
+        payload = {
+            "block": self.request.block,
+            "platform": self.request.platform,
+            "processor": self.platform.processor.name,
+            "library": "+".join(self.request.library),
+            "workload": self.request.workload,
+            "mapped": self.mapped,
+        }
+        if self.measurement is not None:
+            payload.update(self.measurement.to_payload())
+        else:
+            payload["element"] = None
+        return payload
+
+    def to_json(self) -> bytes:
+        """Canonical bytes — identical to the ``/v1/verify`` response body."""
         return canonical_json(self.to_payload())

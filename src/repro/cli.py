@@ -15,6 +15,8 @@ on ``/v1/map`` for the same request — asserted in
 ``map``        scalar block mapping (cycles winner + every match)
 ``pareto``     the (cycles, energy, accuracy) non-dominated front
 ``sweep``      the multi-platform sweep (canonical sweep JSON)
+``verify``     measure the winner's generated kernel (codegen loop)
+``codegen``    print the winner's generated fixed-point Python source
 ``workloads``  the workload registry (block names per workload)
 ``platforms``  the processor registry
 ``cache``      session cache statistics / clearing
@@ -39,6 +41,7 @@ import re
 import sys
 
 from repro.api import MappingSession, SessionConfig, canonical_json, default_session
+from repro.api.types import ACCURACY_BUDGET_MESSAGE
 from repro.errors import ReproError
 
 __all__ = ["build_parser", "main"]
@@ -49,6 +52,22 @@ _TAG_SPLIT = re.compile(r"[+,_\s]+")
 def _parse_tags(text: str) -> tuple[str, ...]:
     """Catalog tags from a separator-agnostic, case-insensitive combo."""
     return tuple(part.upper() for part in _TAG_SPLIT.split(text) if part)
+
+
+def _accuracy_budget(text: str) -> float:
+    """Argparse type for ``--accuracy-budget``: a nonnegative float.
+
+    Rejects negatives with the same message the service's 400 carries
+    (:data:`~repro.api.types.ACCURACY_BUDGET_MESSAGE`), so both
+    surfaces refuse identically.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}") from None
+    if value < 0 or value != value:
+        raise argparse.ArgumentTypeError(ACCURACY_BUDGET_MESSAGE)
+    return value
 
 
 def _parse_list(text: str) -> tuple[str, ...]:
@@ -100,7 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--accuracy-budget",
-            type=float,
+            type=_accuracy_budget,
             default=None,
             help="maximum acceptable accuracy loss (default: unbounded)",
         )
@@ -147,7 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--accuracy-budget",
-        type=float,
+        type=_accuracy_budget,
         default=None,
         help="maximum acceptable accuracy loss (default: unbounded)",
     )
@@ -157,6 +176,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload registry key to sweep (default: mp3; see `repro workloads`)",
     )
     add_session_options(p_sweep)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="measure the winner's generated fixed-point kernel against "
+        "the exact float64 reference (ISO 11172-4 bands)",
+    )
+    add_map_options(p_verify)
+
+    p_codegen = sub.add_parser(
+        "codegen",
+        help="print the winner's generated kernel source",
+    )
+    add_map_options(p_codegen)
+    p_codegen.add_argument(
+        "--emit",
+        choices=("python",),
+        default="python",
+        help="target language of the emitted kernel (default: %(default)s)",
+    )
 
     p_workloads = sub.add_parser("workloads", help="list the workload registry")
     add_session_options(p_workloads)
@@ -335,6 +373,82 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    session = _session(args)
+    library = _parse_tags(args.library) if args.library else None
+    result = session.verify(
+        args.block,
+        library,
+        args.platform,
+        tolerance=args.tolerance,
+        accuracy_budget=args.accuracy_budget,
+        workload=args.workload,
+    )
+    if args.json:
+        _emit(result.to_json().decode("ascii"))
+        return 0
+    request = result.request
+    _emit(f"block     {request.block}")
+    _emit(f"platform  {request.platform} ({result.platform.processor.name})")
+    _emit(f"library   {'+'.join(request.library)}")
+    _emit(f"mapped    {str(result.mapped).lower()}")
+    m = result.measurement
+    if m is None:
+        _emit("  (no adequate element; nothing to verify)")
+        return 0
+    _emit(f"element   {m.element} ({m.element_library})")
+    _emit(f"formats   {m.input_format} -> {m.output_format}")
+    _emit(f"declared  {m.declared_accuracy:.3e}")
+    _emit(f"rms       {m.rms_error:.3e}")
+    _emit(f"max       {m.max_error:.3e}")
+    _emit(f"snr       {m.snr_db:.1f} dB")
+    _emit(f"band      {m.compliance}  ({m.n_vectors} vectors)")
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    session = _session(args)
+    library = _parse_tags(args.library) if args.library else None
+    result = session.map(
+        args.block,
+        library,
+        args.platform,
+        tolerance=args.tolerance,
+        accuracy_budget=args.accuracy_budget,
+        workload=args.workload,
+    )
+    if result.winner is None:
+        print(
+            f"error: no adequate element maps block {result.request.block!r}",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.codegen import element_formats, emit_python, lower_match
+
+    block_obj = session.blocks(result.request.workload)[result.request.block]
+    kernel = lower_match(block_obj, result.winner)
+    in_fmt, out_fmt = element_formats(result.winner.element)
+    source = emit_python(kernel, in_fmt, out_fmt)
+    if args.json:
+        payload = {
+            "block": result.request.block,
+            "platform": result.request.platform,
+            "processor": result.platform.processor.name,
+            "library": "+".join(result.request.library),
+            "workload": result.request.workload,
+            "element": result.winner.element.name,
+            "element_library": result.winner.element.library,
+            "emit": args.emit,
+            "input_format": result.winner.element.input_format,
+            "output_format": result.winner.element.output_format,
+            "source": source,
+        }
+        _emit(canonical_json(payload).decode("ascii"))
+        return 0
+    _emit(source.rstrip("\n"))
+    return 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     session = _session(args)
     payload = session.workloads_payload()
@@ -423,6 +537,8 @@ _COMMANDS = {
     "map": _cmd_map,
     "pareto": _cmd_pareto,
     "sweep": _cmd_sweep,
+    "verify": _cmd_verify,
+    "codegen": _cmd_codegen,
     "workloads": _cmd_workloads,
     "platforms": _cmd_platforms,
     "cache": _cmd_cache,

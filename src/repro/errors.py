@@ -82,6 +82,12 @@ class ServiceError(ReproError):
         self.attempts = tuple(attempts or ())
 
 
+class CodegenError(ReproError):
+    """Fixed-point code generation errors (``repro.codegen``): an
+    expression the lowerer cannot handle, an unsupported numeric
+    format, or an overflow policy emitted code cannot honor."""
+
+
 class Mp3Error(ReproError):
     """MP3 decoder substrate errors (bad bitstream, bad frame, ...)."""
 

@@ -564,6 +564,8 @@ def map_block_pareto(
     tolerance: float = 1e-6,
     accuracy_budget: float = float("inf"),
     cache_dir: "str | None" = None,
+    measure: bool = False,
+    stimulus=None,
 ) -> "BlockParetoResult":
     """Deprecated multi-objective :func:`map_block` over the globals:
     the Pareto front over (cycles, energy, accuracy) instead of a
@@ -580,6 +582,14 @@ def map_block_pareto(
     tiers (same key, same value); only the energy scoring happens per
     call, in-process, so fronts can never be served stale across
     energy-model changes.
+
+    ``measure=True`` additionally runs every candidate's generated
+    fixed-point kernel against the exact float64 reference
+    (:func:`repro.codegen.verify.match_measurer`) and attaches
+    ``measured_accuracy`` / ``snr_db`` to each point's objectives;
+    ``stimulus`` overrides the workload's deterministic input vectors.
+    Measurement is derived like energy — never cached, never part of
+    the cache key — so measured and unmeasured calls share hits.
     """
     _warn_deprecated(
         "module-level map_block_pareto()",
@@ -593,6 +603,8 @@ def map_block_pareto(
         accuracy_budget,
         DEFAULT_TIERS,
         cache_dir,
+        measure=measure,
+        stimulus=stimulus,
     )
 
 
@@ -604,15 +616,26 @@ def _map_block_pareto_cached(
     accuracy_budget: float,
     tiers: CacheTiers,
     cache_dir: "str | None" = None,
+    *,
+    measure: bool = False,
+    stimulus=None,
 ) -> "BlockParetoResult":
     """Front derivation over the cached match list (derived-front
-    contract: energy is always scored fresh, in-process)."""
+    contract: energy — and measurement, when requested — is always
+    scored fresh, in-process)."""
     from repro.mapping.pareto import BlockParetoResult
 
     _winner, matches = _map_block_cached(
         block, library, platform, tolerance, accuracy_budget, tiers, cache_dir
     )
-    return BlockParetoResult.from_matches(block.name, platform, matches)
+    measure_fn = None
+    if measure:
+        from repro.codegen.verify import match_measurer
+
+        measure_fn = match_measurer(block, stimulus=stimulus)
+    return BlockParetoResult.from_matches(
+        block.name, platform, matches, measure=measure_fn
+    )
 
 
 def _map_block_uncached(

@@ -32,8 +32,8 @@ changed energy model can never be served stale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Sequence
 
 from repro.library.element import LibraryElement
 from repro.mapping.match import BlockMatch
@@ -56,11 +56,20 @@ class Objectives:
     ``accuracy`` is the element's characterized maximum absolute error,
     so *smaller is better* there too — the vector is uniformly
     minimizing and dominance needs no per-axis direction flags.
+
+    ``measured_accuracy`` and ``snr_db`` are filled only by measured
+    mappings (``measure=True``): max absolute error and SNR of the
+    block's *generated kernel* against the exact float64 reference
+    (see :mod:`repro.codegen.verify`).  They are observations, not
+    optimization axes — dominance and :meth:`as_tuple` ignore them, so
+    measurement can never reorder a front.
     """
 
     cycles: float
     energy_j: float
     accuracy: float
+    measured_accuracy: "float | None" = None
+    snr_db: "float | None" = None
 
     def dominates(self, other: "Objectives") -> bool:
         """Weak dominance with at least one strict improvement."""
@@ -120,15 +129,36 @@ class BlockParetoResult:
 
     @classmethod
     def from_matches(
-        cls, block_name: str, platform: Badge4, matches: Sequence[BlockMatch]
+        cls,
+        block_name: str,
+        platform: Badge4,
+        matches: Sequence[BlockMatch],
+        measure: "Callable[[BlockMatch], tuple[float, float]] | None" = None,
     ) -> "BlockParetoResult":
         """Derive the front from a platform-priced match list.
 
         The single construction point for the derived-front contract:
         both ``map_block_pareto`` and ``MethodologyFlow.sweep`` build
         their results here, so their fronts cannot drift apart.
+
+        ``measure``, when given, maps each match to its measured
+        ``(max_error, snr_db)`` (see
+        :func:`repro.codegen.verify.match_measurer`); every scored
+        point then carries the observation alongside the static
+        estimate.  Measurement happens after scoring and never touches
+        the dominance axes, so measured and unmeasured fronts hold the
+        same points in the same order.
         """
         scored = [ParetoPoint(m, score_match(m, platform)) for m in matches]
+        if measure is not None:
+            observed = []
+            for point in scored:
+                error, snr = measure(point.match)
+                objectives = replace(
+                    point.objectives, measured_accuracy=error, snr_db=snr
+                )
+                observed.append(ParetoPoint(point.match, objectives))
+            scored = observed
         return cls(
             block_name=block_name,
             platform_name=platform.processor.name,

@@ -13,6 +13,7 @@ serves:
 ``/v1/stats``         GET     cache tiers + single-flight counters
 ``/v1/map``           POST    scalar block mapping (cycles winner)
 ``/v1/pareto``        POST    the (cycles, energy, accuracy) front
+``/v1/verify``        POST    measured accuracy of the winner's kernel
 ``/v1/sweep``         POST    the multi-platform sweep, canonical JSON
 ====================  ======  =========================================
 
@@ -198,7 +199,13 @@ class MappingService:
                         "/v1/stats": ("GET", self._get_stats),
                         "/v1/map": ("POST", self._post_map),
                         "/v1/pareto": ("POST", self._post_pareto),
+                        "/v1/verify": ("POST", self._post_verify),
                         "/v1/sweep": ("POST", self._post_sweep)}
+        # Measured-accuracy responses keyed by the map digest:
+        # measurement is deterministic (fixed stimulus, fixed formats),
+        # so a verified block is answered from memory for the process
+        # lifetime instead of re-running its kernels.
+        self._verify_cache: "dict[str, dict]" = {}
 
     # -- lifecycle -------------------------------------------------------
     async def start(self) -> None:
@@ -567,6 +574,32 @@ class MappingService:
                                  accuracy_budget=request.accuracy_budget)],
             executor=self._map_executor)
         return report.results[0]
+
+    async def _post_verify(self, payload) -> dict:
+        request = MapRequest.from_payload(payload)
+        key, _block, _library, _platform = self._map_key(request)
+        digest = stable_digest(("verify",) + key)
+        cached = self._verify_cache.get(digest)
+        if cached is not None:
+            return cached
+        response = await self.flight.run(
+            digest,
+            lambda: self._offload(self._verify_work, request))
+        if len(self._verify_cache) >= 1024:
+            self._verify_cache.pop(next(iter(self._verify_cache)))
+        self._verify_cache[digest] = response
+        return response
+
+    def _verify_work(self, request: MapRequest) -> dict:
+        inject("service.dispatch")
+        # Name arguments from the validated request, so the session
+        # resolves exactly like a CLI `repro verify` call and the two
+        # surfaces stay byte-comparable.
+        return self.session.verify(
+            request.block, request.library, request.platform,
+            tolerance=request.tolerance,
+            accuracy_budget=request.accuracy_budget,
+            workload=request.workload).to_payload()
 
     def _sweep_key(self, request: SweepRequest):
         """``(coalescing key, platform keys, libraries, blocks)`` for

@@ -42,6 +42,18 @@ def subband_matrixing(s, n):
 """
 
 
+def _imdct_stimulus():
+    """Compliance-stream spectral lines (lazy: pulls in the decoder)."""
+    from repro.mp3.vectors import imdct_vectors
+    return imdct_vectors()
+
+
+def _matrixing_stimulus():
+    """Compliance-stream subband steps (lazy: pulls in the decoder)."""
+    from repro.mp3.vectors import matrixing_vectors
+    return matrixing_vectors()
+
+
 def imdct_block() -> TargetBlock:
     """A fresh extraction of the IMDCT loop nest (``inv_mdctL``)."""
     return extract_block(
@@ -83,6 +95,7 @@ class Mp3Workload(Workload):
                 n_outputs=36,
                 n_inputs=18,
                 builder=imdct_block,
+                stimulus=_imdct_stimulus,
             ),
             BlockSpec(
                 name="SubBandSynthesis",
@@ -90,5 +103,6 @@ class Mp3Workload(Workload):
                 n_outputs=64,
                 n_inputs=32,
                 builder=matrixing_block,
+                stimulus=_matrixing_stimulus,
             ),
         )

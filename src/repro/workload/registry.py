@@ -29,14 +29,16 @@ the frontend.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.errors import WorkloadError
 from repro.frontend.extract import TargetBlock
 
 __all__ = [
     "DEFAULT_WORKLOAD",
+    "default_stimulus",
     "BlockSpec",
     "Workload",
     "WorkloadEntry",
@@ -51,6 +53,36 @@ __all__ = [
 #: The registry's first entry and every surface's default: the paper's
 #: evaluation workload.
 DEFAULT_WORKLOAD = "mp3"
+
+
+def default_stimulus(n_inputs: int, *, name: str = "", n_vectors: int = 16,
+                     amplitude: float = 1.0) -> tuple[tuple[float, ...], ...]:
+    """Deterministic pseudo-random stimulus for blocks without one.
+
+    Every block the codegen verifier measures needs input vectors; a
+    workload that declares none gets this fallback — ``n_vectors``
+    uniform vectors in ``[-amplitude, amplitude)``, seeded from the
+    block's identity so reruns (and CI machines) see identical bytes.
+    The generator is a self-contained 64-bit LCG: no numpy, no shared
+    ``random`` state to perturb.
+
+    >>> default_stimulus(2, name="demo", n_vectors=2)[0] == \
+            default_stimulus(2, name="demo", n_vectors=2)[0]
+    True
+    >>> len(default_stimulus(3, n_vectors=5))
+    5
+    """
+    seed_bytes = hashlib.sha256(
+        f"repro.stimulus/{name}/{n_inputs}".encode()).digest()[:8]
+    state = int.from_bytes(seed_bytes, "big") or 1
+    vectors = []
+    for _ in range(n_vectors):
+        row = []
+        for _ in range(n_inputs):
+            state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+            row.append(amplitude * ((state >> 11) / float(1 << 53) * 2.0 - 1.0))
+        vectors.append(tuple(row))
+    return tuple(vectors)
 
 
 @dataclass(frozen=True)
@@ -68,6 +100,12 @@ class BlockSpec:
     n_outputs: int
     n_inputs: int
     builder: Callable[[], TargetBlock] = field(repr=False, compare=False)
+    #: Optional verification stimulus: a zero-argument callable
+    #: returning input vectors (each ``n_inputs`` floats, kernel input
+    #: order).  Blocks without one fall back to
+    #: :func:`default_stimulus`.
+    stimulus: "Callable[[], Sequence[Sequence[float]]] | None" = field(
+        default=None, repr=False, compare=False)
 
     def build(self) -> TargetBlock:
         """A fresh extraction, checked against the declaration."""
@@ -122,6 +160,37 @@ class Workload:
                 f"workload {self.key!r} declares duplicate block name(s) "
                 f"{sorted(duplicates)}")
         return {spec.name: spec.build() for spec in specs}
+
+    def stimulus(self, block_name: str) -> tuple[tuple[float, ...], ...]:
+        """Deterministic verification stimulus for one declared block.
+
+        Uses the block's declared ``stimulus`` hook when present
+        (validated: non-empty, every vector ``n_inputs`` wide),
+        otherwise :func:`default_stimulus` seeded from the workload and
+        block identity.
+        """
+        for spec in self.block_specs():
+            if spec.name == block_name:
+                break
+        else:
+            raise WorkloadError(
+                f"workload {self.key!r} declares no block named "
+                f"{block_name!r}; known: {list(self.block_names())}")
+        if spec.stimulus is None:
+            return default_stimulus(
+                spec.n_inputs, name=f"{self.key}/{block_name}")
+        vectors = tuple(tuple(float(v) for v in row)
+                        for row in spec.stimulus())
+        if not vectors:
+            raise WorkloadError(
+                f"stimulus for block {block_name!r} returned no vectors")
+        for row in vectors:
+            if len(row) != spec.n_inputs:
+                raise WorkloadError(
+                    f"stimulus for block {block_name!r} produced a vector "
+                    f"of {len(row)} values; declared n_inputs is "
+                    f"{spec.n_inputs}")
+        return vectors
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(key={self.key!r})"

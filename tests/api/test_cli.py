@@ -72,6 +72,82 @@ class TestSweepCommand:
         assert payload["libraries"] == ["REF+LM+IH"]
 
 
+class TestVerifyCommand:
+    def test_table_output_reports_the_band(self, capsys):
+        assert main(["verify", "inv_mdctL", "--library", "lm_ih"]) == 0
+        out = capsys.readouterr().out
+        assert "mapped    true" in out
+        assert "band      full" in out
+        assert "snr" in out
+
+    def test_json_output_is_the_session_wire_format(self, capsys):
+        from repro.api import default_session
+
+        assert main(["verify", "inv_mdctL", "--library", "LM+IH",
+                     "--json"]) == 0
+        out = capsys.readouterr().out.strip()
+        expected = default_session().verify("inv_mdctL", ("LM", "IH"))
+        assert out.encode("ascii") == expected.to_json()
+
+    def test_unmapped_block_still_exits_zero(self, capsys):
+        argv = ["verify", "inv_mdctL", "--library", "lm_ih",
+                "--accuracy-budget", "0"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "mapped    false" in out
+        assert "nothing to verify" in out
+
+
+class TestCodegenCommand:
+    def test_emits_runnable_python_source(self, capsys):
+        assert main(["codegen", "inv_mdctL", "--library", "lm_ih"]) == 0
+        source = capsys.readouterr().out
+        namespace: dict = {}
+        exec(compile(source, "<test>", "exec"), namespace)
+        assert callable(namespace["run"])
+        assert callable(namespace["run_raw"])
+
+    def test_json_shape_names_the_element(self, capsys):
+        assert main(["codegen", "inv_mdctL", "--library", "lm_ih",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["block"] == "inv_mdctL"
+        assert payload["emit"] == "python"
+        assert payload["element"] == "fixed_IMDCT"
+        assert "def run_raw" in payload["source"]
+
+    def test_unmapped_block_is_exit_2_with_stderr(self, capsys):
+        argv = ["codegen", "inv_mdctL", "--library", "lm_ih",
+                "--accuracy-budget", "0"]
+        assert main(argv) == 2
+        assert "no adequate element" in capsys.readouterr().err
+
+
+class TestAccuracyBudgetOption:
+    """The argparse rejection shares its message with the service 400."""
+
+    @pytest.mark.parametrize("command", ["map", "verify", "codegen"])
+    def test_negative_budget_is_a_usage_error(self, command, capsys):
+        from repro.api.types import ACCURACY_BUDGET_MESSAGE
+
+        with pytest.raises(SystemExit) as err:
+            main([command, "inv_mdctL", "--accuracy-budget", "-1"])
+        assert err.value.code == 2
+        assert ACCURACY_BUDGET_MESSAGE in capsys.readouterr().err
+
+    def test_negative_budget_rejected_on_sweep(self, capsys):
+        from repro.api.types import ACCURACY_BUDGET_MESSAGE
+
+        with pytest.raises(SystemExit):
+            main(["sweep", "--accuracy-budget", "-0.5"])
+        assert ACCURACY_BUDGET_MESSAGE in capsys.readouterr().err
+
+    def test_non_numeric_budget_is_a_float_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["map", "inv_mdctL", "--accuracy-budget", "tight"])
+        assert "invalid float value" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_platforms_lists_the_registry(self, capsys):
         assert main(["platforms"]) == 0

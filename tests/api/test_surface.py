@@ -29,6 +29,7 @@ EXPECTED_API = [
     "SessionConfig",
     "SweepReport",
     "SweepRequest",
+    "VerifyResult",
     "canonical_json",
     "default_session",
 ]
@@ -78,6 +79,27 @@ EXPECTED_CLI = {
         "--platforms",
         "--tolerance",
         "--workload",
+    ],
+    "verify": [
+        "--accuracy-budget",
+        "--cache-dir",
+        "--json",
+        "--library",
+        "--platform",
+        "--tolerance",
+        "--workload",
+        "block",
+    ],
+    "codegen": [
+        "--accuracy-budget",
+        "--cache-dir",
+        "--emit",
+        "--json",
+        "--library",
+        "--platform",
+        "--tolerance",
+        "--workload",
+        "block",
     ],
     "workloads": [
         "--cache-dir",
@@ -151,7 +173,8 @@ def test_cli_inventory_is_locked():
 
 def test_cli_subcommand_order_is_stable():
     assert list(_cli_inventory()) == [
-        "map", "pareto", "sweep", "workloads", "platforms", "cache", "serve"
+        "map", "pareto", "sweep", "verify", "codegen",
+        "workloads", "platforms", "cache", "serve",
     ]
 
 

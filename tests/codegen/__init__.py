@@ -1,0 +1,1 @@
+"""Tests for ``repro.codegen`` — lowering, formats, emission, verification."""

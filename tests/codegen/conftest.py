@@ -1,0 +1,20 @@
+"""Shared fixtures for the codegen test suite."""
+
+import pytest
+
+from repro.mapping import clear_mapping_caches
+from repro.mapping.cache import DEFAULT_TIERS
+
+
+@pytest.fixture
+def isolated_cache_env(monkeypatch):
+    """Cold process-wide caches, disk tier off — the codegen twin of the
+    session suite's fixture, for tests that map through sessions."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    DEFAULT_TIERS.configure(None)
+    clear_mapping_caches()
+    yield
+    clear_mapping_caches()
+    DEFAULT_TIERS.configure(follow_env=True)

@@ -1,0 +1,141 @@
+"""Pinned parity properties.
+
+Two contracts hold bit-for-bit, enforced here over randomized inputs:
+
+* the emitted-Python fast path (:mod:`repro.codegen.pysource`) computes
+  exactly what the :class:`repro.fixedpoint.Fixed` interpreter
+  (:mod:`repro.codegen.fixedpt`) computes — same raw integers, same
+  floats — over random polynomials, Q-formats and stimuli;
+* ``measure=`` is an *opt-in observation*: at its default,
+  :meth:`MappingSession.pareto` produces canonical JSON byte-identical
+  to a session that has never heard of measurement.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.fixedpt import (
+    NumericFormat,
+    interpret,
+    interpret_raw,
+    parse_format,
+)
+from repro.codegen.lower import lower_polynomials
+from repro.codegen.pysource import compile_kernel
+from repro.fixedpoint import QFormat
+from repro.symalg import Polynomial
+
+# Emission + exec per example is ~1 ms; keep example counts modest and
+# drop the deadline (first-example import warm-up would trip it).
+SETTINGS = settings(max_examples=60, deadline=None)
+
+# Random dense-ish polynomials in x, y: exponent pairs up to cubic,
+# small integer coefficients (halves included, exercising from_fraction
+# rounding against dyadic and non-dyadic constants alike).
+coefficients = st.fractions(
+    min_value=-16, max_value=16, max_denominator=8)
+polynomials = st.dictionaries(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)),
+    coefficients,
+    min_size=1,
+    max_size=5,
+).map(lambda terms: Polynomial.from_dict(terms, ("x", "y")))
+
+# Q-formats small enough that products overflow often (saturation and
+# wrap paths both get exercised), with both non-raising overflow modes.
+qformats = st.builds(
+    QFormat,
+    st.integers(0, 6),
+    st.integers(1, 15),
+    st.sampled_from(["saturate", "wrap"]),
+).filter(lambda fmt: fmt.int_bits + fmt.frac_bits >= 1)
+
+values = st.floats(min_value=-8.0, max_value=8.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+def _numeric(fmt: QFormat) -> NumericFormat:
+    return NumericFormat(f"q{fmt.int_bits}.{fmt.frac_bits}", "fixed", fmt)
+
+
+def _kernel(poly: Polynomial):
+    return lower_polynomials("prop", {"out": poly}, ("x", "y"))
+
+
+class TestFixedParity:
+    @SETTINGS
+    @given(poly=polynomials, fmt=qformats, out_fmt=qformats,
+           x=values, y=values)
+    def test_run_matches_interpreter(self, poly, fmt, out_fmt, x, y):
+        kernel = _kernel(poly)
+        in_n, out_n = _numeric(fmt), _numeric(out_fmt)
+        compiled = compile_kernel(kernel, in_n, out_n)
+        env = {"x": x, "y": y}
+        assert compiled.run(env) == interpret(kernel, in_n, out_n, env)
+
+    @SETTINGS
+    @given(poly=polynomials, fmt=qformats, out_fmt=qformats,
+           raw_x=st.integers(-(1 << 24), 1 << 24),
+           raw_y=st.integers(-(1 << 24), 1 << 24))
+    def test_run_raw_matches_interpreter(self, poly, fmt, out_fmt,
+                                         raw_x, raw_y):
+        # Raw inputs deliberately exceed the format range: the emitted
+        # prologue must clamp them exactly as Fixed.__init__ does.
+        kernel = _kernel(poly)
+        compiled = compile_kernel(kernel, _numeric(fmt), _numeric(out_fmt))
+        assert compiled.run_raw(raw_x, raw_y) == \
+            interpret_raw(kernel, fmt, out_fmt, [raw_x, raw_y])
+
+
+class TestFloatParity:
+    @SETTINGS
+    @given(poly=polynomials, x=values, y=values,
+           label=st.sampled_from(["float", "double"]))
+    def test_float_kernels_match_interpreter(self, poly, x, y, label):
+        kernel = _kernel(poly)
+        fmt = parse_format(label)
+        compiled = compile_kernel(kernel, fmt, fmt)
+        env = {"x": x, "y": y}
+        assert compiled.run(env) == interpret(kernel, fmt, fmt, env)
+
+
+class TestParetoWireParity:
+    @pytest.fixture(autouse=True)
+    def _isolated(self, isolated_cache_env):
+        yield
+
+    def test_default_bytes_unchanged_by_measure_false(self):
+        from repro.api import MappingSession
+
+        session = MappingSession()
+        plain = session.pareto("inv_mdctL", ("LM", "IH")).to_json()
+        off = session.pareto("inv_mdctL", ("LM", "IH"),
+                             measure=False).to_json()
+        assert plain == off
+
+    def test_measured_payload_is_plain_plus_observations(self):
+        from repro.api import MappingSession
+
+        session = MappingSession()
+        plain = json.loads(session.pareto("inv_mdctL", ("LM", "IH"))
+                           .to_json())
+        measured = json.loads(session.pareto("inv_mdctL", ("LM", "IH"),
+                                             measure=True).to_json())
+        for point in measured["front"]:
+            assert isinstance(point.pop("measured_accuracy"), float)
+            assert isinstance(point.pop("snr_db"), float)
+        assert measured == plain
+
+    def test_measure_does_not_poison_the_cache(self):
+        """A measured call must not leave observations behind for later
+        default calls served from the same warm cache."""
+        from repro.api import MappingSession
+
+        session = MappingSession()
+        cold = session.pareto("inv_mdctL", ("LM", "IH")).to_json()
+        session.pareto("inv_mdctL", ("LM", "IH"), measure=True)
+        warm = session.pareto("inv_mdctL", ("LM", "IH")).to_json()
+        assert warm == cold

@@ -72,6 +72,34 @@ class TestMapRequest:
         assert err.value.status == 400
 
 
+class TestAccuracyBudgetValidation:
+    """Negative budgets are rejected with one shared message — the CLI
+    argparse error and the service 400 must read identically."""
+
+    @pytest.mark.parametrize("budget", [-1, -1e-9, math.nan])
+    def test_map_request_rejects(self, budget):
+        from repro.api.types import ACCURACY_BUDGET_MESSAGE
+
+        with pytest.raises(ServiceError) as err:
+            MapRequest.from_payload(
+                {"block": "b", "accuracy_budget": budget})
+        assert err.value.status == 400
+        assert str(err.value) == ACCURACY_BUDGET_MESSAGE
+
+    @pytest.mark.parametrize("budget", [-1, -1e-9, math.nan])
+    def test_sweep_request_rejects(self, budget):
+        from repro.api.types import ACCURACY_BUDGET_MESSAGE
+
+        with pytest.raises(ServiceError) as err:
+            SweepRequest.from_payload({"accuracy_budget": budget})
+        assert err.value.status == 400
+        assert str(err.value) == ACCURACY_BUDGET_MESSAGE
+
+    def test_zero_budget_is_valid(self):
+        assert MapRequest.from_payload(
+            {"block": "b", "accuracy_budget": 0}).accuracy_budget == 0.0
+
+
 class TestSweepRequest:
     def test_defaults_mean_everything(self):
         request = SweepRequest.from_payload({})

@@ -75,6 +75,51 @@ class TestRoundTrips:
             [p.element_name for p in result.front]
         assert response["winner"] == result.cycles_winner.element.name
 
+    def test_verify_matches_direct_call(self, live_service):
+        service, client = live_service
+        payload = {"block": "inv_mdctL", "library": ["LM", "IH"]}
+        status, body = client.request_bytes("POST", "/v1/verify", payload)
+        assert status == 200
+        expected = service.session.verify("inv_mdctL", ("LM", "IH"))
+        assert body == expected.to_json()
+        response = json.loads(body)
+        assert response["mapped"] is True
+        assert response["compliance"] in {"full", "limited"}
+
+    def test_verify_responses_are_cached(self, live_service):
+        service, client = live_service
+        payload = {"block": "inv_mdctL", "library": ["LM", "IH"],
+                   "platform": "DSP"}
+        before = len(service._verify_cache)
+        first = client.request_bytes("POST", "/v1/verify", payload)
+        after_first = len(service._verify_cache)
+        second = client.request_bytes("POST", "/v1/verify", payload)
+        assert first == second
+        assert first[0] == 200
+        assert after_first == before + 1
+        # the repeat was served from the cache, not recomputed
+        assert len(service._verify_cache) == after_first
+
+    def test_verify_unmapped_block_reports_null_element(self, live_service):
+        _service, client = live_service
+        payload = {"block": "inv_mdctL", "library": ["LM", "IH"],
+                   "accuracy_budget": 0.0}
+        status, body = client.request_bytes("POST", "/v1/verify", payload)
+        assert status == 200
+        response = json.loads(body)
+        assert response["mapped"] is False
+        assert response["element"] is None
+
+    def test_verify_negative_budget_is_400(self, live_service):
+        from repro.api.types import ACCURACY_BUDGET_MESSAGE
+
+        service, _client = live_service
+        status, body = _raw_post(
+            service, "/v1/verify",
+            b'{"block": "inv_mdctL", "accuracy_budget": -1}')
+        assert status == 400
+        assert ACCURACY_BUDGET_MESSAGE in json.loads(body)["error"]
+
     def test_sweep_is_the_canonical_sweep_json(self, live_service):
         service, client = live_service
         status, body = client.request_bytes(

@@ -25,6 +25,12 @@ MODULES = [
     "repro.api.session",
     "repro.service.metrics",
     "repro.service.fleet",
+    "repro.codegen.lower",
+    "repro.codegen.fixedpt",
+    "repro.codegen.pysource",
+    "repro.codegen.verify",
+    "repro.mp3.vectors",
+    "repro.workload.registry",
 ]
 
 

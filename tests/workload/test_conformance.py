@@ -57,3 +57,6 @@ class TestWorkloadConformance:
 
     def test_sweep_json_is_byte_reproducible(self, key):
         _suite(key).check_sweep_json_is_byte_reproducible()
+
+    def test_generated_kernels_meet_declared_accuracy(self, key):
+        _suite(key).check_generated_kernels_meet_declared_accuracy()
